@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness.
+
+One :class:`PaperScenario` (and hence one fault-simulation campaign) is
+shared across the whole benchmark session, so individual benches measure
+their own analysis work rather than re-running the campaign.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.paper import PaperScenario
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The canonical paper scenario, campaign pre-run."""
+    scenario = PaperScenario()
+    scenario.dataset()  # warm the cache outside the timed region
+    return scenario

@@ -1,0 +1,43 @@
+"""E-DG — diagnosis extension bench (beyond the paper's detection focus).
+
+On the published matrix: the detection-optimal {C2, C5} leaves large
+ambiguity groups; the diagnosis-optimal set reaches the full-matrix
+distinguishability ceiling (27/28 pairs — fR1/fR4 have identical boolean
+columns), and 8-level quantized signatures split even that pair.
+"""
+
+import pytest
+
+from repro.experiments import exp_diagnosis
+
+
+def test_bench_diagnosis_published(benchmark, scenario):
+    report = benchmark(exp_diagnosis.run, "published", scenario=scenario)
+    print()
+    print(report.render())
+    v = report.values
+    assert v["detection_optimal.n_configs"] == 2.0
+    assert (
+        v["detection_optimal.distinguishability"]
+        < v["diagnosis_optimal.distinguishability"]
+    )
+    assert v["diagnosis_optimal.distinguishability"] == pytest.approx(
+        v["all_configurations.distinguishability"]
+    )
+    assert v["quantized.resolution"] == 1.0
+
+
+def test_bench_diagnosis_simulated(benchmark, scenario):
+    report = benchmark(exp_diagnosis.run, "simulated", scenario=scenario)
+    print()
+    print(report.render())
+    v = report.values
+    # Shape: diagnosis needs at least as many configurations as
+    # detection, and reaches the full-set ceiling.
+    assert (
+        v["diagnosis_optimal.n_configs"]
+        >= v["detection_optimal.n_configs"]
+    )
+    assert v["diagnosis_optimal.distinguishability"] == pytest.approx(
+        v["all_configurations.distinguishability"]
+    )

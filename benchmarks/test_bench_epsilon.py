@@ -1,0 +1,35 @@
+"""E-EPS — the ε escape/yield-loss operating curve.
+
+Quantifies the paper's "arbitrarily fixed at 10%" threshold: with 2%
+precision components, ε = 10% costs zero yield and catches the strong
+gain faults every time; tightening to 3% starts rejecting good parts,
+loosening to 25% ships every defect.
+"""
+
+import pytest
+
+from repro.experiments import exp_epsilon
+
+
+def test_bench_epsilon_operating_curve(benchmark):
+    report = benchmark.pedantic(
+        exp_epsilon.run, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    v = report.values
+    # Yield loss is antitone in epsilon ...
+    assert (
+        v["yield_loss@eps=0.03"]
+        >= v["yield_loss@eps=0.1"]
+        == v["yield_loss@eps=0.25"]
+        == 0.0
+    )
+    # ... escapes are monotone ...
+    assert (
+        v["avg_escape@eps=0.05"]
+        <= v["avg_escape@eps=0.1"]
+        <= v["avg_escape@eps=0.25"]
+    )
+    # ... and the paper's 10% point never misses the strong faults.
+    assert v["strong_fault_escape_at_10pct"] == 0.0

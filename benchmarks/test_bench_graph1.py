@@ -1,0 +1,28 @@
+"""E-G1 — regenerate Graph 1 (ω-detectability of the initial filter).
+
+Paper: FC = 25%, ⟨ω-det⟩ = 12.5%; only fR1 (54%) and fR4 (46%) are
+partially ω-detectable.
+"""
+
+import pytest
+
+from repro.experiments import exp_graph1
+
+
+def test_bench_graph1_published(benchmark, scenario):
+    report = benchmark(exp_graph1.run, "published", scenario=scenario)
+    print()
+    print(report.render())
+    assert report.values["fault_coverage.measured"] == pytest.approx(0.25)
+    assert report.values[
+        "avg_omega_detectability.measured"
+    ] == pytest.approx(0.125)
+
+
+def test_bench_graph1_simulated(benchmark, scenario):
+    report = benchmark(exp_graph1.run, "simulated", scenario=scenario)
+    print()
+    print(report.render())
+    # Shape: same coverage, same sparse pattern, comparable average.
+    assert report.values["fault_coverage.measured"] == pytest.approx(0.25)
+    assert 0.05 < report.values["avg_omega_detectability.measured"] < 0.20

@@ -1,0 +1,34 @@
+"""E-G3 — regenerate §4.2 + Graph 3 (configuration-number optimization).
+
+Paper: minimal sets {C1,C2} (30%) and {C2,C5} (32.5%); the 3rd-order
+requirement selects S_opt = {C2, C5}.
+"""
+
+import pytest
+
+from repro.experiments import exp_graph3
+
+
+def test_bench_graph3_published(benchmark, scenario):
+    report = benchmark(exp_graph3.run, "published", scenario=scenario)
+    print()
+    print(report.render())
+    assert report.values["selected_is_C2_C5.measured"] == 1.0
+    assert report.values["avg_omega_selected.measured"] == pytest.approx(
+        0.325
+    )
+    assert report.values["avg_omega_runner_up.measured"] == pytest.approx(
+        0.30
+    )
+    assert report.values["n_selected_configurations"] == 2.0
+
+
+def test_bench_graph3_simulated(benchmark, scenario):
+    report = benchmark(exp_graph3.run, "simulated", scenario=scenario)
+    print()
+    print(report.render())
+    # Shape: far fewer configurations than brute force, same coverage.
+    assert report.values["n_selected_configurations"] <= 4.0
+    assert report.values["selection_coverage.measured"] == pytest.approx(
+        report.values["selection_coverage.paper"]
+    )

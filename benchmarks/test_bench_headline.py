@@ -1,0 +1,44 @@
+"""E-HL — regenerate the headline testability numbers.
+
+Paper (abstract/§5): FC 25% → 100%; ⟨ω-det⟩ 12.5% → 68.3% (brute force),
+32.5% (2-configuration optimum), 52.5% (partial DFT).
+"""
+
+import pytest
+
+from repro.experiments import exp_headline
+
+
+def test_bench_headline_published(benchmark, scenario):
+    report = benchmark(exp_headline.run, "published", scenario=scenario)
+    print()
+    print(report.render())
+    for key in (
+        "fc_initial",
+        "fc_dft",
+        "avg_omega_initial",
+        "avg_omega_brute_force",
+        "avg_omega_partial",
+    ):
+        assert report.values[f"{key}.measured"] == pytest.approx(
+            report.values[f"{key}.paper"], abs=0.001
+        )
+
+
+def test_bench_headline_simulated(benchmark, scenario):
+    report = benchmark(exp_headline.run, "simulated", scenario=scenario)
+    print()
+    print(report.render())
+    values = report.values
+    # Shape assertions: who wins, by roughly what factor.
+    assert values["fc_initial.measured"] == pytest.approx(0.25)
+    assert values["fc_dft.measured"] >= 0.85  # 7/8 with our values
+    improvement = (
+        values["avg_omega_brute_force.measured"]
+        / values["avg_omega_initial.measured"]
+    )
+    assert improvement > 3.0  # paper: 5.5x
+    assert (
+        values["avg_omega_partial.measured"]
+        <= values["avg_omega_brute_force.measured"]
+    )

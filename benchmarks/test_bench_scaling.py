@@ -1,0 +1,78 @@
+"""E-SC — the scaling study (paper §5 future work) plus solver benches.
+
+Runs the complete flow on every library circuit and separately times the
+three cover solvers on the biggest instance (the 5-opamp FLF filter, 31
+configurations), plus the fault-simulation engine itself — the bottleneck
+the paper's conclusion names.
+"""
+
+import pytest
+
+from repro.analysis import decade_grid
+from repro.circuits import build
+from repro.core import (
+    branch_and_bound_cover,
+    build_coverage_problem,
+    greedy_cover,
+    solve_covering,
+)
+from repro.experiments import exp_scaling
+from repro.faults import SimulationSetup, deviation_faults, simulate_faults
+
+
+def test_bench_scaling_study(benchmark):
+    report = benchmark.pedantic(
+        exp_scaling.run, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    # Exact B&B matches the Petrick minimum on every circuit.
+    for key, value in report.values.items():
+        if key.endswith("exact_equals_petrick_minimum"):
+            assert value == 1.0, key
+        if key.endswith("greedy_overshoot"):
+            assert value >= 0.0
+
+
+@pytest.fixture(scope="module")
+def flf_matrix():
+    bench = build("leapfrog")
+    mcc = bench.dft()
+    faults = deviation_faults(bench.circuit, 0.20)
+    grid = decade_grid(bench.f0_hz, 2, 2, points_per_decade=20)
+    dataset = simulate_faults(
+        mcc, faults, SimulationSetup(grid=grid)
+    )
+    return dataset.detectability_matrix()
+
+
+def test_bench_petrick_on_flf(benchmark, flf_matrix):
+    solution = benchmark(solve_covering, flf_matrix)
+    assert solution.covers
+
+
+def test_bench_branch_and_bound_on_flf(benchmark, flf_matrix):
+    problem = build_coverage_problem(flf_matrix)
+    cover = benchmark(branch_and_bound_cover, problem)
+    assert flf_matrix.covers_all(sorted(cover))
+
+
+def test_bench_greedy_on_flf(benchmark, flf_matrix):
+    problem = build_coverage_problem(flf_matrix)
+    cover = benchmark(greedy_cover, problem)
+    assert flf_matrix.covers_all(sorted(cover))
+
+
+def test_bench_fault_simulation_engine(benchmark):
+    """The paper's named bottleneck: the matrix-construction campaign."""
+    bench = build("biquad")
+    mcc = bench.dft()
+    faults = deviation_faults(bench.circuit, 0.20)
+    grid = decade_grid(bench.f0_hz, 2, 2, points_per_decade=25)
+    setup = SimulationSetup(grid=grid)
+
+    def campaign():
+        return simulate_faults(mcc, faults, setup)
+
+    dataset = benchmark.pedantic(campaign, rounds=3, iterations=1)
+    assert dataset.n_solves == 63

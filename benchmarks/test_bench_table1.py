@@ -1,0 +1,14 @@
+"""E-T1 — regenerate Table 1 (configuration table).
+
+Paper: 2³ = 8 configurations; C0 functional, C7 transparent.
+"""
+
+from repro.experiments import exp_table1
+
+
+def test_bench_table1(benchmark):
+    report = benchmark(exp_table1.run)
+    print()
+    print(report.render())
+    assert report.values["matching_rows.measured"] == 8.0
+    assert report.values["n_configurations"] == 8.0

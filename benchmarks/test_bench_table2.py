@@ -1,0 +1,26 @@
+"""E-T2 — regenerate Table 2 (ω-detectability table over C0…C6).
+
+Paper: best-case average 68.3%; support pattern equals Figure 5.
+"""
+
+import pytest
+
+from repro.experiments import exp_table2
+
+
+def test_bench_table2_published(benchmark, scenario):
+    report = benchmark(exp_table2.run, "published", scenario=scenario)
+    print()
+    print(report.render())
+    assert report.values["support_equals_fig5_matrix.measured"] == 1.0
+    assert report.values["avg_omega_best_case.measured"] == pytest.approx(
+        0.6825
+    )
+
+
+def test_bench_table2_simulated(benchmark, scenario):
+    report = benchmark(exp_table2.run, "simulated", scenario=scenario)
+    print()
+    print(report.render())
+    assert report.values["support_equals_fig5_matrix.measured"] == 1.0
+    assert 0.30 < report.values["avg_omega_best_case.measured"] < 0.80

@@ -1,0 +1,14 @@
+"""E-T3 — regenerate Table 3 (configuration → opamp mapping).
+
+Paper: C0 → −, C1 → Op1, C2 → Op2, C3 → Op1 Op2, C4 → Op3, C5 → Op1 Op3,
+C6 → Op2 Op3.
+"""
+
+from repro.experiments import exp_table3
+
+
+def test_bench_table3(benchmark):
+    report = benchmark(exp_table3.run)
+    print()
+    print(report.render())
+    assert report.values["matching_rows.measured"] == 7.0

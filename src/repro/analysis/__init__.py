@@ -1,0 +1,80 @@
+"""Linear AC analysis engine (the HSPICE replacement)."""
+
+from .ac import FrequencyResponse, ac_analysis, dc_gain, transfer_at
+from .corners import CornerAnalysis, corner_analysis
+from .mna import MnaSystem, Solution
+from .montecarlo import (
+    ToleranceAnalysis,
+    epsilon_headroom,
+    monte_carlo_tolerance,
+)
+from .noise import (
+    BOLTZMANN,
+    NoiseResult,
+    kt_over_c,
+    noise_analysis,
+)
+from .poles import (
+    BiquadParameters,
+    biquad_parameters,
+    circuit_poles,
+    dominant_pair,
+    is_stable,
+)
+from .sensitivity import (
+    SensitivityCurve,
+    aggregate_sensitivity,
+    component_sensitivity,
+    rank_components,
+    sensitivity_map,
+)
+from .sweep import FrequencyGrid, decade_grid
+from .transfer import RationalTransferFunction, extract_transfer_function
+from .transient import (
+    TransientResult,
+    multitone,
+    pulse,
+    sine,
+    step,
+    step_response,
+    transient_analysis,
+)
+
+__all__ = [
+    "BOLTZMANN",
+    "BiquadParameters",
+    "CornerAnalysis",
+    "FrequencyGrid",
+    "FrequencyResponse",
+    "MnaSystem",
+    "NoiseResult",
+    "RationalTransferFunction",
+    "SensitivityCurve",
+    "Solution",
+    "ToleranceAnalysis",
+    "TransientResult",
+    "ac_analysis",
+    "aggregate_sensitivity",
+    "biquad_parameters",
+    "circuit_poles",
+    "component_sensitivity",
+    "corner_analysis",
+    "dc_gain",
+    "decade_grid",
+    "dominant_pair",
+    "epsilon_headroom",
+    "extract_transfer_function",
+    "is_stable",
+    "kt_over_c",
+    "monte_carlo_tolerance",
+    "noise_analysis",
+    "multitone",
+    "pulse",
+    "rank_components",
+    "sensitivity_map",
+    "sine",
+    "step",
+    "step_response",
+    "transfer_at",
+    "transient_analysis",
+]

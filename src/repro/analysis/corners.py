@@ -1,0 +1,124 @@
+"""Worst-case (vertex/corner) tolerance analysis.
+
+Monte Carlo (:mod:`repro.analysis.montecarlo`) samples the tolerance box
+statistically; corner analysis evaluates its **vertices** — every
+component pinned at ``±tolerance`` — which bounds the worst case exactly
+for monotone responses and is the classic EDA complement for small
+component counts (``2^n`` corners; capped).
+
+The result feeds the same ε discussion as the Monte Carlo module: the
+corner envelope is the *guaranteed* fault-free deviation band, so any
+detection threshold at or below it is certain to cost yield.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.ac import ac_analysis
+from ..analysis.sweep import FrequencyGrid
+from ..circuit.netlist import Circuit
+from ..errors import AnalysisError
+
+#: refuse to enumerate more corners than this (2^14 = 16384 sweeps)
+MAX_COMPONENTS = 14
+
+
+@dataclass(frozen=True)
+class CornerAnalysis:
+    """Envelope of the response over every tolerance-box vertex."""
+
+    grid: FrequencyGrid
+    tolerance: float
+    components: Tuple[str, ...]
+    #: per-corner worst |ΔT|/max|T| deviation, keyed by the sign pattern
+    corner_deviation: Dict[Tuple[int, ...], float]
+    #: point-wise envelope of |ΔT|/max|T| over all corners
+    envelope: np.ndarray
+
+    @property
+    def n_corners(self) -> int:
+        return len(self.corner_deviation)
+
+    @property
+    def worst_corner(self) -> Tuple[int, ...]:
+        """Sign pattern (+1/−1 per component) of the worst vertex."""
+        return max(self.corner_deviation, key=self.corner_deviation.get)
+
+    @property
+    def worst_deviation(self) -> float:
+        """The guaranteed fault-free deviation bound."""
+        return self.corner_deviation[self.worst_corner]
+
+    def describe_worst(self) -> str:
+        pattern = self.worst_corner
+        parts = [
+            f"{name}{'+' if sign > 0 else '-'}"
+            for name, sign in zip(self.components, pattern)
+        ]
+        return (
+            f"worst corner ({100 * self.worst_deviation:.1f}% band "
+            f"deviation): " + " ".join(parts)
+        )
+
+    def epsilon_floor(self) -> float:
+        """Smallest ε guaranteed not to fail any in-tolerance circuit."""
+        return self.worst_deviation
+
+
+def corner_analysis(
+    circuit: Circuit,
+    grid: FrequencyGrid,
+    tolerance: float = 0.05,
+    components: Optional[Sequence[str]] = None,
+    output: Optional[str] = None,
+) -> CornerAnalysis:
+    """Evaluate every ``±tolerance`` corner of the component box.
+
+    Deviations use the tolerance-band normalisation (``|ΔT| / max|T|``),
+    matching the detection criterion, so :meth:`CornerAnalysis.epsilon_floor`
+    compares directly against the campaign's ε.
+    """
+    if tolerance <= 0:
+        raise AnalysisError("tolerance must be > 0")
+    if components is None:
+        components = [e.name for e in circuit.passives()]
+    names = tuple(components)
+    if not names:
+        raise AnalysisError(f"{circuit.title}: no components to corner")
+    if len(names) > MAX_COMPONENTS:
+        raise AnalysisError(
+            f"{len(names)} components would need 2^{len(names)} corners; "
+            f"cap is 2^{MAX_COMPONENTS} — pass a component subset or use "
+            "monte_carlo_tolerance"
+        )
+
+    nominal = ac_analysis(circuit, grid, output=output)
+    reference = float(np.max(nominal.magnitude))
+    if reference <= 0:
+        raise AnalysisError("nominal response is identically zero")
+
+    corner_deviation: Dict[Tuple[int, ...], float] = {}
+    envelope = np.zeros(grid.n_points)
+    for signs in product((-1, +1), repeat=len(names)):
+        corner = circuit
+        for name, sign in zip(names, signs):
+            corner = corner.with_scaled(name, 1.0 + sign * tolerance)
+        response = ac_analysis(corner, grid, output=output)
+        deviation = (
+            np.abs(response.magnitude - nominal.magnitude) / reference
+        )
+        corner_deviation[signs] = float(np.max(deviation))
+        np.maximum(envelope, deviation, out=envelope)
+
+    return CornerAnalysis(
+        grid=grid,
+        tolerance=tolerance,
+        components=names,
+        corner_deviation=corner_deviation,
+        envelope=envelope,
+    )

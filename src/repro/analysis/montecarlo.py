@@ -1,0 +1,142 @@
+"""Monte Carlo process-tolerance analysis.
+
+Definition 1 of the paper compares ``|ΔT/T|`` against a tolerance ``ε``
+chosen "to take into account possible fluctuations in the process
+environment".  This module makes that choice quantitative: sample every
+passive component within its process tolerance, record the envelope of the
+fault-free response family, and derive the smallest ``ε`` that would not
+flag a within-tolerance circuit as faulty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..errors import AnalysisError
+from .ac import ac_analysis
+from .sweep import FrequencyGrid
+
+
+@dataclass(frozen=True)
+class ToleranceAnalysis:
+    """Result of a Monte Carlo tolerance run.
+
+    Attributes
+    ----------
+    grid:
+        Frequency grid of the analysis.
+    deviations:
+        Matrix (n_samples × n_points) of ``|ΔT/T|`` of each sample
+        relative to the nominal response.
+    tolerance:
+        The per-component relative tolerance that was sampled.
+    """
+
+    grid: FrequencyGrid
+    deviations: np.ndarray
+    tolerance: float
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.deviations.shape[0])
+
+    def max_deviation_per_sample(self) -> np.ndarray:
+        """Worst-case ``|ΔT/T|`` over frequency, per Monte Carlo sample."""
+        return np.max(self.deviations, axis=1)
+
+    def envelope(self) -> np.ndarray:
+        """Point-wise worst-case deviation over all samples."""
+        return np.max(self.deviations, axis=0)
+
+    def suggested_epsilon(self, percentile: float = 95.0) -> float:
+        """Smallest ε that keeps ``percentile`` % of good circuits passing.
+
+        A detection threshold below this value would produce yield loss:
+        fault-free circuits within process tolerance would be flagged.
+        """
+        return float(
+            np.percentile(self.max_deviation_per_sample(), percentile)
+        )
+
+
+def monte_carlo_tolerance(
+    circuit: Circuit,
+    grid: FrequencyGrid,
+    tolerance: float = 0.05,
+    n_samples: int = 200,
+    components: Optional[Sequence[str]] = None,
+    output: Optional[str] = None,
+    distribution: str = "uniform",
+    seed: int = 2026,
+) -> ToleranceAnalysis:
+    """Sample component values within ``tolerance`` and collect deviations.
+
+    Parameters
+    ----------
+    circuit:
+        Nominal circuit.
+    grid:
+        Frequency grid for the responses.
+    tolerance:
+        Relative process tolerance (0.05 = ±5%).
+    n_samples:
+        Number of Monte Carlo samples.
+    components:
+        Components to vary; defaults to every passive.
+    distribution:
+        ``"uniform"`` over ±tolerance or ``"normal"`` with σ = tolerance/3
+        (3-sigma at the tolerance bound).
+    seed:
+        PRNG seed — runs are reproducible by default.
+    """
+    if tolerance <= 0:
+        raise AnalysisError("tolerance must be > 0")
+    if n_samples < 1:
+        raise AnalysisError("n_samples must be >= 1")
+    if components is None:
+        components = [e.name for e in circuit.passives()]
+    if not components:
+        raise AnalysisError(f"{circuit.title}: no components to vary")
+
+    rng = np.random.default_rng(seed)
+    nominal = ac_analysis(circuit, grid, output=output)
+
+    rows = []
+    for _ in range(n_samples):
+        sample = circuit
+        for name in components:
+            if distribution == "uniform":
+                factor = 1.0 + rng.uniform(-tolerance, tolerance)
+            elif distribution == "normal":
+                factor = 1.0 + rng.normal(0.0, tolerance / 3.0)
+                # Clip to a physically sane range.
+                factor = float(np.clip(factor, 0.1, 1.9))
+            else:
+                raise AnalysisError(
+                    f"unknown distribution {distribution!r}"
+                )
+            sample = sample.with_scaled(name, factor)
+        response = ac_analysis(sample, grid, output=output)
+        rows.append(nominal.relative_deviation(response))
+
+    return ToleranceAnalysis(
+        grid=grid,
+        deviations=np.vstack(rows),
+        tolerance=tolerance,
+    )
+
+
+def epsilon_headroom(
+    analysis: ToleranceAnalysis, epsilon: float, percentile: float = 95.0
+) -> float:
+    """Margin between a chosen ε and the process-noise floor.
+
+    Positive headroom means ε sits above the ``percentile`` worst-case
+    fault-free deviation — the detection threshold will not eat into
+    yield.
+    """
+    return epsilon - analysis.suggested_epsilon(percentile)

@@ -1,0 +1,127 @@
+"""Natural-frequency (pole) extraction from the MNA matrices.
+
+Because every element stamps linearly in ``s`` (see
+:mod:`repro.circuit.components`), the assembled system is the pencil
+``G + s C`` and the circuit's natural frequencies are the finite
+generalized eigenvalues ``s`` of ``G x = −s C x``.  For second-order
+filters :func:`biquad_parameters` converts the dominant complex pair into
+the familiar ``(f0, Q)`` description used throughout the paper discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+import scipy.linalg
+
+from ..circuit.netlist import Circuit
+from ..errors import AnalysisError
+from .mna import MnaSystem
+
+#: eigenvalues with |s| above this are treated as the pencil's infinite modes
+_INFINITE_THRESHOLD = 1e30
+
+
+def circuit_poles(circuit: Circuit, tol: float = 1e-9) -> List[complex]:
+    """Finite natural frequencies of ``circuit`` in rad/s.
+
+    Solves the generalized eigenproblem of the MNA pencil.  Infinite
+    eigenvalues (structural, produced by algebraic MNA rows) are removed;
+    so are spurious near-infinite values caused by rounding.
+    """
+    system = MnaSystem(circuit)
+    if not np.any(system.C):
+        return []  # purely resistive network: no dynamics
+    # G x = lambda (-C) x  =>  (G + lambda C) x = 0
+    eigenvalues = scipy.linalg.eigvals(system.G, -system.C)
+    finite: List[complex] = []
+    scale = max(1.0, float(np.max(np.abs(system.G))))
+    for value in eigenvalues:
+        if not np.isfinite(value):
+            continue
+        if abs(value) > _INFINITE_THRESHOLD * scale:
+            continue
+        finite.append(complex(value))
+    finite.sort(key=lambda s: (abs(s), s.imag))
+    # Remove numerically-zero artifacts below tol relative to the largest.
+    if finite:
+        largest = max(abs(s) for s in finite)
+        if largest > 0:
+            finite = [s for s in finite if abs(s) > tol * largest or s == 0]
+    return finite
+
+
+def dominant_pair(poles: List[complex]) -> Tuple[complex, complex]:
+    """The lowest-frequency complex-conjugate pole pair.
+
+    Raises :class:`AnalysisError` when the circuit has no complex pair
+    (e.g. first-order or overdamped networks).
+    """
+    complex_poles = sorted(
+        (p for p in poles if abs(p.imag) > 1e-6 * max(1.0, abs(p.real))),
+        key=abs,
+    )
+    for pole in complex_poles:
+        conjugate = pole.conjugate()
+        for other in complex_poles:
+            if other is pole:
+                continue
+            if abs(other - conjugate) <= 1e-6 * abs(pole):
+                return (pole, other) if pole.imag > 0 else (other, pole)
+    raise AnalysisError("circuit has no complex-conjugate pole pair")
+
+
+@dataclass(frozen=True)
+class BiquadParameters:
+    """Second-order section parameters derived from a pole pair."""
+
+    f0_hz: float
+    q: float
+    poles: Tuple[complex, complex]
+
+    def describe(self) -> str:
+        return f"f0={self.f0_hz:.4g} Hz, Q={self.q:.4g}"
+
+
+def biquad_parameters(circuit: Circuit) -> BiquadParameters:
+    """``(f0, Q)`` of the two dominant (lowest-|s|) poles of ``circuit``.
+
+    Works for both the underdamped case (complex pair ``−σ ± jω_d``:
+    ``ω0 = |s|``, ``Q = ω0/(2σ)``) and the overdamped one (two real
+    poles ``p1, p2``: ``ω0 = √(p1·p2)``, ``Q = ω0/|p1+p2|``) — the
+    paper-scenario biquad has Q = 0.4 and is overdamped.
+    """
+    poles = sorted(circuit_poles(circuit), key=abs)
+    if len(poles) < 2:
+        raise AnalysisError(
+            f"{circuit.title}: need at least two poles for (f0, Q)"
+        )
+    p1, p2 = poles[0], poles[1]
+    if p1.real >= 0 or p2.real >= 0:
+        raise AnalysisError(
+            f"{circuit.title}: dominant poles are unstable "
+            f"({p1:g}, {p2:g})"
+        )
+    omega0 = math.sqrt(abs(p1) * abs(p2))
+    sigma_sum = abs((p1 + p2).real)
+    if sigma_sum <= 0:
+        raise AnalysisError(
+            f"{circuit.title}: degenerate pole pair ({p1:g}, {p2:g})"
+        )
+    return BiquadParameters(
+        f0_hz=omega0 / (2.0 * math.pi),
+        q=omega0 / sigma_sum,
+        poles=(p1, p2),
+    )
+
+
+def is_stable(circuit: Circuit, margin: float = 0.0) -> bool:
+    """True when every finite natural frequency lies in ``Re(s) < −margin``.
+
+    A pole exactly at the origin (integrator) counts as unstable unless
+    ``margin`` is negative.
+    """
+    return all(p.real < -margin for p in circuit_poles(circuit))

@@ -1,0 +1,117 @@
+"""Normalised component sensitivities of the frequency response.
+
+The fault-observability approach the paper builds on (Slamani & Kaminska)
+defines observability of component ``x`` as the sensitivity of the measured
+parameter ``T`` with respect to ``x``.  This module computes the classic
+normalised magnitude sensitivity
+
+.. math:: S_x^{|T|}(ω) = \\frac{x}{|T|}\\,\\frac{∂|T|}{∂x}
+
+by central finite differences on the component value.  It powers the
+structural configuration pre-selection heuristic
+(:mod:`repro.core.structural`) and the sensitivity-vs-detectability
+ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..errors import AnalysisError
+from .ac import ac_analysis
+from .sweep import FrequencyGrid
+
+
+@dataclass(frozen=True)
+class SensitivityCurve:
+    """Normalised magnitude sensitivity of one component over a grid."""
+
+    component: str
+    grid: FrequencyGrid
+    values: np.ndarray  # real, signed
+
+    @property
+    def magnitude(self) -> np.ndarray:
+        return np.abs(self.values)
+
+    def max_abs(self) -> float:
+        return float(np.max(np.abs(self.values)))
+
+    def mean_abs(self) -> float:
+        return float(np.mean(np.abs(self.values)))
+
+
+def component_sensitivity(
+    circuit: Circuit,
+    component: str,
+    grid: FrequencyGrid,
+    output: Optional[str] = None,
+    rel_step: float = 1e-4,
+) -> SensitivityCurve:
+    """Normalised magnitude sensitivity of one component.
+
+    Central differences with a relative value step ``rel_step``:
+    ``S = (x/|T|)·(|T(x+δ)|−|T(x−δ)|)/(2δ)``.
+    """
+    nominal = ac_analysis(circuit, grid, output=output)
+    magnitude = nominal.magnitude
+    if np.any(magnitude <= 0.0):
+        raise AnalysisError(
+            f"{circuit.title}: zero response magnitude, "
+            "sensitivity undefined"
+        )
+    up = ac_analysis(
+        circuit.with_scaled(component, 1.0 + rel_step), grid, output=output
+    )
+    down = ac_analysis(
+        circuit.with_scaled(component, 1.0 - rel_step), grid, output=output
+    )
+    derivative = (up.magnitude - down.magnitude) / (2.0 * rel_step)
+    values = derivative / magnitude
+    return SensitivityCurve(component=component, grid=grid, values=values)
+
+
+def sensitivity_map(
+    circuit: Circuit,
+    grid: FrequencyGrid,
+    components: Optional[Sequence[str]] = None,
+    output: Optional[str] = None,
+    rel_step: float = 1e-4,
+) -> Dict[str, SensitivityCurve]:
+    """Sensitivities of several components (defaults to all passives)."""
+    if components is None:
+        components = [e.name for e in circuit.passives()]
+    return {
+        name: component_sensitivity(
+            circuit, name, grid, output=output, rel_step=rel_step
+        )
+        for name in components
+    }
+
+
+def aggregate_sensitivity(
+    curves: Dict[str, SensitivityCurve], reducer: str = "max"
+) -> float:
+    """Scalar testability proxy from a sensitivity map.
+
+    ``max``: sum over components of the per-component peak |S|;
+    ``mean``: sum of mean |S|.  Higher means the configuration exposes
+    component variations more strongly — the structural pre-selection
+    heuristic ranks configurations by this number.
+    """
+    if reducer == "max":
+        return float(sum(curve.max_abs() for curve in curves.values()))
+    if reducer == "mean":
+        return float(sum(curve.mean_abs() for curve in curves.values()))
+    raise AnalysisError(f"unknown sensitivity reducer {reducer!r}")
+
+
+def rank_components(
+    curves: Dict[str, SensitivityCurve],
+) -> List[str]:
+    """Component names sorted from most to least observable."""
+    return sorted(curves, key=lambda name: -curves[name].max_abs())

@@ -1,0 +1,152 @@
+"""Rational transfer-function extraction ``T(s) = N(s)/D(s)``.
+
+The denominator comes exactly from the MNA pencil (the finite natural
+frequencies, :mod:`repro.analysis.poles`); the numerator is recovered by
+a linear least-squares fit of ``T(s)·D(s)`` on frequency samples of the
+simulated response.  For the lumped linear circuits in this library the
+fit is numerically exact, giving closed-form pole/zero/gain views of any
+configuration's response — useful for reports and for reasoning about
+*why* a configuration exposes or masks a component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..errors import AnalysisError
+from .ac import ac_analysis
+from .poles import circuit_poles
+from .sweep import FrequencyGrid, decade_grid
+
+
+@dataclass(frozen=True)
+class RationalTransferFunction:
+    """``T(s) = gain · Π(s − z_i) / Π(s − p_j)`` in zpk form."""
+
+    zeros: Tuple[complex, ...]
+    poles: Tuple[complex, ...]
+    gain: float
+
+    def __call__(self, s: complex) -> complex:
+        numerator = self.gain
+        for zero in self.zeros:
+            numerator *= s - zero
+        denominator = 1.0 + 0.0j
+        for pole in self.poles:
+            denominator *= s - pole
+        if denominator == 0:
+            raise AnalysisError(f"evaluated exactly on a pole ({s})")
+        return numerator / denominator
+
+    def at_frequency(self, f_hz: float) -> complex:
+        return self(2j * np.pi * f_hz)
+
+    @property
+    def order(self) -> int:
+        return len(self.poles)
+
+    @property
+    def relative_degree(self) -> int:
+        return len(self.poles) - len(self.zeros)
+
+    def dc_gain(self) -> complex:
+        return self(0.0 + 0.0j)
+
+    def describe(self) -> str:
+        def fmt(values: Tuple[complex, ...]) -> str:
+            if not values:
+                return "none"
+            return ", ".join(f"{v:.4g}" for v in values)
+
+        return (
+            f"zeros: {fmt(self.zeros)}\n"
+            f"poles: {fmt(self.poles)}\n"
+            f"gain:  {self.gain:.6g}"
+        )
+
+
+def _fit_numerator(
+    samples_s: np.ndarray,
+    samples_t: np.ndarray,
+    poles: List[complex],
+    max_numerator_degree: Optional[int] = None,
+) -> np.ndarray:
+    """Least-squares numerator coefficients (highest degree first)."""
+    denominator = np.ones_like(samples_s)
+    for pole in poles:
+        denominator *= samples_s - pole
+    target = samples_t * denominator
+    degree = (
+        len(poles) if max_numerator_degree is None else max_numerator_degree
+    )
+    # Normalise the Vandermonde columns for conditioning.
+    scale = np.max(np.abs(samples_s))
+    columns = [
+        (samples_s / scale) ** k for k in range(degree, -1, -1)
+    ]
+    vandermonde = np.stack(columns, axis=1)
+    coefficients, *_ = np.linalg.lstsq(
+        vandermonde, target, rcond=None
+    )
+    # Undo the scaling: coefficient of s^k was fitted against (s/scale)^k.
+    powers = np.arange(degree, -1, -1)
+    return coefficients / (scale.astype(complex) ** powers)
+
+
+def extract_transfer_function(
+    circuit: Circuit,
+    output: Optional[str] = None,
+    grid: Optional[FrequencyGrid] = None,
+    coefficient_tol: float = 1e-8,
+) -> RationalTransferFunction:
+    """Fit the zpk transfer function of ``circuit``'s designated output.
+
+    Poles come from the MNA pencil; the numerator is fitted on a
+    log-spaced sample of the AC response spanning the pole cluster, and
+    leading numerator coefficients below ``coefficient_tol`` (relative)
+    are truncated so the zero count is meaningful.
+    """
+    poles = circuit_poles(circuit)
+    if grid is None:
+        if poles:
+            magnitudes = [abs(p) for p in poles if abs(p) > 0]
+            center = float(np.sqrt(min(magnitudes) * max(magnitudes)))
+        else:
+            center = 2.0 * np.pi * 1e3
+        grid = decade_grid(
+            center / (2.0 * np.pi), 3, 3, points_per_decade=15
+        )
+    response = ac_analysis(circuit, grid, output=output)
+    samples_s = 2j * np.pi * grid.frequencies_hz
+    coefficients = _fit_numerator(
+        samples_s, response.values, poles
+    )
+
+    # Trim negligible leading coefficients.
+    magnitude = np.abs(coefficients)
+    reference = magnitude.max()
+    if reference == 0.0:
+        return RationalTransferFunction(
+            zeros=(), poles=tuple(poles), gain=0.0
+        )
+    first = 0
+    while (
+        first < len(coefficients) - 1
+        and magnitude[first] < coefficient_tol * reference
+    ):
+        first += 1
+    trimmed = coefficients[first:]
+    zeros = tuple(np.roots(trimmed)) if len(trimmed) > 1 else ()
+    gain = trimmed[0]
+    if abs(gain.imag) > 1e-6 * abs(gain):
+        raise AnalysisError(
+            "fitted gain is not real — the response is not rational in s "
+            "(check for inconsistent grids)"
+        )
+    return RationalTransferFunction(
+        zeros=zeros, poles=tuple(poles), gain=float(gain.real)
+    )

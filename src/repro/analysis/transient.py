@@ -1,0 +1,313 @@
+"""Linear transient (time-domain) simulation of the MNA system.
+
+The assembled MNA pencil is the linear DAE
+
+.. math:: C\\,\\dot x(t) + G\\,x(t) = z(t)
+
+which this module integrates with the trapezoidal rule (the SPICE
+default for this problem class, A-stable and second order):
+
+.. math::
+   (G + \\tfrac{2}{h}C)\\,x_{n+1} =
+   z_{n+1} + z_n - (G - \\tfrac{2}{h}C)\\,x_n
+
+The constant system matrix is LU-factorised once per run, so a transient
+costs one back-substitution per time step.  Independent sources are
+driven by caller-supplied waveforms (:func:`step`, :func:`sine`,
+:func:`pulse`, :func:`multitone`); every source not named keeps zero
+excitation.
+
+Transient analysis complements the AC engine for the DFT study: it lets
+examples exercise step/tone stimuli through the emulated test
+configurations, and provides settling/overshoot figures for the
+performance-degradation discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.linalg
+
+from ..circuit.components import CurrentSource, VoltageSource
+from ..circuit.netlist import Circuit
+from ..errors import AnalysisError
+from .mna import MnaSystem
+
+Waveform = Callable[[float], float]
+
+
+# ----------------------------------------------------------------------
+# waveform factories
+# ----------------------------------------------------------------------
+
+def step(amplitude: float = 1.0, t0: float = 0.0) -> Waveform:
+    """Ideal step: 0 before ``t0``, ``amplitude`` after."""
+    return lambda t: amplitude if t >= t0 else 0.0
+
+
+def sine(
+    amplitude: float = 1.0, frequency_hz: float = 1e3, phase_deg: float = 0.0
+) -> Waveform:
+    """Sine wave ``A·sin(2πft + φ)``."""
+    phase = math.radians(phase_deg)
+    omega = 2.0 * math.pi * frequency_hz
+
+    return lambda t: amplitude * math.sin(omega * t + phase)
+
+
+def pulse(
+    amplitude: float = 1.0,
+    t_start: float = 0.0,
+    width: float = 1e-3,
+) -> Waveform:
+    """Rectangular pulse of the given width."""
+    return lambda t: amplitude if t_start <= t < t_start + width else 0.0
+
+
+def multitone(
+    tones: Sequence[Tuple[float, float]],
+) -> Waveform:
+    """Sum of sines given as ``(amplitude, frequency_hz)`` pairs."""
+    parts = [sine(a, f) for a, f in tones]
+    return lambda t: sum(p(t) for p in parts)
+
+
+# ----------------------------------------------------------------------
+# result container
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Sampled node voltages of one transient run."""
+
+    times_s: np.ndarray
+    voltages: Dict[str, np.ndarray]
+
+    def __getitem__(self, node: str) -> np.ndarray:
+        try:
+            return self.voltages[node]
+        except KeyError:
+            raise AnalysisError(
+                f"node {node!r} was not recorded in this transient"
+            ) from None
+
+    def at(self, node: str, t: float) -> float:
+        """Voltage of ``node`` at the sample closest to ``t``."""
+        index = int(np.argmin(np.abs(self.times_s - t)))
+        return float(self[node][index])
+
+    def final_value(self, node: str) -> float:
+        return float(self[node][-1])
+
+    def overshoot(self, node: str) -> float:
+        """Relative overshoot of a step response (0 when monotone)."""
+        waveform = self[node]
+        final = waveform[-1]
+        if final == 0.0:
+            return 0.0
+        extreme = waveform.max() if final > 0 else waveform.min()
+        return max(0.0, (extreme - final) / final)
+
+    def settling_time(
+        self, node: str, tolerance: float = 0.01
+    ) -> float:
+        """First time after which the node stays within ``tolerance``
+        (relative) of its final value."""
+        waveform = self[node]
+        final = waveform[-1]
+        scale = max(abs(final), 1e-30)
+        outside = np.abs(waveform - final) > tolerance * scale
+        if not np.any(outside):
+            return float(self.times_s[0])
+        last_outside = int(np.nonzero(outside)[0][-1])
+        if last_outside + 1 >= len(self.times_s):
+            raise AnalysisError(
+                "waveform has not settled within the simulated window"
+            )
+        return float(self.times_s[last_outside + 1])
+
+    def amplitude(self, node: str, skip_fraction: float = 0.5) -> float:
+        """Steady-state amplitude estimate of a sinusoidal response.
+
+        Uses the peak of the last ``1 − skip_fraction`` of the record so
+        start-up transients are excluded.
+        """
+        waveform = self[node]
+        start = int(len(waveform) * skip_fraction)
+        tail = waveform[start:]
+        return float((tail.max() - tail.min()) / 2.0)
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+
+def _source_patterns(
+    system: MnaSystem,
+) -> Dict[str, np.ndarray]:
+    """Unit excitation pattern of every independent source."""
+    patterns: Dict[str, np.ndarray] = {}
+    for element in system.circuit:
+        pattern = np.zeros(system.size)
+        if isinstance(element, VoltageSource):
+            row = system.index_of(element.branch())
+            pattern[row] = 1.0
+        elif isinstance(element, CurrentSource):
+            i = system.index_of(element.np)
+            j = system.index_of(element.nn)
+            if i >= 0:
+                pattern[i] -= 1.0
+            if j >= 0:
+                pattern[j] += 1.0
+        else:
+            continue
+        patterns[element.name] = pattern
+    return patterns
+
+
+def transient_analysis(
+    circuit: Circuit,
+    waveforms: Dict[str, Waveform],
+    t_stop: float,
+    dt: float,
+    outputs: Optional[Sequence[str]] = None,
+    x0: Optional[np.ndarray] = None,
+) -> TransientResult:
+    """Integrate the circuit's MNA DAE with the trapezoidal rule.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to simulate; its sources' AC amplitudes are ignored —
+        excitation comes from ``waveforms``.
+    waveforms:
+        Map source name → time function; unnamed sources stay at zero.
+    t_stop, dt:
+        Simulation window and fixed step (choose dt ≲ 1/(20·f_max)).
+    outputs:
+        Nodes to record; defaults to the designated output (or all
+        nodes when none is designated).
+    x0:
+        Initial state; defaults to the DC solution of ``z(0)`` and falls
+        back to zero when the DC system is singular (pure integrators).
+    """
+    if t_stop <= 0 or dt <= 0 or dt >= t_stop:
+        raise AnalysisError("need 0 < dt < t_stop")
+    system = MnaSystem(circuit)
+    patterns = _source_patterns(system)
+    for name in waveforms:
+        if name not in patterns:
+            raise AnalysisError(
+                f"{circuit.title}: no independent source named {name!r}"
+            )
+
+    if outputs is None:
+        outputs = (
+            [circuit.output]
+            if circuit.output is not None
+            else sorted(system.node_index)
+        )
+    output_indices = {
+        node: system.index_of(node) for node in outputs
+    }
+
+    def z_at(t: float) -> np.ndarray:
+        z = np.zeros(system.size)
+        for name, waveform in waveforms.items():
+            z += waveform(t) * patterns[name]
+        return z
+
+    n_steps = int(round(t_stop / dt))
+    times = np.arange(n_steps + 1) * dt
+
+    # Initial state.
+    if x0 is not None:
+        x = np.asarray(x0, dtype=float).copy()
+        if x.shape != (system.size,):
+            raise AnalysisError("x0 has the wrong length")
+    else:
+        try:
+            x = np.linalg.solve(system.G, z_at(0.0))
+            if not np.all(np.isfinite(x)):
+                x = np.zeros(system.size)
+        except np.linalg.LinAlgError:
+            x = np.zeros(system.size)
+
+    lhs = system.G + (2.0 / dt) * system.C
+    try:
+        lu, piv = scipy.linalg.lu_factor(lhs)
+    except (ValueError, scipy.linalg.LinAlgError) as exc:
+        raise AnalysisError(
+            f"{circuit.title}: transient system singular ({exc})"
+        ) from None
+
+    recorded = {
+        node: np.empty(n_steps + 1) for node in outputs
+    }
+    for node, index in output_indices.items():
+        recorded[node][0] = x[index] if index >= 0 else 0.0
+
+    minus = system.G - (2.0 / dt) * system.C
+    z_prev = z_at(0.0)
+    for n in range(1, n_steps + 1):
+        z_next = z_at(times[n])
+        rhs = z_next + z_prev - minus @ x
+        x = scipy.linalg.lu_solve((lu, piv), rhs)
+        if not np.all(np.isfinite(x)):
+            raise AnalysisError(
+                f"{circuit.title}: transient diverged at t={times[n]:g}s"
+            )
+        for node, index in output_indices.items():
+            recorded[node][n] = x[index] if index >= 0 else 0.0
+        z_prev = z_next
+
+    return TransientResult(times_s=times, voltages=recorded)
+
+
+def step_response(
+    circuit: Circuit,
+    source: Optional[str] = None,
+    amplitude: float = 1.0,
+    t_stop: Optional[float] = None,
+    dt: Optional[float] = None,
+    output: Optional[str] = None,
+) -> TransientResult:
+    """Convenience wrapper: step the (first) voltage source.
+
+    The window defaults to ~20 time constants of the slowest pole and
+    the step to 1/400 of the window.
+    """
+    if source is None:
+        sources = [
+            e for e in circuit.sources() if isinstance(e, VoltageSource)
+        ]
+        if not sources:
+            raise AnalysisError(
+                f"{circuit.title}: no voltage source to step"
+            )
+        source = sources[0].name
+    if t_stop is None or dt is None:
+        from .poles import circuit_poles
+
+        poles = [p for p in circuit_poles(circuit) if p.real < 0]
+        if not poles:
+            raise AnalysisError(
+                f"{circuit.title}: cannot size the window (no stable "
+                "poles); pass t_stop and dt explicitly"
+            )
+        slowest = min(-p.real for p in poles)
+        t_stop = t_stop or 20.0 / slowest
+        dt = dt or t_stop / 400.0
+    # Delay the edge by one step so the run starts from the zero state
+    # (the initial condition is the DC solution of z(0)).
+    return transient_analysis(
+        circuit,
+        {source: step(amplitude, t0=dt)},
+        t_stop=t_stop,
+        dt=dt,
+        outputs=[output or circuit.output] if (output or circuit.output) else None,
+    )

@@ -1,0 +1,64 @@
+"""Circuit representation substrate: elements, netlists, validation, I/O."""
+
+from .components import (
+    Branch,
+    Capacitor,
+    CCCS,
+    CCVS,
+    CurrentSource,
+    Element,
+    GROUND,
+    Inductor,
+    Resistor,
+    Stamper,
+    Switch,
+    TwoTerminal,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from .netlist import Circuit
+from .netlist_io import parse_netlist, write_netlist
+from .opamp import (
+    Follower,
+    IDEAL,
+    IDEAL_OPAMP,
+    OpAmp,
+    OpAmpModel,
+    SINGLE_POLE,
+    TYPICAL_OPAMP,
+)
+from .units import format_value, parse_value
+from .validate import connectivity_graph, validate_circuit
+
+__all__ = [
+    "Branch",
+    "Capacitor",
+    "CCCS",
+    "CCVS",
+    "Circuit",
+    "CurrentSource",
+    "Element",
+    "Follower",
+    "GROUND",
+    "IDEAL",
+    "IDEAL_OPAMP",
+    "Inductor",
+    "OpAmp",
+    "OpAmpModel",
+    "Resistor",
+    "SINGLE_POLE",
+    "Stamper",
+    "Switch",
+    "TwoTerminal",
+    "TYPICAL_OPAMP",
+    "VCCS",
+    "VCVS",
+    "VoltageSource",
+    "connectivity_graph",
+    "format_value",
+    "parse_netlist",
+    "parse_value",
+    "validate_circuit",
+    "write_netlist",
+]

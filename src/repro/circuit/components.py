@@ -1,0 +1,444 @@
+"""Circuit elements and their Modified-Nodal-Analysis stamps.
+
+Every element knows how to *stamp* itself into an MNA system that is linear
+in the complex frequency ``s``:
+
+.. math::  (G + s\\,C)\\;x = z
+
+Elements therefore stamp two coefficient matrices at once — the constant
+part ``G`` and the ``s``-proportional part ``C`` — through the small
+:class:`Stamper` protocol implemented by :mod:`repro.analysis.mna`.  Because
+all supported elements (including the single-pole opamp model, see
+:mod:`repro.circuit.opamp`) are linear in ``s``, the same stamps serve both
+the AC sweep (``s = jω``) and pole extraction via the generalized
+eigenproblem on ``(G, C)``.
+
+Sign conventions follow SPICE:
+
+* independent current source ``I n+ n-`` pushes current from ``n+`` to
+  ``n-`` *through* the source;
+* controlled current sources push their controlled current from the
+  positive output node to the negative output node through the element;
+* branch currents of voltage-defining elements flow from the positive node
+  into the element.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import CircuitError
+from .units import format_value
+
+GROUND = "0"
+
+
+@dataclass(frozen=True)
+class Branch:
+    """Reference to the *k*-th extra MNA unknown owned by an element."""
+
+    element: str
+    k: int = 0
+
+
+class Stamper(abc.ABC):
+    """Interface elements use to write their MNA entries.
+
+    Row/column references are either node names (strings, the ground node
+    ``"0"`` being silently dropped) or :class:`Branch` tokens.
+    """
+
+    @abc.abstractmethod
+    def add(self, row, col, g: float = 0.0, c: float = 0.0) -> None:
+        """Accumulate ``g`` into G[row, col] and ``c`` into C[row, col]."""
+
+    @abc.abstractmethod
+    def rhs(self, row, value: complex) -> None:
+        """Accumulate ``value`` into the excitation vector ``z[row]``."""
+
+    def admittance(self, n1, n2, g: float = 0.0, c: float = 0.0) -> None:
+        """Stamp a two-terminal admittance ``g + s c`` between two nodes."""
+        self.add(n1, n1, g, c)
+        self.add(n2, n2, g, c)
+        self.add(n1, n2, -g, -c)
+        self.add(n2, n1, -g, -c)
+
+
+@dataclass(frozen=True)
+class Element(abc.ABC):
+    """Base class of every circuit element.
+
+    Subclasses are frozen dataclasses: mutating a circuit always means
+    *replacing* an element, which keeps cloned circuits trivially safe to
+    share (fault injection relies on this).
+    """
+
+    name: str
+
+    #: number of extra MNA unknowns (branch currents) the element owns
+    n_branches: int = dataclasses.field(default=0, init=False, repr=False)
+
+    @property
+    @abc.abstractmethod
+    def nodes(self) -> Tuple[str, ...]:
+        """All nodes the element touches (including ground if connected)."""
+
+    @abc.abstractmethod
+    def stamp(self, ctx: Stamper) -> None:
+        """Write the element's contribution into the MNA system."""
+
+    @abc.abstractmethod
+    def card(self) -> str:
+        """One-line netlist representation of the element."""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CircuitError("element name must be a non-empty string")
+
+    def branch(self, k: int = 0) -> Branch:
+        """Reference to this element's *k*-th branch unknown."""
+        if k >= self.n_branches:
+            raise CircuitError(
+                f"{self.name}: branch {k} requested but element owns "
+                f"{self.n_branches}"
+            )
+        return Branch(self.name, k)
+
+
+@dataclass(frozen=True)
+class TwoTerminal(Element):
+    """Common base for two-terminal value-carrying elements (R, L, C)."""
+
+    n1: str = GROUND
+    n2: str = GROUND
+    value: float = 0.0
+
+    #: symbol used in netlist cards and unit used when formatting values
+    _symbol = "?"
+    _unit = ""
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.n1, self.n2)
+
+    def with_value(self, value: float) -> "TwoTerminal":
+        """Copy of the element with a different value (fault injection)."""
+        return dataclasses.replace(self, value=float(value))
+
+    def scaled(self, factor: float) -> "TwoTerminal":
+        """Copy of the element with its value multiplied by ``factor``."""
+        return self.with_value(self.value * factor)
+
+    def card(self) -> str:
+        return (
+            f"{self.name} {self.n1} {self.n2} "
+            f"{format_value(self.value, self._unit)}"
+        )
+
+
+@dataclass(frozen=True)
+class Resistor(TwoTerminal):
+    """Linear resistor; stamps the conductance ``1/R``."""
+
+    _symbol = "R"
+    _unit = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.value <= 0:
+            raise CircuitError(f"{self.name}: resistance must be > 0")
+
+    def stamp(self, ctx: Stamper) -> None:
+        ctx.admittance(self.n1, self.n2, g=1.0 / self.value)
+
+
+@dataclass(frozen=True)
+class Capacitor(TwoTerminal):
+    """Linear capacitor; stamps the admittance ``s C``."""
+
+    _symbol = "C"
+    _unit = "F"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.value <= 0:
+            raise CircuitError(f"{self.name}: capacitance must be > 0")
+
+    def stamp(self, ctx: Stamper) -> None:
+        ctx.admittance(self.n1, self.n2, c=self.value)
+
+
+@dataclass(frozen=True)
+class Inductor(TwoTerminal):
+    """Linear inductor, formulated with a branch current so DC is exact.
+
+    Branch equation: ``V(n1) − V(n2) − s L i = 0``.
+    """
+
+    _symbol = "L"
+    _unit = "H"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.value <= 0:
+            raise CircuitError(f"{self.name}: inductance must be > 0")
+        object.__setattr__(self, "n_branches", 1)
+
+    def stamp(self, ctx: Stamper) -> None:
+        br = self.branch()
+        ctx.add(self.n1, br, g=1.0)
+        ctx.add(self.n2, br, g=-1.0)
+        ctx.add(br, self.n1, g=1.0)
+        ctx.add(br, self.n2, g=-1.0)
+        ctx.add(br, br, c=-self.value)
+
+
+@dataclass(frozen=True)
+class VoltageSource(Element):
+    """Independent voltage source with a (complex) AC amplitude.
+
+    ``ac`` is the small-signal amplitude used during AC sweeps; the default
+    of 1 V makes node voltages directly equal to transfer functions.
+    """
+
+    np: str = GROUND
+    nn: str = GROUND
+    ac: complex = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "n_branches", 1)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.np, self.nn)
+
+    def stamp(self, ctx: Stamper) -> None:
+        br = self.branch()
+        ctx.add(self.np, br, g=1.0)
+        ctx.add(self.nn, br, g=-1.0)
+        ctx.add(br, self.np, g=1.0)
+        ctx.add(br, self.nn, g=-1.0)
+        ctx.rhs(br, complex(self.ac))
+
+    def card(self) -> str:
+        return f"{self.name} {self.np} {self.nn} AC {self.ac.real:g}"
+
+
+@dataclass(frozen=True)
+class CurrentSource(Element):
+    """Independent current source pushing ``ac`` from ``np`` to ``nn``."""
+
+    np: str = GROUND
+    nn: str = GROUND
+    ac: complex = 1.0
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.np, self.nn)
+
+    def stamp(self, ctx: Stamper) -> None:
+        ctx.rhs(self.np, -complex(self.ac))
+        ctx.rhs(self.nn, +complex(self.ac))
+
+    def card(self) -> str:
+        return f"{self.name} {self.np} {self.nn} AC {self.ac.real:g}"
+
+
+@dataclass(frozen=True)
+class VCVS(Element):
+    """Voltage-controlled voltage source (SPICE ``E`` element).
+
+    ``V(np) − V(nn) = gain · (V(ncp) − V(ncn))``
+    """
+
+    np: str = GROUND
+    nn: str = GROUND
+    ncp: str = GROUND
+    ncn: str = GROUND
+    gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "n_branches", 1)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.np, self.nn, self.ncp, self.ncn)
+
+    def stamp(self, ctx: Stamper) -> None:
+        br = self.branch()
+        ctx.add(self.np, br, g=1.0)
+        ctx.add(self.nn, br, g=-1.0)
+        ctx.add(br, self.np, g=1.0)
+        ctx.add(br, self.nn, g=-1.0)
+        ctx.add(br, self.ncp, g=-self.gain)
+        ctx.add(br, self.ncn, g=self.gain)
+
+    def card(self) -> str:
+        return (
+            f"{self.name} {self.np} {self.nn} {self.ncp} {self.ncn} "
+            f"{self.gain:g}"
+        )
+
+
+@dataclass(frozen=True)
+class VCCS(Element):
+    """Voltage-controlled current source (SPICE ``G`` element).
+
+    Pushes ``gm · (V(ncp) − V(ncn))`` from ``np`` to ``nn``.
+    """
+
+    np: str = GROUND
+    nn: str = GROUND
+    ncp: str = GROUND
+    ncn: str = GROUND
+    gm: float = 1.0
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.np, self.nn, self.ncp, self.ncn)
+
+    def stamp(self, ctx: Stamper) -> None:
+        ctx.add(self.np, self.ncp, g=self.gm)
+        ctx.add(self.np, self.ncn, g=-self.gm)
+        ctx.add(self.nn, self.ncp, g=-self.gm)
+        ctx.add(self.nn, self.ncn, g=self.gm)
+
+    def card(self) -> str:
+        return (
+            f"{self.name} {self.np} {self.nn} {self.ncp} {self.ncn} "
+            f"{self.gm:g}"
+        )
+
+
+@dataclass(frozen=True)
+class CCCS(Element):
+    """Current-controlled current source with a built-in sense branch.
+
+    The control current ``ic`` flows through a zero-volt branch between
+    ``ncp`` and ``ncn``; the element pushes ``beta · ic`` from ``np`` to
+    ``nn``.
+    """
+
+    np: str = GROUND
+    nn: str = GROUND
+    ncp: str = GROUND
+    ncn: str = GROUND
+    beta: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "n_branches", 1)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.np, self.nn, self.ncp, self.ncn)
+
+    def stamp(self, ctx: Stamper) -> None:
+        ic = self.branch()
+        # Sense port: short circuit carrying ic.
+        ctx.add(self.ncp, ic, g=1.0)
+        ctx.add(self.ncn, ic, g=-1.0)
+        ctx.add(ic, self.ncp, g=1.0)
+        ctx.add(ic, self.ncn, g=-1.0)
+        # Output port: beta * ic from np to nn.
+        ctx.add(self.np, ic, g=self.beta)
+        ctx.add(self.nn, ic, g=-self.beta)
+
+    def card(self) -> str:
+        return (
+            f"{self.name} {self.np} {self.nn} {self.ncp} {self.ncn} "
+            f"{self.beta:g}"
+        )
+
+
+@dataclass(frozen=True)
+class CCVS(Element):
+    """Current-controlled voltage source with a built-in sense branch.
+
+    ``V(np) − V(nn) = r · ic`` where ``ic`` flows through the zero-volt
+    sense branch between ``ncp`` and ``ncn``.
+    """
+
+    np: str = GROUND
+    nn: str = GROUND
+    ncp: str = GROUND
+    ncn: str = GROUND
+    r: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "n_branches", 2)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.np, self.nn, self.ncp, self.ncn)
+
+    def stamp(self, ctx: Stamper) -> None:
+        ic = self.branch(0)
+        ib = self.branch(1)
+        # Sense port.
+        ctx.add(self.ncp, ic, g=1.0)
+        ctx.add(self.ncn, ic, g=-1.0)
+        ctx.add(ic, self.ncp, g=1.0)
+        ctx.add(ic, self.ncn, g=-1.0)
+        # Output port.
+        ctx.add(self.np, ib, g=1.0)
+        ctx.add(self.nn, ib, g=-1.0)
+        ctx.add(ib, self.np, g=1.0)
+        ctx.add(ib, self.nn, g=-1.0)
+        ctx.add(ib, ic, g=-self.r)
+
+    def card(self) -> str:
+        return (
+            f"{self.name} {self.np} {self.nn} {self.ncp} {self.ncn} "
+            f"{self.r:g}"
+        )
+
+
+@dataclass(frozen=True)
+class Switch(Element):
+    """Analog switch modelled as a two-state resistance.
+
+    Used by the DFT layer to model the parasitics of configurable opamps:
+    a closed switch contributes ``ron`` in series with the signal path, an
+    open one leaks through ``roff``.
+    """
+
+    n1: str = GROUND
+    n2: str = GROUND
+    closed: bool = True
+    ron: float = 100.0
+    roff: float = 1e9
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.ron <= 0 or self.roff <= 0:
+            raise CircuitError(f"{self.name}: switch resistances must be > 0")
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.n1, self.n2)
+
+    @property
+    def resistance(self) -> float:
+        """Effective resistance in the current state."""
+        return self.ron if self.closed else self.roff
+
+    def toggled(self, closed: bool) -> "Switch":
+        """Copy of the switch with the requested state."""
+        return dataclasses.replace(self, closed=closed)
+
+    def stamp(self, ctx: Stamper) -> None:
+        ctx.admittance(self.n1, self.n2, g=1.0 / self.resistance)
+
+    def card(self) -> str:
+        state = "ON" if self.closed else "OFF"
+        return (
+            f"{self.name} {self.n1} {self.n2} {state} "
+            f"RON={format_value(self.ron)} ROFF={format_value(self.roff)}"
+        )

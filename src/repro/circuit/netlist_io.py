@@ -1,0 +1,445 @@
+"""SPICE-flavoured netlist reader and writer.
+
+The dialect is a pragmatic subset of SPICE extended with opamp cards:
+
+.. code-block:: text
+
+    * Tow-Thomas biquad             <- title / comment
+    .probe V(v3)                    <- designated output node
+    V1 in 0 AC 1                    <- independent voltage source
+    I1 in 0 AC 1m                   <- independent current source
+    R1 in a 10k
+    C1 a v1 10n
+    L1 v1 0 1m
+    E1 out 0 a 0 -1e5               <- VCVS
+    G1 out 0 a 0 1m                 <- VCCS
+    F1 out 0 sa sb 10               <- CCCS (built-in sense branch)
+    H1 out 0 sa sb 1k               <- CCVS (built-in sense branch)
+    S1 a b ON RON=100 ROFF=1G       <- analog switch
+    OP1 0 a v1 ideal                <- opamp (inp inn out [model])
+    OP2 0 b v2 single_pole a0=2e5 gbw=1meg
+    BUF1 x y follower ideal         <- unity buffer
+    .end
+
+Element kind is inferred from the first letter (``R``, ``C``, ``L``, ``V``,
+``I``, ``E``, ``G``, ``F``, ``H``, ``S``) or the ``OP`` / ``BUF`` prefixes.
+
+Hierarchy is supported through ``.subckt`` definitions and ``X``
+instantiations:
+
+.. code-block:: text
+
+    .subckt lossy_int in out
+    R1 in a 10k
+    RF a out 10k
+    C1 a out 10n
+    OP1 0 a out ideal
+    .ends
+
+    Xstage1 vin v1 lossy_int
+    Xstage2 v1  v2 lossy_int
+
+Instance elements and internal nodes are flattened with an
+``Xname.``-prefix (``Xstage1.R1``, node ``Xstage1.a``); the global ground
+``0`` is never renamed.  Definitions may instantiate other definitions
+(recursion depth is bounded).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NetlistSyntaxError
+from .components import (
+    Capacitor,
+    CCCS,
+    CCVS,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    Switch,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from .netlist import Circuit
+from .opamp import Follower, IDEAL, OpAmp, OpAmpModel, SINGLE_POLE
+from .units import parse_value
+
+_PROBE_RE = re.compile(r"^\.probe\s+v\((?P<node>[^)]+)\)\s*$", re.IGNORECASE)
+
+
+def _parse_kv(tokens: List[str]) -> Dict[str, str]:
+    """Parse ``KEY=value`` trailing tokens into a lowercase-keyed dict."""
+    result: Dict[str, str] = {}
+    for token in tokens:
+        if "=" not in token:
+            raise ValueError(f"expected KEY=value, got {token!r}")
+        key, _, value = token.partition("=")
+        result[key.lower()] = value
+    return result
+
+
+def _parse_opamp_model(tokens: List[str], line_no: int, line: str) -> OpAmpModel:
+    if not tokens or tokens[0].lower() == IDEAL:
+        return OpAmpModel(kind=IDEAL)
+    if tokens[0].lower() == SINGLE_POLE:
+        try:
+            kv = _parse_kv(tokens[1:])
+        except ValueError as exc:
+            raise NetlistSyntaxError(str(exc), line_no, line) from None
+        a0 = parse_value(kv.get("a0", "1e5"))
+        gbw = parse_value(kv.get("gbw", "1meg"))
+        return OpAmpModel(kind=SINGLE_POLE, a0=a0, gbw_hz=gbw)
+    raise NetlistSyntaxError(
+        f"unknown opamp model {tokens[0]!r}", line_no, line
+    )
+
+
+def _parse_source_amplitude(tokens: List[str], line_no: int, line: str) -> complex:
+    """Parse the ``AC <amplitude> [phase_deg]`` tail of a source card."""
+    if not tokens:
+        return 1.0
+    if tokens[0].upper() != "AC":
+        raise NetlistSyntaxError(
+            f"expected 'AC <amplitude>', got {' '.join(tokens)!r}",
+            line_no,
+            line,
+        )
+    amplitude = parse_value(tokens[1]) if len(tokens) > 1 else 1.0
+    if len(tokens) > 2:
+        import cmath
+        import math
+
+        phase = math.radians(parse_value(tokens[2]))
+        return amplitude * cmath.exp(1j * phase)
+    return complex(amplitude)
+
+
+#: nodes consumed by each card kind (before value/model tokens)
+_NODE_COUNTS = (
+    ("OP", 3),
+    ("BUF", 2),
+    ("R", 2),
+    ("C", 2),
+    ("L", 2),
+    ("V", 2),
+    ("I", 2),
+    ("E", 4),
+    ("G", 4),
+    ("F", 4),
+    ("H", 4),
+    ("S", 2),
+)
+
+#: maximum subcircuit nesting depth
+_MAX_DEPTH = 16
+
+
+def _node_count(name_upper: str) -> int:
+    for prefix, count in _NODE_COUNTS:
+        if name_upper.startswith(prefix):
+            return count
+    return 0
+
+
+@dataclasses.dataclass
+class _Subckt:
+    """A parsed ``.subckt`` definition."""
+
+    name: str
+    ports: List[str]
+    body: List[Tuple[int, str]]  # (line number, card text)
+
+
+def _expand_instance(
+    circuit: Circuit,
+    instance_name: str,
+    rest: List[str],
+    subckts: Dict[str, "_Subckt"],
+    line_no: int,
+    line: str,
+    depth: int,
+) -> None:
+    """Flatten one ``X`` card into prefixed elements on ``circuit``."""
+    if depth > _MAX_DEPTH:
+        raise NetlistSyntaxError(
+            f"subcircuit nesting deeper than {_MAX_DEPTH}", line_no, line
+        )
+    if len(rest) < 1:
+        raise NetlistSyntaxError(
+            "instance card needs: nodes... subckt_name", line_no, line
+        )
+    subckt_name = rest[-1].lower()
+    outer_nodes = rest[:-1]
+    definition = subckts.get(subckt_name)
+    if definition is None:
+        raise NetlistSyntaxError(
+            f"unknown subcircuit {rest[-1]!r}", line_no, line
+        )
+    if len(outer_nodes) != len(definition.ports):
+        raise NetlistSyntaxError(
+            f"subcircuit {definition.name!r} has "
+            f"{len(definition.ports)} port(s), got {len(outer_nodes)}",
+            line_no,
+            line,
+        )
+    node_map = dict(zip(definition.ports, outer_nodes))
+
+    def map_node(node: str) -> str:
+        if node == "0":
+            return node
+        if node in node_map:
+            return node_map[node]
+        return f"{instance_name}.{node}"
+
+    for body_line_no, body_line in definition.body:
+        tokens = body_line.split()
+        inner_name = tokens[0]
+        inner_upper = inner_name.upper()
+        inner_rest = tokens[1:]
+        prefixed = f"{instance_name}.{inner_name}"
+        if inner_upper.startswith("X"):
+            mapped = [
+                map_node(n) for n in inner_rest[:-1]
+            ] + [inner_rest[-1]]
+            _expand_instance(
+                circuit,
+                prefixed,
+                mapped,
+                subckts,
+                body_line_no,
+                body_line,
+                depth + 1,
+            )
+            continue
+        count = _node_count(inner_upper)
+        if count == 0 or len(inner_rest) < count:
+            raise NetlistSyntaxError(
+                f"bad card inside subcircuit {definition.name!r}",
+                body_line_no,
+                body_line,
+            )
+        mapped = [map_node(n) for n in inner_rest[:count]]
+        mapped += inner_rest[count:]
+        _parse_card(
+            circuit, prefixed, inner_upper, mapped, body_line_no, body_line
+        )
+
+
+def parse_netlist(text: str, title: Optional[str] = None) -> Circuit:
+    """Parse a netlist string into a :class:`Circuit`.
+
+    The first comment line becomes the circuit title unless ``title`` is
+    given explicitly.
+    """
+    circuit = Circuit(title or "netlist")
+    saw_title = title is not None
+    subckts: Dict[str, _Subckt] = {}
+    pending: Optional[_Subckt] = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].strip()
+        if not line:
+            continue
+        if line.startswith("*"):
+            if not saw_title and pending is None:
+                circuit.title = line.lstrip("*").strip() or circuit.title
+                saw_title = True
+            continue
+        lower = line.lower()
+        if lower.startswith(".subckt"):
+            if pending is not None:
+                raise NetlistSyntaxError(
+                    "nested .subckt definitions are not allowed "
+                    "(instantiate with X cards instead)",
+                    line_no,
+                    line,
+                )
+            tokens = line.split()
+            if len(tokens) < 3:
+                raise NetlistSyntaxError(
+                    ".subckt needs a name and at least one port",
+                    line_no,
+                    line,
+                )
+            pending = _Subckt(
+                name=tokens[1], ports=tokens[2:], body=[]
+            )
+            continue
+        if lower.startswith(".ends"):
+            if pending is None:
+                raise NetlistSyntaxError(
+                    ".ends without .subckt", line_no, line
+                )
+            subckts[pending.name.lower()] = pending
+            pending = None
+            continue
+        if pending is not None:
+            if lower.startswith("."):
+                raise NetlistSyntaxError(
+                    "directives are not allowed inside .subckt",
+                    line_no,
+                    line,
+                )
+            pending.body.append((line_no, line))
+            continue
+        if lower.startswith(".end"):
+            break
+        probe = _PROBE_RE.match(line)
+        if probe:
+            circuit.output = probe.group("node").strip()
+            continue
+        if line.startswith("."):
+            # Unknown directives are ignored, like most SPICE readers do.
+            continue
+
+        tokens = line.split()
+        name = tokens[0]
+        upper = name.upper()
+        rest = tokens[1:]
+        if upper.startswith("X"):
+            _expand_instance(
+                circuit, name, rest, subckts, line_no, line, depth=1
+            )
+            continue
+        _parse_card(circuit, name, upper, rest, line_no, line)
+
+    if pending is not None:
+        raise NetlistSyntaxError(
+            f".subckt {pending.name!r} never closed with .ends"
+        )
+    return circuit
+
+
+def _parse_card(
+    circuit: Circuit,
+    name: str,
+    upper: str,
+    rest: List[str],
+    line_no: int,
+    line: str,
+) -> None:
+    """Parse one element card and add it to ``circuit``."""
+    if True:
+        try:
+            if upper.startswith("OP"):
+                if len(rest) < 3:
+                    raise NetlistSyntaxError(
+                        "opamp card needs: inp inn out [model]", line_no, line
+                    )
+                model = _parse_opamp_model(rest[3:], line_no, line)
+                circuit.add(OpAmp(name, rest[0], rest[1], rest[2], model))
+            elif upper.startswith("BUF"):
+                if len(rest) < 2:
+                    raise NetlistSyntaxError(
+                        "buffer card needs: in out [follower] [model]",
+                        line_no,
+                        line,
+                    )
+                tail = rest[2:]
+                if tail and tail[0].lower() == "follower":
+                    tail = tail[1:]
+                model = _parse_opamp_model(tail, line_no, line)
+                circuit.add(Follower(name, rest[0], rest[1], model))
+            elif upper.startswith("R"):
+                circuit.add(
+                    Resistor(name, rest[0], rest[1], parse_value(rest[2]))
+                )
+            elif upper.startswith("C"):
+                circuit.add(
+                    Capacitor(name, rest[0], rest[1], parse_value(rest[2]))
+                )
+            elif upper.startswith("L"):
+                circuit.add(
+                    Inductor(name, rest[0], rest[1], parse_value(rest[2]))
+                )
+            elif upper.startswith("V"):
+                ac = _parse_source_amplitude(rest[2:], line_no, line)
+                circuit.add(VoltageSource(name, rest[0], rest[1], ac))
+            elif upper.startswith("I"):
+                ac = _parse_source_amplitude(rest[2:], line_no, line)
+                circuit.add(CurrentSource(name, rest[0], rest[1], ac))
+            elif upper.startswith("E"):
+                circuit.add(
+                    VCVS(
+                        name,
+                        rest[0],
+                        rest[1],
+                        rest[2],
+                        rest[3],
+                        parse_value(rest[4]),
+                    )
+                )
+            elif upper.startswith("G"):
+                circuit.add(
+                    VCCS(
+                        name,
+                        rest[0],
+                        rest[1],
+                        rest[2],
+                        rest[3],
+                        parse_value(rest[4]),
+                    )
+                )
+            elif upper.startswith("F"):
+                circuit.add(
+                    CCCS(
+                        name,
+                        rest[0],
+                        rest[1],
+                        rest[2],
+                        rest[3],
+                        parse_value(rest[4]),
+                    )
+                )
+            elif upper.startswith("H"):
+                circuit.add(
+                    CCVS(
+                        name,
+                        rest[0],
+                        rest[1],
+                        rest[2],
+                        rest[3],
+                        parse_value(rest[4]),
+                    )
+                )
+            elif upper.startswith("S"):
+                state = rest[2].upper()
+                if state not in ("ON", "OFF"):
+                    raise NetlistSyntaxError(
+                        f"switch state must be ON or OFF, got {rest[2]!r}",
+                        line_no,
+                        line,
+                    )
+                kv = _parse_kv(rest[3:])
+                circuit.add(
+                    Switch(
+                        name,
+                        rest[0],
+                        rest[1],
+                        closed=(state == "ON"),
+                        ron=parse_value(kv.get("ron", "100")),
+                        roff=parse_value(kv.get("roff", "1g")),
+                    )
+                )
+            else:
+                raise NetlistSyntaxError(
+                    f"unknown element kind for card {name!r}", line_no, line
+                )
+        except NetlistSyntaxError:
+            raise
+        except (IndexError, ValueError) as exc:
+            raise NetlistSyntaxError(str(exc), line_no, line) from exc
+
+
+def write_netlist(circuit: Circuit) -> str:
+    """Serialise a circuit back to its netlist text."""
+    return circuit.netlist()
+
+
+def roundtrip(circuit: Circuit) -> Circuit:
+    """Serialise and re-parse a circuit (used by tests as an invariant)."""
+    return parse_netlist(write_netlist(circuit))

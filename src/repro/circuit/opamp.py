@@ -1,0 +1,176 @@
+"""Operational-amplifier behavioural models.
+
+Two models are provided, both linear in ``s`` so they stamp into the same
+``(G, C)`` MNA formulation as every other element:
+
+``ideal``
+    The classic nullor-style MNA stamp: the opamp forces
+    ``V(in+) = V(in−)`` and supplies whatever output current is required.
+    This is what the paper's testability study assumes.
+
+``single_pole``
+    Finite DC gain ``a0`` with a single pole placed so the gain-bandwidth
+    product is ``gbw_hz``:  ``A(s) = a0 / (1 + s/ωp)`` with
+    ``ωp = 2π·gbw_hz / a0``.  Used to check that the DFT conclusions are
+    robust against realistic opamp bandwidth limitations ("assuming of
+    course that the opamp bandwidth limitation is not reached", §3.1).
+
+The :class:`Follower` element is the behavioural core of the
+multi-configuration technique: an opamp emulated in follower mode becomes
+a unity buffer from its ``In_test`` input to its output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import CircuitError
+from .components import Element, Stamper
+
+#: model-kind literals
+IDEAL = "ideal"
+SINGLE_POLE = "single_pole"
+
+
+@dataclass(frozen=True)
+class OpAmpModel:
+    """Parameters of an opamp behavioural model.
+
+    Parameters
+    ----------
+    kind:
+        ``"ideal"`` or ``"single_pole"``.
+    a0:
+        DC open-loop gain (single-pole model only).
+    gbw_hz:
+        Gain-bandwidth product in hertz (single-pole model only).
+    """
+
+    kind: str = IDEAL
+    a0: float = 1e5
+    gbw_hz: float = 1e6
+
+    def __post_init__(self) -> None:
+        if self.kind not in (IDEAL, SINGLE_POLE):
+            raise CircuitError(f"unknown opamp model kind {self.kind!r}")
+        if self.kind == SINGLE_POLE:
+            if self.a0 <= 1:
+                raise CircuitError("single-pole model needs a0 > 1")
+            if self.gbw_hz <= 0:
+                raise CircuitError("single-pole model needs gbw_hz > 0")
+
+    @property
+    def is_ideal(self) -> bool:
+        return self.kind == IDEAL
+
+    @property
+    def pole_rad(self) -> float:
+        """Open-loop pole position in rad/s (single-pole model)."""
+        if self.is_ideal:
+            raise CircuitError("ideal opamp model has no pole")
+        return 2.0 * math.pi * self.gbw_hz / self.a0
+
+    def describe(self) -> str:
+        if self.is_ideal:
+            return "ideal"
+        return f"single_pole a0={self.a0:g} gbw={self.gbw_hz:g}Hz"
+
+
+#: shared default models
+IDEAL_OPAMP = OpAmpModel(kind=IDEAL)
+TYPICAL_OPAMP = OpAmpModel(kind=SINGLE_POLE, a0=2e5, gbw_hz=1e6)
+
+
+@dataclass(frozen=True)
+class OpAmp(Element):
+    """Operational amplifier in its *normal* (amplifying) mode.
+
+    Nodes: non-inverting input ``inp``, inverting input ``inn``, output
+    ``out``.  The output is referenced to ground, as in the paper's
+    single-ended circuits.
+    """
+
+    inp: str = "0"
+    inn: str = "0"
+    out: str = "0"
+    model: OpAmpModel = IDEAL_OPAMP
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.out in (self.inp, self.inn):
+            raise CircuitError(
+                f"{self.name}: output node may not coincide with an input"
+            )
+        object.__setattr__(self, "n_branches", 1)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.inp, self.inn, self.out)
+
+    def with_model(self, model: OpAmpModel) -> "OpAmp":
+        """Copy of this opamp with a different behavioural model."""
+        return dataclasses.replace(self, model=model)
+
+    def stamp(self, ctx: Stamper) -> None:
+        br = self.branch()
+        # The output current is a free variable injected at the output node.
+        ctx.add(self.out, br, g=1.0)
+        if self.model.is_ideal:
+            # Constraint row: V(inp) - V(inn) = 0.
+            ctx.add(br, self.inp, g=1.0)
+            ctx.add(br, self.inn, g=-1.0)
+        else:
+            # Constraint row: (1 + s/wp) V(out) - a0 (V(inp) - V(inn)) = 0.
+            a0 = self.model.a0
+            inv_wp = 1.0 / self.model.pole_rad
+            ctx.add(br, self.out, g=1.0, c=inv_wp)
+            ctx.add(br, self.inp, g=-a0)
+            ctx.add(br, self.inn, g=a0)
+
+    def card(self) -> str:
+        return f"{self.name} {self.inp} {self.inn} {self.out} {self.model.kind}"
+
+
+@dataclass(frozen=True)
+class Follower(Element):
+    """Unity buffer: ``V(out)`` follows ``V(inp)``.
+
+    This is the follower-mode emulation of a configurable opamp: the signal
+    applied on the test input ``inp`` is propagated to ``out`` without
+    modification (paper §3.1).  With a single-pole model the closed-loop
+    transfer becomes ``1 / (1 + s/ω_u)`` with ``ω_u = 2π·gbw_hz`` — the
+    realistic bandwidth limit of a follower-configured opamp.
+    """
+
+    inp: str = "0"
+    out: str = "0"
+    model: OpAmpModel = IDEAL_OPAMP
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.out == self.inp:
+            raise CircuitError(f"{self.name}: follower input equals output")
+        object.__setattr__(self, "n_branches", 1)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.inp, self.out)
+
+    def stamp(self, ctx: Stamper) -> None:
+        br = self.branch()
+        ctx.add(self.out, br, g=1.0)
+        if self.model.is_ideal:
+            # V(out) - V(inp) = 0
+            ctx.add(br, self.out, g=1.0)
+            ctx.add(br, self.inp, g=-1.0)
+        else:
+            # (1 + s/wu) V(out) - V(inp) = 0 with wu = 2*pi*gbw
+            inv_wu = 1.0 / (2.0 * math.pi * self.model.gbw_hz)
+            ctx.add(br, self.out, g=1.0, c=inv_wu)
+            ctx.add(br, self.inp, g=-1.0)
+
+    def card(self) -> str:
+        return f"{self.name} {self.inp} {self.out} follower {self.model.kind}"

@@ -1,0 +1,101 @@
+"""Engineering-unit helpers for component values.
+
+SPICE-style magnitude suffixes (``k``, ``meg``, ``u`` ...) are accepted by
+the netlist parser and by :func:`parse_value`; :func:`format_value` renders
+values back with the most natural suffix, which keeps netlists and reports
+readable (``10k`` instead of ``10000.0``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from ..errors import CircuitError
+
+# Order matters: 'meg' must be tried before 'm'.
+_SUFFIXES = (
+    ("meg", 1e6),
+    ("mil", 25.4e-6),
+    ("t", 1e12),
+    ("g", 1e9),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+)
+
+_VALUE_RE = re.compile(
+    r"^\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*([a-zA-Z]*)\s*$"
+)
+
+# Suffixes used when pretty-printing, from large to small.
+_FORMAT_STEPS = (
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "Meg"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+)
+
+
+def parse_value(text: str) -> float:
+    """Parse a SPICE-style value string into a float.
+
+    >>> parse_value("10k")
+    10000.0
+    >>> parse_value("4.7n")
+    4.7e-09
+    >>> parse_value("2meg")
+    2000000.0
+
+    Trailing unit letters after the magnitude suffix are ignored, as in
+    SPICE (``10kOhm`` parses like ``10k``).
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _VALUE_RE.match(text)
+    if not match:
+        raise CircuitError(f"cannot parse component value {text!r}")
+    mantissa = float(match.group(1))
+    tail = match.group(2).lower()
+    if not tail:
+        return mantissa
+    for suffix, scale in _SUFFIXES:
+        if tail.startswith(suffix):
+            return mantissa * scale
+    # Unknown letters are unit names ('ohm', 'hz'...), not magnitudes.
+    if tail.isalpha():
+        return mantissa
+    raise CircuitError(f"cannot parse component value {text!r}")
+
+
+def format_value(value: float, unit: str = "") -> str:
+    """Render ``value`` with the most natural engineering suffix.
+
+    >>> format_value(10000.0)
+    '10k'
+    >>> format_value(4.7e-9, 'F')
+    '4.7nF'
+    """
+    if value == 0:
+        return f"0{unit}"
+    magnitude = abs(value)
+    for scale, suffix in _FORMAT_STEPS:
+        if magnitude >= scale:
+            scaled = value / scale
+            text = f"{scaled:.6g}"
+            return f"{text}{suffix}{unit}"
+    return f"{value:.6g}{unit}"
+
+
+def same_value(a: float, b: float, rel_tol: float = 1e-9) -> bool:
+    """True when two component values agree within ``rel_tol``."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=0.0)

@@ -1,0 +1,142 @@
+"""Structural validation of circuits before analysis.
+
+The MNA solver reports singular systems, but the error is much more useful
+when the *structural* cause is named: a node with a single connection, a
+missing ground reference, a circuit without excitation, an opamp whose
+output drives nothing, ...  :func:`validate_circuit` performs these checks
+and either raises :class:`~repro.errors.CircuitError` or returns a list of
+human-readable warnings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+import networkx as nx
+
+from ..errors import CircuitError
+from .components import GROUND, VoltageSource, CurrentSource
+from .netlist import Circuit
+from .opamp import Follower, OpAmp
+
+
+def connectivity_graph(circuit: Circuit) -> "nx.Graph":
+    """Undirected element-connectivity graph over the circuit's nodes.
+
+    Every element contributes a clique over the nodes it touches; opamp and
+    follower outputs are treated as connected to ground through the ideal
+    output stage (they can always source current), which reflects the
+    actual MNA structure.
+    """
+    graph = nx.Graph()
+    graph.add_node(GROUND)
+    for element in circuit:
+        nodes = list(dict.fromkeys(element.nodes))
+        graph.add_nodes_from(nodes)
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                graph.add_edge(a, b, element=element.name)
+        if isinstance(element, (OpAmp, Follower)):
+            graph.add_edge(element.out, GROUND, element=element.name)
+    return graph
+
+
+def validate_circuit(circuit: Circuit, strict: bool = True) -> List[str]:
+    """Check a circuit for common structural problems.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to check.
+    strict:
+        When true (default), problems that guarantee analysis failure raise
+        :class:`CircuitError`; softer issues are returned as warnings.
+
+    Returns
+    -------
+    list of str
+        Warnings for non-fatal oddities (dangling nodes etc.).
+    """
+    warnings: List[str] = []
+    problems: List[str] = []
+
+    if len(circuit) == 0:
+        problems.append("circuit has no elements")
+
+    nodes = circuit.nodes()
+    if nodes and GROUND not in nodes:
+        problems.append("circuit has no ground ('0') reference")
+
+    if not circuit.sources():
+        warnings.append("circuit has no independent source (no excitation)")
+
+    if circuit.output is not None and circuit.output not in nodes:
+        problems.append(
+            f"designated output node {circuit.output!r} does not exist"
+        )
+
+    # Node degree: a node touched by a single element terminal dangles.
+    degree: Counter = Counter()
+    for element in circuit:
+        for node in element.nodes:
+            degree[node] += 1
+    for node, count in sorted(degree.items()):
+        if node == GROUND:
+            continue
+        if count < 2:
+            warnings.append(
+                f"node {node!r} is referenced by a single element terminal"
+            )
+
+    # Connectivity: everything should reach ground.
+    if nodes and GROUND in nodes:
+        graph = connectivity_graph(circuit)
+        reachable = nx.node_connected_component(graph, GROUND)
+        floating = sorted(set(graph.nodes) - reachable)
+        if floating:
+            problems.append(
+                "nodes not connected to ground: " + ", ".join(floating)
+            )
+
+    # Two voltage-defining elements in parallel make the system singular.
+    vs_ports = Counter()
+    for element in circuit:
+        if isinstance(element, VoltageSource):
+            vs_ports[frozenset((element.np, element.nn))] += 1
+    for port, count in vs_ports.items():
+        if count > 1:
+            problems.append(
+                f"{count} voltage sources in parallel across {sorted(port)}"
+            )
+
+    # An ideal opamp input pair left totally unconnected elsewhere cannot
+    # establish feedback.
+    for amp in circuit.opamps():
+        inn_degree = degree[amp.inn]
+        inp_degree = degree[amp.inp]
+        if amp.inn != GROUND and inn_degree < 2:
+            problems.append(
+                f"opamp {amp.name!r}: inverting input {amp.inn!r} has no "
+                "other connection (no feedback path)"
+            )
+        if amp.inp != GROUND and inp_degree < 2:
+            warnings.append(
+                f"opamp {amp.name!r}: non-inverting input {amp.inp!r} has "
+                "no other connection"
+            )
+
+    # Current sources must have a DC path; a current source into a
+    # capacitor-only node is singular at DC (detected numerically later).
+    for element in circuit:
+        if isinstance(element, CurrentSource):
+            if element.np == element.nn:
+                problems.append(
+                    f"current source {element.name!r} is shorted on itself"
+                )
+
+    if problems and strict:
+        raise CircuitError(
+            f"{circuit.title}: " + "; ".join(problems)
+        )
+    return problems + warnings if not strict else warnings

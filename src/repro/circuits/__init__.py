@@ -1,0 +1,69 @@
+"""Benchmark circuit library (registers every circuit in the catalog)."""
+
+from .akerberg_mossberg import (
+    AkerbergMossbergDesign,
+    akerberg_mossberg_biquad,
+    benchmark_akerberg_mossberg,
+)
+from .bandpass_mfb import (
+    MfbBandpassDesign,
+    benchmark_bandpass_mfb,
+    mfb_bandpass_cascade,
+)
+from .biquad import (
+    BiquadDesign,
+    bandpass_output_biquad,
+    benchmark_biquad,
+    tow_thomas_biquad,
+)
+from .cascade import CascadeDesign, benchmark_cascade, biquad_cascade
+from .catalog import BenchmarkCircuit, build, build_all, catalog, register
+from .leapfrog import LeapfrogDesign, benchmark_leapfrog, flf_filter
+from .multistage import (
+    MultistageDesign,
+    benchmark_multistage,
+    multistage_amplifier,
+)
+from .sallen_key import (
+    SallenKeyDesign,
+    benchmark_sallen_key,
+    sallen_key_cascade,
+)
+from .state_variable import (
+    StateVariableDesign,
+    benchmark_state_variable,
+    khn_filter,
+)
+
+__all__ = [
+    "AkerbergMossbergDesign",
+    "BenchmarkCircuit",
+    "BiquadDesign",
+    "CascadeDesign",
+    "LeapfrogDesign",
+    "MfbBandpassDesign",
+    "MultistageDesign",
+    "SallenKeyDesign",
+    "StateVariableDesign",
+    "akerberg_mossberg_biquad",
+    "bandpass_output_biquad",
+    "benchmark_akerberg_mossberg",
+    "benchmark_bandpass_mfb",
+    "benchmark_biquad",
+    "benchmark_cascade",
+    "biquad_cascade",
+    "benchmark_leapfrog",
+    "benchmark_multistage",
+    "benchmark_sallen_key",
+    "benchmark_state_variable",
+    "build",
+    "build_all",
+    "catalog",
+    "flf_filter",
+    "khn_filter",
+    "mfb_bandpass_cascade",
+    "multistage_amplifier",
+    "register",
+    "sallen_key_cascade",
+    "tow_thomas_biquad",
+]

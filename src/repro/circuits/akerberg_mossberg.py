@@ -1,0 +1,98 @@
+"""Åkerberg–Mossberg biquad (3 opamps, actively compensated integrator).
+
+A second classic three-opamp biquad, wired differently from the
+Tow-Thomas: the inverting lossy integrator is followed by an *actively
+compensated non-inverting integrator* built from OP2 and OP3 (the
+"Mossberg trick"), and the loop closes directly — no separate unity
+inverter stage.  For the DFT study this topology matters because the
+OP2/OP3 pair is tightly coupled: putting either of them alone into
+follower mode breaks the compensation loop in a way the Tow-Thomas never
+exercises, which gives the detectability matrix a different structure
+than the biquad's.
+
+Element values follow the equal-R/equal-C convention: ``ω0 = 1/(RC)``
+and ``Q = R2/R`` with the damping resistor R2 across the first
+integrator capacitor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..circuit.netlist import Circuit
+from ..circuit.opamp import IDEAL_OPAMP, OpAmpModel
+from ..errors import CircuitError
+from .catalog import BenchmarkCircuit, register
+
+CHAIN = ("OP1", "OP2", "OP3")
+
+
+@dataclass(frozen=True)
+class AkerbergMossbergDesign:
+    """Design parameters of the Åkerberg–Mossberg biquad."""
+
+    r_ohm: float = 10e3
+    c_farad: float = 10e-9
+    q: float = 0.9
+    dc_gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.r_ohm, self.c_farad, self.q, self.dc_gain) <= 0:
+            raise CircuitError("AM design parameters must be > 0")
+
+    @property
+    def f0_hz(self) -> float:
+        return 1.0 / (2.0 * math.pi * self.r_ohm * self.c_farad)
+
+
+def akerberg_mossberg_biquad(
+    design: AkerbergMossbergDesign = AkerbergMossbergDesign(),
+    model: OpAmpModel = IDEAL_OPAMP,
+    title: str = "Akerberg-Mossberg biquad",
+) -> Circuit:
+    """Build the Åkerberg–Mossberg lowpass biquad.
+
+    Topology: OP1 is the damped inverting integrator (R1 input, C1 ∥ R2
+    feedback, R4 global feedback from the lowpass output ``vlp``).
+    OP2+OP3 form the actively compensated *non-inverting* integrator:
+    the integrating capacitor C2 runs from OP2's summing node to OP3's
+    output ``vx``, while OP3 inverts OP2's output through R5/R6.  The
+    block's output is OP2's output ``vlp`` — the extra inversion of the
+    C2 return path is what makes the integrator non-inverting
+    (``vlp = +vbp·(R5/R6)/(s R3 C2)``) and, with real opamps, cancels
+    the first-order phase error (the Mossberg compensation).
+    """
+    r = design.r_ohm
+    circuit = Circuit(title, output="vlp")
+    circuit.voltage_source("Vin", "in")
+    # OP1: damped inverting integrator -> vbp
+    circuit.resistor("R1", "in", "a", r / design.dc_gain)
+    circuit.resistor("R2", "a", "vbp", design.q * r)
+    circuit.capacitor("C1", "a", "vbp", design.c_farad)
+    circuit.resistor("R4", "vlp", "a", r)
+    circuit.opamp("OP1", "0", "a", "vbp", model)
+    # OP2: non-inverting integrator core; C2 returns from OP3's output.
+    circuit.resistor("R3", "vbp", "b", r)
+    circuit.capacitor("C2", "b", "vx", design.c_farad)
+    circuit.opamp("OP2", "0", "b", "vlp", model)
+    # OP3: unity inverter closing the compensation loop.
+    circuit.resistor("R5", "vlp", "c", r)
+    circuit.resistor("R6", "c", "vx", r)
+    circuit.opamp("OP3", "0", "c", "vx", model)
+    return circuit
+
+
+@register("akerberg_mossberg")
+def benchmark_akerberg_mossberg() -> BenchmarkCircuit:
+    design = AkerbergMossbergDesign()
+    return BenchmarkCircuit(
+        circuit=akerberg_mossberg_biquad(design),
+        chain=CHAIN,
+        input_node="in",
+        f0_hz=design.f0_hz,
+        description=(
+            "Akerberg-Mossberg biquad (3 opamps, actively compensated "
+            "integrator pair)"
+        ),
+    )

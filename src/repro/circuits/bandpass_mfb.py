@@ -1,0 +1,103 @@
+"""Two cascaded multiple-feedback (Delyiannis-Friend) bandpass stages.
+
+Each stage is the classic single-opamp MFB bandpass: input resistor R1,
+two capacitors from the internal node (one to the output, one to the
+opamp's virtual ground), feedback resistor R2 from the output, plus a
+Q-setting resistor R3 to ground.  Per stage with ``C1 = C2 = C``::
+
+    ω0 = sqrt((R1 + R3) / (R1 R2 R3 C²)),   Q = (1/2)·sqrt(R2(R1+R3)/(R1R3))
+
+The two stages are staggered (±10% around the design centre) to produce a
+gently widened passband — a realistic IF-strip-style workload whose
+narrow-band response gives the ω-detectability metric interesting
+frequency structure (faults detectable only near resonance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..circuit.netlist import Circuit
+from ..circuit.opamp import IDEAL_OPAMP, OpAmpModel
+from ..errors import CircuitError
+from .catalog import BenchmarkCircuit, register
+
+CHAIN = ("OP1", "OP2")
+
+
+@dataclass(frozen=True)
+class MfbBandpassDesign:
+    """Design parameters of the staggered MFB bandpass cascade."""
+
+    r_ohm: float = 10e3
+    c_farad: float = 10e-9
+    stagger: float = 0.10  # relative detuning of the two stages
+
+    def __post_init__(self) -> None:
+        if min(self.r_ohm, self.c_farad) <= 0:
+            raise CircuitError("MFB design parameters must be > 0")
+        if not 0.0 <= self.stagger < 0.5:
+            raise CircuitError("stagger must lie in [0, 0.5)")
+
+    @property
+    def f0_hz(self) -> float:
+        """Centre frequency of the (symmetric) stagger pair."""
+        r1 = self.r_ohm
+        r2 = 4.0 * self.r_ohm
+        r3 = self.r_ohm
+        c = self.c_farad
+        omega0 = math.sqrt((r1 + r3) / (r1 * r2 * r3)) / c
+        return omega0 / (2.0 * math.pi)
+
+
+def _stage(
+    circuit: Circuit,
+    index: int,
+    n_in: str,
+    n_out: str,
+    scale: float,
+    design: MfbBandpassDesign,
+    model: OpAmpModel,
+) -> None:
+    """One Delyiannis-Friend bandpass stage, frequency-scaled by ``scale``."""
+    a = f"m{index}"  # internal node
+    b = f"g{index}"  # virtual ground
+    r1 = design.r_ohm * scale
+    r2 = 4.0 * design.r_ohm * scale
+    r3 = design.r_ohm * scale
+    c = design.c_farad
+    circuit.resistor(f"R{index}a", n_in, a, r1)
+    circuit.resistor(f"R{index}q", a, "0", r3)
+    circuit.capacitor(f"C{index}a", a, n_out, c)
+    circuit.capacitor(f"C{index}b", a, b, c)
+    circuit.resistor(f"R{index}f", b, n_out, r2)
+    circuit.opamp(f"OP{index}", "0", b, n_out, model)
+
+
+def mfb_bandpass_cascade(
+    design: MfbBandpassDesign = MfbBandpassDesign(),
+    model: OpAmpModel = IDEAL_OPAMP,
+    title: str = "MFB bandpass cascade",
+) -> Circuit:
+    """Build the staggered two-stage MFB bandpass."""
+    circuit = Circuit(title, output="out")
+    circuit.voltage_source("Vin", "in")
+    _stage(circuit, 1, "in", "mid", 1.0 - design.stagger, design, model)
+    _stage(circuit, 2, "mid", "out", 1.0 + design.stagger, design, model)
+    return circuit
+
+
+@register("bandpass_mfb")
+def benchmark_bandpass_mfb() -> BenchmarkCircuit:
+    design = MfbBandpassDesign()
+    return BenchmarkCircuit(
+        circuit=mfb_bandpass_cascade(design),
+        chain=CHAIN,
+        input_node="in",
+        f0_hz=design.f0_hz,
+        description=(
+            "Staggered 2-stage multiple-feedback bandpass "
+            "(2 opamps, narrow-band workload)"
+        ),
+    )

@@ -1,0 +1,131 @@
+"""The paper's case study: a three-opamp biquadratic filter (Fig. 1).
+
+The published schematic is a classic Tow-Thomas biquad: a damped
+inverting integrator (OP1), an inverting integrator (OP2) and a unity
+inverter (OP3) closed by a global feedback resistor — six resistors
+R1…R6, two capacitors C1/C2 and three opamps, matching the paper's
+component list exactly.  The measured test parameter is the voltage of
+the final stage output (the lowpass output ``v3``), which is also the end
+of the DFT chain OP1 → OP2 → OP3 (Fig. 4).
+
+With the default element values (R = 10 kΩ, C = 10 nF, Q = 0.4) the
+filter sits at f₀ ≈ 1.59 kHz with unity DC gain.  The paper's component
+values are unpublished; these catalogue values were chosen so that the
+functional configuration reproduces the published initial-testability
+pattern — with ε = 10%, +20% deviations and the tolerance-band criterion,
+only fR1 and fR4 are detectable in C0 (fault coverage 25%), exactly the
+paper's §2 result.  See DESIGN.md §2.
+
+Transfer function at ``v3`` (ideal opamps)::
+
+            -R6 / (R1 R3 R5 C1 C2)
+    T(s) = ------------------------------------------ ,
+            s² + s/(R2 C1) + R6/(R3 R4 R5 C1 C2)
+
+so ``ω0² = R6/(R3 R4 R5 C1 C2)``, ``Q = R2 C1 ω0`` and the DC gain is
+``−R4/R1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..circuit.netlist import Circuit
+from ..circuit.opamp import IDEAL_OPAMP, OpAmpModel
+from ..errors import CircuitError
+from .catalog import BenchmarkCircuit, register
+
+#: node names of the biquad (exported for tests and examples)
+NODES = ("in", "a", "v1", "b", "v2", "c", "v3")
+
+#: DFT chain of the paper's Figure 4
+CHAIN = ("OP1", "OP2", "OP3")
+
+
+@dataclass(frozen=True)
+class BiquadDesign:
+    """Design parameters of the Tow-Thomas biquad.
+
+    Parameters
+    ----------
+    r_ohm:
+        Base resistance for R1, R3, R4, R5, R6.
+    c_farad:
+        Integrator capacitance C1 = C2.
+    q:
+        Quality factor (sets the damping resistor R2 = Q·R).
+    dc_gain:
+        Magnitude of the DC gain (sets R1 = R4 / dc_gain).
+    """
+
+    r_ohm: float = 10e3
+    c_farad: float = 10e-9
+    q: float = 0.4
+    dc_gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.r_ohm, self.c_farad, self.q, self.dc_gain) <= 0:
+            raise CircuitError("biquad design parameters must be > 0")
+
+    @property
+    def f0_hz(self) -> float:
+        """Resonant frequency ``1 / (2π R C)`` for equal R/C values."""
+        return 1.0 / (2.0 * math.pi * self.r_ohm * self.c_farad)
+
+
+def tow_thomas_biquad(
+    design: BiquadDesign = BiquadDesign(),
+    model: OpAmpModel = IDEAL_OPAMP,
+    title: str = "biquadratic filter",
+) -> Circuit:
+    """Build the Tow-Thomas biquad of the paper's Figure 1.
+
+    Element roles: R1 input, R2 damping (Q), C1 first integrator,
+    R3 + C2 second integrator, R5/R6 inverter, R4 global feedback.
+    """
+    r = design.r_ohm
+    circuit = Circuit(title, output="v3")
+    circuit.voltage_source("Vin", "in")
+    circuit.resistor("R1", "in", "a", r / design.dc_gain)
+    circuit.resistor("R2", "a", "v1", design.q * r)
+    circuit.capacitor("C1", "a", "v1", design.c_farad)
+    circuit.resistor("R3", "v1", "b", r)
+    circuit.capacitor("C2", "b", "v2", design.c_farad)
+    circuit.resistor("R5", "v2", "c", r)
+    circuit.resistor("R6", "c", "v3", r)
+    circuit.resistor("R4", "v3", "a", r)
+    circuit.opamp("OP1", "0", "a", "v1", model)
+    circuit.opamp("OP2", "0", "b", "v2", model)
+    circuit.opamp("OP3", "0", "c", "v3", model)
+    return circuit
+
+
+@register("biquad")
+def benchmark_biquad() -> BenchmarkCircuit:
+    """Catalog entry: the paper's biquad with default design values."""
+    design = BiquadDesign()
+    return BenchmarkCircuit(
+        circuit=tow_thomas_biquad(design),
+        chain=CHAIN,
+        input_node="in",
+        f0_hz=design.f0_hz,
+        description=(
+            "Tow-Thomas biquadratic filter, paper Fig. 1 "
+            "(3 opamps, R1-R6, C1-C2)"
+        ),
+    )
+
+
+def bandpass_output_biquad(
+    design: BiquadDesign = BiquadDesign(),
+    model: OpAmpModel = IDEAL_OPAMP,
+) -> Circuit:
+    """Variant measuring the bandpass output ``v1`` instead of ``v3``.
+
+    Used by ablation benchmarks to show how the choice of the measured
+    parameter T changes the detectability pattern.
+    """
+    circuit = tow_thomas_biquad(design, model, title="biquad (BP output)")
+    circuit.output = "v1"
+    return circuit

@@ -1,0 +1,101 @@
+"""Six-opamp fourth-order filter: Tow-Thomas + Åkerberg-Mossberg cascade.
+
+The library's largest DFT instance: two different biquad sections in
+cascade give 6 chained opamps ⇒ 2⁶ = 64 configurations and a
+16-component fault universe.  At this size the Petrick expansion is
+still feasible but visibly slower than branch-and-bound, and structural
+pre-selection starts to pay for itself — the workload the paper's
+conclusion anticipates.
+
+The sections are Butterworth-staggered (Q = 0.54 / 1.31 around a common
+f₀) so the cascade is a proper 4th-order lowpass rather than two
+identical sections.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..circuit.netlist import Circuit
+from ..circuit.opamp import IDEAL_OPAMP, OpAmpModel
+from ..errors import CircuitError
+from .catalog import BenchmarkCircuit, register
+
+CHAIN = ("OP1", "OP2", "OP3", "OP4", "OP5", "OP6")
+
+
+@dataclass(frozen=True)
+class CascadeDesign:
+    """Design parameters of the 4th-order cascade."""
+
+    r_ohm: float = 10e3
+    c_farad: float = 10e-9
+    q_first: float = 0.5412  # Butterworth pair 1
+    q_second: float = 1.3066  # Butterworth pair 2
+
+    def __post_init__(self) -> None:
+        if min(self.r_ohm, self.c_farad, self.q_first, self.q_second) <= 0:
+            raise CircuitError("cascade design parameters must be > 0")
+
+    @property
+    def f0_hz(self) -> float:
+        return 1.0 / (2.0 * math.pi * self.r_ohm * self.c_farad)
+
+
+def biquad_cascade(
+    design: CascadeDesign = CascadeDesign(),
+    model: OpAmpModel = IDEAL_OPAMP,
+    title: str = "4th-order biquad cascade",
+) -> Circuit:
+    """Tow-Thomas section (OP1–OP3) into an AM section (OP4–OP6).
+
+    Element names carry an ``A``/``B`` section suffix so the fault
+    universe distinguishes the two sections.
+    """
+    r = design.r_ohm
+    c = design.c_farad
+    circuit = Circuit(title, output="out")
+    circuit.voltage_source("Vin", "in")
+
+    # Section A: Tow-Thomas (input 'in', output 'mid').
+    circuit.resistor("R1A", "in", "a1", r)
+    circuit.resistor("R2A", "a1", "v1", design.q_first * r)
+    circuit.capacitor("C1A", "a1", "v1", c)
+    circuit.resistor("R3A", "v1", "b1", r)
+    circuit.capacitor("C2A", "b1", "v2", c)
+    circuit.resistor("R5A", "v2", "c1", r)
+    circuit.resistor("R6A", "c1", "mid", r)
+    circuit.resistor("R4A", "mid", "a1", r)
+    circuit.opamp("OP1", "0", "a1", "v1", model)
+    circuit.opamp("OP2", "0", "b1", "v2", model)
+    circuit.opamp("OP3", "0", "c1", "mid", model)
+
+    # Section B: Akerberg-Mossberg (input 'mid', output 'out').
+    circuit.resistor("R1B", "mid", "a2", r)
+    circuit.resistor("R2B", "a2", "vbp", design.q_second * r)
+    circuit.capacitor("C1B", "a2", "vbp", c)
+    circuit.resistor("R4B", "out", "a2", r)
+    circuit.opamp("OP4", "0", "a2", "vbp", model)
+    circuit.resistor("R3B", "vbp", "b2", r)
+    circuit.capacitor("C2B", "b2", "vx", c)
+    circuit.opamp("OP5", "0", "b2", "out", model)
+    circuit.resistor("R5B", "out", "c2", r)
+    circuit.resistor("R6B", "c2", "vx", r)
+    circuit.opamp("OP6", "0", "c2", "vx", model)
+    return circuit
+
+
+@register("cascade")
+def benchmark_cascade() -> BenchmarkCircuit:
+    design = CascadeDesign()
+    return BenchmarkCircuit(
+        circuit=biquad_cascade(design),
+        chain=CHAIN,
+        input_node="in",
+        f0_hz=design.f0_hz,
+        description=(
+            "4th-order Butterworth cascade: Tow-Thomas + "
+            "Akerberg-Mossberg sections (6 opamps, 64 configurations)"
+        ),
+    )

@@ -1,0 +1,102 @@
+"""Common record type and registry for the benchmark circuit library.
+
+Every library circuit is published as a :class:`BenchmarkCircuit`: the
+circuit itself plus the metadata the DFT layer needs (opamp chain order,
+primary input node, characteristic frequency) and a short provenance
+description.  :func:`register`/:func:`catalog` implement a tiny registry
+so examples and scaling benchmarks can iterate over "all library
+circuits" without importing each module by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..circuit.netlist import Circuit
+from ..dft.transform import (
+    MultiConfigurationCircuit,
+    SwitchParasitics,
+    apply_multiconfiguration,
+)
+from ..errors import CircuitError
+
+
+@dataclass(frozen=True)
+class BenchmarkCircuit:
+    """A library circuit ready for DFT instrumentation.
+
+    Attributes
+    ----------
+    circuit:
+        The functional circuit, with its AC source and designated output.
+    chain:
+        Opamp names in DFT-chain order (primary input → primary output).
+    input_node:
+        Primary input node (feeds ``In_test`` of the first chain opamp).
+    f0_hz:
+        Characteristic frequency used to centre Ω_reference.
+    description:
+        One-line provenance / topology note.
+    """
+
+    circuit: Circuit
+    chain: Tuple[str, ...]
+    input_node: str
+    f0_hz: float
+    description: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.circuit.title
+
+    @property
+    def n_opamps(self) -> int:
+        return len(self.chain)
+
+    def dft(
+        self, parasitics: SwitchParasitics = None
+    ) -> MultiConfigurationCircuit:
+        """Instrument the circuit with the multi-configuration DFT."""
+        return apply_multiconfiguration(
+            self.circuit,
+            chain=self.chain,
+            input_node=self.input_node,
+            parasitics=parasitics,
+        )
+
+
+_REGISTRY: Dict[str, Callable[[], BenchmarkCircuit]] = {}
+
+
+def register(name: str):
+    """Decorator adding a zero-argument builder to the catalog."""
+
+    def decorate(builder: Callable[[], BenchmarkCircuit]):
+        if name in _REGISTRY:
+            raise CircuitError(f"duplicate catalog entry {name!r}")
+        _REGISTRY[name] = builder
+        return builder
+
+    return decorate
+
+
+def catalog() -> List[str]:
+    """Names of every registered library circuit."""
+    return sorted(_REGISTRY)
+
+
+def build(name: str) -> BenchmarkCircuit:
+    """Build a library circuit by catalog name."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise CircuitError(
+            f"no catalog circuit {name!r}; available: {', '.join(catalog())}"
+        ) from None
+    return builder()
+
+
+def build_all() -> List[BenchmarkCircuit]:
+    """Every library circuit, sorted by name."""
+    return [build(name) for name in catalog()]

@@ -1,0 +1,94 @@
+"""Five-stage follow-the-leader-feedback (FLF) filter (5 opamps).
+
+The paper's conclusion announces validation "through consideration of
+more complex analog circuits"; this is the library's scaling stress case:
+five lossy inverting integrator stages in cascade with two global
+feedback taps (from the 3rd and 5th stage outputs) back into the input
+summing node.  Each tapped path traverses an odd number of stage
+inversions, and the summing injection adds one more, so both global loops
+are negative and the network is stable — verified by the pole-extraction
+tests.
+
+A 5-opamp chain yields 2⁵ = 32 configurations and a 12-component fault
+universe: large enough that the Petrick expansion, branch-and-bound and
+greedy covers meaningfully diverge in runtime, and that the structural
+pre-selection heuristic pays off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..circuit.netlist import Circuit
+from ..circuit.opamp import IDEAL_OPAMP, OpAmpModel
+from ..errors import CircuitError
+from .catalog import BenchmarkCircuit, register
+
+CHAIN = ("OP1", "OP2", "OP3", "OP4", "OP5")
+
+
+@dataclass(frozen=True)
+class LeapfrogDesign:
+    """Design parameters of the FLF five-stage filter."""
+
+    r_ohm: float = 10e3
+    c_farad: float = 10e-9
+    feedback_ratio: float = 2.0  # global feedback resistors = ratio * R
+
+    def __post_init__(self) -> None:
+        if min(self.r_ohm, self.c_farad, self.feedback_ratio) <= 0:
+            raise CircuitError("FLF design parameters must be > 0")
+
+    @property
+    def f0_hz(self) -> float:
+        """Per-stage pole frequency (the response is clustered there)."""
+        return 1.0 / (2.0 * math.pi * self.r_ohm * self.c_farad)
+
+
+def flf_filter(
+    design: LeapfrogDesign = LeapfrogDesign(),
+    model: OpAmpModel = IDEAL_OPAMP,
+    title: str = "FLF 5-stage filter",
+) -> Circuit:
+    """Build the five-stage FLF filter.
+
+    Stage ``i`` is a lossy inverting integrator: input resistor ``Ri``,
+    feedback ``RFi ∥ Ci`` around ``OPi``.  Global feedback resistors
+    ``RG3`` (from stage-3 output) and ``RG5`` (from stage-5 output)
+    return to the first summing node.
+    """
+    r = design.r_ohm
+    c = design.c_farad
+    circuit = Circuit(title, output="v5")
+    circuit.voltage_source("Vin", "in")
+
+    previous = "in"
+    for i in range(1, 6):
+        node_sum = f"s{i}"
+        node_out = f"v{i}"
+        circuit.resistor(f"R{i}", previous, node_sum, r)
+        circuit.resistor(f"RF{i}", node_sum, node_out, r)
+        circuit.capacitor(f"C{i}", node_sum, node_out, c)
+        circuit.opamp(f"OP{i}", "0", node_sum, node_out, model)
+        previous = node_out
+
+    rg = design.feedback_ratio * r
+    circuit.resistor("RG3", "v3", "s1", rg)
+    circuit.resistor("RG5", "v5", "s1", rg)
+    return circuit
+
+
+@register("leapfrog")
+def benchmark_leapfrog() -> BenchmarkCircuit:
+    design = LeapfrogDesign()
+    return BenchmarkCircuit(
+        circuit=flf_filter(design),
+        chain=CHAIN,
+        input_node="in",
+        f0_hz=design.f0_hz,
+        description=(
+            "Follow-the-leader-feedback 5-stage filter "
+            "(5 opamps, 32 configurations, global feedback taps)"
+        ),
+    )

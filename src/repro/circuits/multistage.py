@@ -1,0 +1,96 @@
+"""Four-stage amplifier chain with overall feedback (4 opamps).
+
+The paper's multi-configuration technique explicitly targets blocks whose
+stages are "connected in a non-cascaded way (feedback links may exist)".
+This benchmark is the amplifier-flavoured instance: four inverting
+gain stages, each bandwidth-limited by a feedback capacitor, with one
+overall feedback resistor from the third stage output back to the first
+summing node.  The tapped path passes through an odd number of stage
+inversions and the summing injection adds one more, so the overall loop
+is negative and stable (a tap after an even stage count would instead
+boost the gain through positive feedback).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..circuit.netlist import Circuit
+from ..circuit.opamp import IDEAL_OPAMP, OpAmpModel
+from ..errors import CircuitError
+from .catalog import BenchmarkCircuit, register
+
+CHAIN = ("OP1", "OP2", "OP3", "OP4")
+
+
+@dataclass(frozen=True)
+class MultistageDesign:
+    """Design parameters of the 4-stage amplifier."""
+
+    r_ohm: float = 10e3
+    c_farad: float = 1e-9
+    stage_gain: float = 2.0
+    overall_feedback_ratio: float = 20.0  # RFB = ratio * R
+
+    def __post_init__(self) -> None:
+        if min(
+            self.r_ohm,
+            self.c_farad,
+            self.stage_gain,
+            self.overall_feedback_ratio,
+        ) <= 0:
+            raise CircuitError("multistage design parameters must be > 0")
+
+    @property
+    def f0_hz(self) -> float:
+        """Per-stage pole frequency ``1/(2π·gain·R·C)``."""
+        return 1.0 / (
+            2.0 * math.pi * self.stage_gain * self.r_ohm * self.c_farad
+        )
+
+
+def multistage_amplifier(
+    design: MultistageDesign = MultistageDesign(),
+    model: OpAmpModel = IDEAL_OPAMP,
+    title: str = "4-stage amplifier",
+) -> Circuit:
+    """Build the 4-stage inverting amplifier with overall feedback.
+
+    Stage ``i``: input ``Ri``, feedback ``RFi ∥ Ci`` around ``OPi``
+    (gain −RFi/Ri, pole at 1/(RFi·Ci)).  ``RFB`` closes the overall loop
+    from the third stage output into the first summing node.
+    """
+    r = design.r_ohm
+    circuit = Circuit(title, output="v4")
+    circuit.voltage_source("Vin", "in")
+
+    previous = "in"
+    for i in range(1, 5):
+        node_sum = f"s{i}"
+        node_out = f"v{i}"
+        circuit.resistor(f"R{i}", previous, node_sum, r)
+        circuit.resistor(f"RF{i}", node_sum, node_out, design.stage_gain * r)
+        circuit.capacitor(f"C{i}", node_sum, node_out, design.c_farad)
+        circuit.opamp(f"OP{i}", "0", node_sum, node_out, model)
+        previous = node_out
+
+    circuit.resistor(
+        "RFB", "v3", "s1", design.overall_feedback_ratio * r
+    )
+    return circuit
+
+
+@register("multistage")
+def benchmark_multistage() -> BenchmarkCircuit:
+    design = MultistageDesign()
+    return BenchmarkCircuit(
+        circuit=multistage_amplifier(design),
+        chain=CHAIN,
+        input_node="in",
+        f0_hz=design.f0_hz,
+        description=(
+            "4-stage inverting amplifier with overall feedback "
+            "(4 opamps, 16 configurations)"
+        ),
+    )

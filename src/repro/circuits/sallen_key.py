@@ -1,0 +1,99 @@
+"""Two cascaded Sallen-Key lowpass sections (2 opamps).
+
+A 4th-order lowpass built from two equal-component Sallen-Key sections
+with gain ``K = 1 + Rb/Ra``.  This is the smallest interesting DFT chain
+(2 opamps ⇒ 4 configurations) and — unlike the Tow-Thomas — a *cascaded*
+topology, so the follower-mode emulations isolate the sections cleanly.
+
+Per section (equal R, equal C): ``ω0 = 1/(RC)`` and ``Q = 1/(3 − K)``;
+the default ``K = 1.5`` yields Q ≈ 0.67 per section.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..circuit.netlist import Circuit
+from ..circuit.opamp import IDEAL_OPAMP, OpAmpModel
+from ..errors import CircuitError
+from .catalog import BenchmarkCircuit, register
+
+CHAIN = ("OP1", "OP2")
+
+
+@dataclass(frozen=True)
+class SallenKeyDesign:
+    """Design parameters of one Sallen-Key section (both are equal)."""
+
+    r_ohm: float = 10e3
+    c_farad: float = 10e-9
+    gain: float = 1.5  # K = 1 + Rb/Ra; K < 3 for stability
+
+    def __post_init__(self) -> None:
+        if min(self.r_ohm, self.c_farad) <= 0:
+            raise CircuitError("Sallen-Key design parameters must be > 0")
+        if not 1.0 <= self.gain < 3.0:
+            raise CircuitError(
+                "Sallen-Key gain must satisfy 1 <= K < 3 for stability"
+            )
+
+    @property
+    def f0_hz(self) -> float:
+        return 1.0 / (2.0 * math.pi * self.r_ohm * self.c_farad)
+
+    @property
+    def q(self) -> float:
+        return 1.0 / (3.0 - self.gain)
+
+
+def _section(
+    circuit: Circuit,
+    index: int,
+    n_in: str,
+    n_out: str,
+    design: SallenKeyDesign,
+    model: OpAmpModel,
+) -> None:
+    """Add one Sallen-Key section between ``n_in`` and ``n_out``."""
+    x = f"x{index}"
+    y = f"y{index}"
+    z = f"z{index}"
+    r = design.r_ohm
+    ra = 10e3
+    rb = (design.gain - 1.0) * ra
+    circuit.resistor(f"R{index}a", n_in, x, r)
+    circuit.resistor(f"R{index}b", x, y, r)
+    circuit.capacitor(f"C{index}a", x, n_out, design.c_farad)
+    circuit.capacitor(f"C{index}b", y, "0", design.c_farad)
+    circuit.resistor(f"R{index}g", z, "0", ra)
+    circuit.resistor(f"R{index}f", z, n_out, rb)
+    circuit.opamp(f"OP{index}", y, z, n_out, model)
+
+
+def sallen_key_cascade(
+    design: SallenKeyDesign = SallenKeyDesign(),
+    model: OpAmpModel = IDEAL_OPAMP,
+    title: str = "Sallen-Key cascade",
+) -> Circuit:
+    """4th-order lowpass: two identical Sallen-Key sections in cascade."""
+    circuit = Circuit(title, output="out")
+    circuit.voltage_source("Vin", "in")
+    _section(circuit, 1, "in", "mid", design, model)
+    _section(circuit, 2, "mid", "out", design, model)
+    return circuit
+
+
+@register("sallen_key")
+def benchmark_sallen_key() -> BenchmarkCircuit:
+    design = SallenKeyDesign()
+    return BenchmarkCircuit(
+        circuit=sallen_key_cascade(design),
+        chain=CHAIN,
+        input_node="in",
+        f0_hz=design.f0_hz,
+        description=(
+            "4th-order lowpass: two cascaded Sallen-Key sections "
+            "(2 opamps, K=1.5)"
+        ),
+    )

@@ -1,0 +1,95 @@
+"""KHN state-variable filter (3 opamps, both opamp inputs used).
+
+The Kerwin–Huelsman–Newcomb biquad: a summing amplifier (OP1) producing
+the highpass output, followed by two inverting integrators (OP2, OP3)
+producing the bandpass and lowpass outputs.  The bandpass output feeds
+back into the summer's *non-inverting* input and the lowpass output into
+its inverting input — a second 3-opamp topology that, unlike the
+Tow-Thomas, exercises differential opamp stamps and multiple feedback
+paths of different signs.
+
+With all resistors equal and ``R3 = R4``:
+``ω0 = 1/(RC)`` and ``Q = (1 + R4/R3)/2 = 1``.
+
+The measured output is the lowpass node ``vlp`` (end of the chain).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..circuit.netlist import Circuit
+from ..circuit.opamp import IDEAL_OPAMP, OpAmpModel
+from ..errors import CircuitError
+from .catalog import BenchmarkCircuit, register
+
+CHAIN = ("OP1", "OP2", "OP3")
+
+
+@dataclass(frozen=True)
+class StateVariableDesign:
+    """Design parameters of the KHN filter."""
+
+    r_ohm: float = 10e3
+    c_farad: float = 10e-9
+    q_ratio: float = 1.0  # R4/R3; Q = (1 + ratio)/2
+
+    def __post_init__(self) -> None:
+        if min(self.r_ohm, self.c_farad, self.q_ratio) <= 0:
+            raise CircuitError("KHN design parameters must be > 0")
+
+    @property
+    def f0_hz(self) -> float:
+        return 1.0 / (2.0 * math.pi * self.r_ohm * self.c_farad)
+
+    @property
+    def q(self) -> float:
+        return (1.0 + self.q_ratio) / 2.0
+
+
+def khn_filter(
+    design: StateVariableDesign = StateVariableDesign(),
+    model: OpAmpModel = IDEAL_OPAMP,
+    title: str = "KHN state-variable filter",
+) -> Circuit:
+    """Build the KHN filter.
+
+    Elements: R1 (input), R2 (lowpass feedback), RF1 (summer feedback),
+    R3/R4 (bandpass feedback divider on the non-inverting input),
+    R5+C1 / R6+C2 (the two integrators).
+    """
+    r = design.r_ohm
+    circuit = Circuit(title, output="vlp")
+    circuit.voltage_source("Vin", "in")
+    # OP1: summing amplifier -> vhp
+    circuit.resistor("R1", "in", "na", r)
+    circuit.resistor("R2", "vlp", "na", r)
+    circuit.resistor("RF1", "vhp", "na", r)
+    circuit.resistor("R3", "vbp", "nb", r)
+    circuit.resistor("R4", "nb", "0", design.q_ratio * r)
+    circuit.opamp("OP1", "nb", "na", "vhp", model)
+    # OP2: inverting integrator -> vbp
+    circuit.resistor("R5", "vhp", "nc", r)
+    circuit.capacitor("C1", "nc", "vbp", design.c_farad)
+    circuit.opamp("OP2", "0", "nc", "vbp", model)
+    # OP3: inverting integrator -> vlp
+    circuit.resistor("R6", "vbp", "nd", r)
+    circuit.capacitor("C2", "nd", "vlp", design.c_farad)
+    circuit.opamp("OP3", "0", "nd", "vlp", model)
+    return circuit
+
+
+@register("state_variable")
+def benchmark_state_variable() -> BenchmarkCircuit:
+    design = StateVariableDesign()
+    return BenchmarkCircuit(
+        circuit=khn_filter(design),
+        chain=CHAIN,
+        input_node="in",
+        f0_hz=design.f0_hz,
+        description=(
+            "KHN state-variable filter (3 opamps, differential summer, "
+            "HP/BP/LP outputs)"
+        ),
+    )

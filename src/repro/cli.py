@@ -1,0 +1,293 @@
+"""Command-line interface: the DFT flow on netlists from the shell.
+
+.. code-block:: bash
+
+    python -m repro analyze  filter.sp            # AC / poles / TF summary
+    python -m repro faultsim filter.sp            # detectability matrices
+    python -m repro optimize filter.sp --json p.json   # flow + test program
+    python -m repro catalog                       # library circuits
+    python -m repro demo biquad                   # flow on a library circuit
+
+Netlists use the dialect of :mod:`repro.circuit.netlist_io`; the DFT
+chain is discovered automatically (every opamp, in card order) and the
+reference region is centred on the dominant pole pair unless ``--f0``
+overrides it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .analysis import ac_analysis, circuit_poles, decade_grid
+from .analysis.noise import noise_analysis
+from .analysis.transfer import extract_transfer_function
+from .circuit import Circuit, parse_netlist, validate_circuit
+from .core import (
+    AverageOmegaDetectability,
+    ConfigurationCount,
+    DftOptimizer,
+    select_test_frequencies,
+)
+from .core.testprogram import generate_test_program
+from .dft import apply_multiconfiguration
+from .errors import ReproError
+from .faults import SimulationSetup, deviation_faults, simulate_faults
+from .reporting import render_detectability_matrix, render_omega_table
+
+
+def _load_circuit(path: str) -> Circuit:
+    with open(path, "r", encoding="utf-8") as handle:
+        circuit = parse_netlist(handle.read())
+    validate_circuit(circuit)
+    return circuit
+
+
+def _center_frequency(circuit: Circuit, override: Optional[float]) -> float:
+    if override is not None:
+        return override
+    import numpy as np
+
+    poles = [p for p in circuit_poles(circuit) if abs(p) > 0]
+    if not poles:
+        raise ReproError(
+            "circuit has no poles; pass --f0 to place the reference region"
+        )
+    magnitudes = [abs(p) for p in poles]
+    geometric = float(np.sqrt(min(magnitudes) * max(magnitudes)))
+    return geometric / (2.0 * 3.141592653589793)
+
+
+def _grid(circuit: Circuit, args) -> object:
+    return decade_grid(
+        _center_frequency(circuit, args.f0),
+        decades_below=args.decades,
+        decades_above=args.decades,
+        points_per_decade=args.ppd,
+    )
+
+
+def cmd_analyze(args) -> int:
+    circuit = _load_circuit(args.netlist)
+    print(f"{circuit.title}: {len(circuit)} elements, "
+          f"{len(circuit.opamps())} opamp(s)")
+    grid = _grid(circuit, args)
+    response = ac_analysis(circuit, grid)
+    f_peak, magnitude = response.peak()
+    print(
+        f"AC sweep {grid.f_start:.4g}..{grid.f_stop:.4g} Hz: "
+        f"peak |T| = {magnitude:.4g} at {f_peak:.4g} Hz"
+    )
+    poles = circuit_poles(circuit)
+    print("poles (rad/s):")
+    for pole in poles:
+        print(f"  {pole:.6g}")
+    tf = extract_transfer_function(circuit, grid=grid)
+    print(tf.describe())
+    return 0
+
+
+def _campaign(circuit: Circuit, args):
+    mcc = apply_multiconfiguration(circuit)
+    faults = deviation_faults(circuit, deviation=args.deviation)
+    setup = SimulationSetup(grid=_grid(circuit, args), epsilon=args.epsilon)
+    dataset = simulate_faults(mcc, faults, setup)
+    return mcc, dataset
+
+
+def cmd_faultsim(args) -> int:
+    circuit = _load_circuit(args.netlist)
+    mcc, dataset = _campaign(circuit, args)
+    print(mcc.describe())
+    print()
+    matrix = dataset.detectability_matrix()
+    print(render_detectability_matrix(matrix))
+    print()
+    print(render_omega_table(dataset.omega_table()))
+    undetectable = matrix.undetectable_faults()
+    if undetectable:
+        print()
+        print(
+            "faults detectable in no configuration: "
+            + ", ".join(undetectable)
+        )
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    circuit = _load_circuit(args.netlist)
+    mcc, dataset = _campaign(circuit, args)
+    matrix = dataset.detectability_matrix()
+    table = dataset.omega_table()
+    optimizer = DftOptimizer(matrix, table)
+    result = optimizer.optimize(
+        [ConfigurationCount(), AverageOmegaDetectability(table=table)]
+    )
+    print(result.render())
+    print()
+    chosen = [
+        c for c in dataset.configs if c.index in result.selected
+    ]
+    schedule = select_test_frequencies(dataset, configs=chosen)
+    program = generate_test_program(
+        mcc, dataset, configs=chosen, schedule=schedule
+    )
+    print(program.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(program.to_json())
+        print(f"\ntest program written to {args.json}")
+    return 0
+
+
+def cmd_noise(args) -> int:
+    circuit = _load_circuit(args.netlist)
+    grid = _grid(circuit, args)
+    result = noise_analysis(
+        circuit, grid, en_v_per_rt_hz=args.en
+    )
+    import numpy as np
+
+    peak_index = int(np.argmax(result.total_psd))
+    print(
+        f"output noise of {circuit.title!r} over "
+        f"{grid.f_start:.4g}..{grid.f_stop:.4g} Hz:"
+    )
+    print(
+        f"  integrated RMS: {1e6 * result.integrated_rms():.4g} uVrms"
+    )
+    print(
+        f"  peak density:   "
+        f"{1e9 * result.total_rms_density[peak_index]:.4g} nV/rtHz at "
+        f"{grid.frequencies_hz[peak_index]:.4g} Hz"
+    )
+    shares = sorted(
+        (
+            (result.fraction_of(name), name)
+            for name in result.contributions
+        ),
+        reverse=True,
+    )
+    print("  top contributors:")
+    for share, name in shares[:5]:
+        print(f"    {name:12s} {100 * share:5.1f}%")
+    return 0
+
+
+def cmd_catalog(args) -> int:
+    from .circuits import build, catalog
+
+    for name in catalog():
+        bench = build(name)
+        print(
+            f"{name:16s} {bench.n_opamps} opamp(s), f0 ~ "
+            f"{bench.f0_hz:,.0f} Hz - {bench.description}"
+        )
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from .circuits import build
+
+    bench = build(args.name)
+    print(f"running the full flow on {bench.name!r}")
+    from .experiments.exp_scaling import analyze_circuit
+
+    outcome = analyze_circuit(
+        bench, epsilon=args.epsilon, deviation=args.deviation
+    )
+    matrix = outcome["matrix"]
+    print(render_detectability_matrix(matrix))
+    print()
+    print(outcome["optimized"].render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="multi-configuration DFT optimization for analog "
+        "circuits (DATE 1998 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, netlist=True):
+        if netlist:
+            p.add_argument("netlist", help="netlist file")
+        p.add_argument(
+            "--epsilon", type=float, default=0.10,
+            help="detection tolerance (default 0.10)",
+        )
+        p.add_argument(
+            "--deviation", type=float, default=0.20,
+            help="fault deviation (default +0.20)",
+        )
+        p.add_argument(
+            "--f0", type=float, default=None,
+            help="reference-region centre in Hz (default: from poles)",
+        )
+        p.add_argument(
+            "--decades", type=float, default=2.0,
+            help="decades each side of f0 (default 2)",
+        )
+        p.add_argument(
+            "--ppd", type=int, default=50,
+            help="grid points per decade (default 50)",
+        )
+
+    p_analyze = sub.add_parser("analyze", help="AC / pole / TF summary")
+    common(p_analyze)
+    p_analyze.set_defaults(handler=cmd_analyze)
+
+    p_faultsim = sub.add_parser(
+        "faultsim", help="fault x configuration campaign"
+    )
+    common(p_faultsim)
+    p_faultsim.set_defaults(handler=cmd_faultsim)
+
+    p_optimize = sub.add_parser(
+        "optimize", help="full optimization flow + test program"
+    )
+    common(p_optimize)
+    p_optimize.add_argument(
+        "--json", default=None, help="write the test program as JSON"
+    )
+    p_optimize.set_defaults(handler=cmd_optimize)
+
+    p_noise = sub.add_parser(
+        "noise", help="output noise spectrum and contributors"
+    )
+    common(p_noise)
+    p_noise.add_argument(
+        "--en", type=float, default=0.0,
+        help="opamp input noise density in V/rtHz (default 0)",
+    )
+    p_noise.set_defaults(handler=cmd_noise)
+
+    p_catalog = sub.add_parser("catalog", help="list library circuits")
+    p_catalog.set_defaults(handler=cmd_catalog)
+
+    p_demo = sub.add_parser("demo", help="flow on a library circuit")
+    p_demo.add_argument("name", help="catalog name (see 'catalog')")
+    common(p_demo, netlist=False)
+    p_demo.set_defaults(handler=cmd_demo)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

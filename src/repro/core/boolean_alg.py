@@ -1,0 +1,241 @@
+"""Minimal boolean algebra for the covering formulation.
+
+The fundamental requirement of §4.1 is written as a product-of-sums
+
+.. math:: ξ = \\prod_{f_j} \\Big( \\sum_{C_i} d_{ij}\\,C_i \\Big)
+
+whose expansion into an (absorbed) sum-of-products enumerates every
+*irredundant* configuration set that maintains the maximum fault coverage.
+This module provides the two value types used throughout the optimization
+layer:
+
+* :class:`ProductTerm` — a conjunction of positive literals (a set of
+  configuration indices, or of opamp positions after the §4.3 mapping);
+* :class:`SumOfProducts` — a set of product terms kept minimal under the
+  absorption law ``X + X·Y = X``.
+
+Literals are plain integers; rendering to ``C1.C2`` / ``OP1.OP2`` strings
+is a display concern handled by the ``render`` helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, Iterator, List
+
+from ..errors import OptimizationError
+
+
+@dataclass(frozen=True, order=True)
+class ProductTerm:
+    """Conjunction of positive literals, e.g. ``C2·C5``."""
+
+    literals: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "literals", frozenset(self.literals))
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self.literals))
+
+    def __contains__(self, literal: int) -> bool:
+        return literal in self.literals
+
+    def absorbs(self, other: "ProductTerm") -> bool:
+        """True when this term absorbs ``other`` (X absorbs X·Y)."""
+        return self.literals <= other.literals
+
+    def union(self, other: "ProductTerm") -> "ProductTerm":
+        return ProductTerm(self.literals | other.literals)
+
+    def with_literal(self, literal: int) -> "ProductTerm":
+        return ProductTerm(self.literals | {literal})
+
+    def map(self, f: Callable[[int], Iterable[int]]) -> "ProductTerm":
+        """Substitute each literal by a set of literals (Table 3 mapping)."""
+        mapped: set = set()
+        for literal in self.literals:
+            mapped.update(f(literal))
+        return ProductTerm(frozenset(mapped))
+
+    def render(self, prefix: str = "C") -> str:
+        if not self.literals:
+            return "1"
+        return ".".join(f"{prefix}{i}" for i in sorted(self.literals))
+
+    def __repr__(self) -> str:
+        return f"ProductTerm({self.render()})"
+
+
+def _absorb(terms: Iterable[ProductTerm]) -> FrozenSet[ProductTerm]:
+    """Drop every term absorbed by a smaller (or equal) one.
+
+    Hot path of the Petrick expansion.  Literals are non-negative
+    configuration/opamp indices in practice, so terms are packed into
+    integer bitmasks (`a ⊆ b  ⇔  mask_a & mask_b == mask_a`) — several
+    times faster than frozenset subset checks; exotic negative literals
+    fall back to the set-based test.
+    """
+    ordered = sorted(set(terms), key=len)
+    use_masks = all(
+        literal >= 0 for term in ordered for literal in term.literals
+    )
+    kept: List[ProductTerm] = []
+    if not use_masks:
+        for term in ordered:
+            if not any(existing.absorbs(term) for existing in kept):
+                kept.append(term)
+        return frozenset(kept)
+
+    kept_masks: List[int] = []
+    for term in ordered:
+        mask = 0
+        for literal in term.literals:
+            mask |= 1 << literal
+        if not any(
+            existing & mask == existing for existing in kept_masks
+        ):
+            kept.append(term)
+            kept_masks.append(mask)
+    return frozenset(kept)
+
+
+@dataclass(frozen=True)
+class SumOfProducts:
+    """Disjunction of product terms, minimal under absorption."""
+
+    terms: FrozenSet[ProductTerm]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", _absorb(self.terms))
+
+    # -- constructors ---------------------------------------------------
+    @staticmethod
+    def one() -> "SumOfProducts":
+        """The identity of conjunction: a single empty product (true)."""
+        return SumOfProducts(frozenset({ProductTerm(frozenset())}))
+
+    @staticmethod
+    def zero() -> "SumOfProducts":
+        """The empty sum (false) — an unsatisfiable cover."""
+        return SumOfProducts(frozenset())
+
+    @staticmethod
+    def of_terms(terms: Iterable[Iterable[int]]) -> "SumOfProducts":
+        return SumOfProducts(
+            frozenset(ProductTerm(frozenset(t)) for t in terms)
+        )
+
+    @staticmethod
+    def clause(literals: Iterable[int]) -> "SumOfProducts":
+        """A sum of single-literal terms: ``(C1 + C4 + C5)``."""
+        return SumOfProducts(
+            frozenset(ProductTerm(frozenset({lit})) for lit in literals)
+        )
+
+    # -- queries ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __iter__(self) -> Iterator[ProductTerm]:
+        return iter(self.sorted_terms())
+
+    def __contains__(self, term: object) -> bool:
+        if isinstance(term, ProductTerm):
+            return term in self.terms
+        return ProductTerm(frozenset(term)) in self.terms  # type: ignore[arg-type]
+
+    @property
+    def is_false(self) -> bool:
+        return not self.terms
+
+    @property
+    def is_true(self) -> bool:
+        return any(len(t) == 0 for t in self.terms)
+
+    def sorted_terms(self) -> List[ProductTerm]:
+        """Terms sorted by size then lexicographically — stable output."""
+        return sorted(self.terms, key=lambda t: (len(t), sorted(t.literals)))
+
+    def minimal_terms(self) -> List[ProductTerm]:
+        """All terms of minimum cardinality (the 2nd-order candidates)."""
+        if not self.terms:
+            return []
+        smallest = min(len(t) for t in self.terms)
+        return [t for t in self.sorted_terms() if len(t) == smallest]
+
+    # -- algebra ----------------------------------------------------------
+    def or_with(self, other: "SumOfProducts") -> "SumOfProducts":
+        return SumOfProducts(self.terms | other.terms)
+
+    def and_with(self, other: "SumOfProducts") -> "SumOfProducts":
+        """Distribute the conjunction and re-absorb.
+
+        This is the workhorse of Petrick's method; absorption after every
+        product keeps the intermediate SOP small.
+        """
+        if self.is_false or other.is_false:
+            return SumOfProducts.zero()
+        products = {
+            a.union(b) for a in self.terms for b in other.terms
+        }
+        return SumOfProducts(frozenset(products))
+
+    def and_clause(self, literals: Iterable[int]) -> "SumOfProducts":
+        return self.and_with(SumOfProducts.clause(literals))
+
+    def map_literals(
+        self, f: Callable[[int], Iterable[int]]
+    ) -> "SumOfProducts":
+        """Apply a literal substitution to every term (ξ → ξ*)."""
+        return SumOfProducts(frozenset(t.map(f) for t in self.terms))
+
+    def render(self, prefix: str = "C") -> str:
+        if self.is_false:
+            return "0"
+        return " + ".join(t.render(prefix) for t in self.sorted_terms())
+
+    def __repr__(self) -> str:
+        return f"SumOfProducts({self.render()})"
+
+
+def expand_product_of_sums(
+    clauses: Iterable[Iterable[int]],
+    max_terms: int = 2_000_000,
+) -> SumOfProducts:
+    """Petrick expansion: multiply out a product of positive clauses.
+
+    Parameters
+    ----------
+    clauses:
+        Each clause is an iterable of literals (an OR of configurations).
+        An empty clause makes the product unsatisfiable.
+    max_terms:
+        Safety valve against exponential blow-up; exceeded size raises
+        :class:`OptimizationError` (use the branch-and-bound cover
+        instead for such instances).
+    """
+    result = SumOfProducts.one()
+    # Multiplying small clauses first keeps intermediate SOPs tighter.
+    clause_list = sorted((frozenset(c) for c in clauses), key=len)
+    for clause in clause_list:
+        if not clause:
+            return SumOfProducts.zero()
+        # Guard BEFORE distributing: the raw product size bounds the
+        # work of the O(T^2) absorption pass, which would otherwise run
+        # to completion before a post-hoc size check could fire.
+        if len(result) * len(clause) > max_terms:
+            raise OptimizationError(
+                f"Petrick expansion exceeded {max_terms} terms; "
+                "use branch_and_bound_cover for this instance"
+            )
+        result = result.and_clause(clause)
+        if len(result) > max_terms:
+            raise OptimizationError(
+                f"Petrick expansion exceeded {max_terms} terms; "
+                "use branch_and_bound_cover for this instance"
+            )
+    return result

@@ -1,0 +1,244 @@
+"""User-defined cost functions for the non-fundamental requirements.
+
+The optimization pipeline of the paper is *ordered*: the fundamental
+requirement (maximum fault coverage) is solved first, then 2nd- and
+3rd-order requirements — user-defined cost functions — discriminate among
+the surviving candidate configuration sets.  This module provides the
+cost functions discussed in the paper:
+
+* :class:`ConfigurationCount` — test time / test procedure complexity
+  (§4.2: "the smaller the number of configurations, the shorter the test
+  procedure and test time");
+* :class:`ConfigurableOpampCount` — silicon overhead and performance
+  impact (§4.3);
+* :class:`AverageOmegaDetectability` — the 3rd-order tie-breaker ("select
+  the test configuration set that leads to the higher average
+  ω-detectability rate");
+* :class:`TestTime` and :class:`SiliconOverhead` — concrete parametric
+  models of the same two costs;
+* :class:`PerformanceDegradation` — measured nominal-response deviation
+  caused by the configurable-opamp switch parasitics.
+
+Every cost function maps a candidate configuration set (a frozenset of
+configuration indices) to a scalar; ``direction`` says whether lower or
+higher is better, so the optimizer can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional
+
+import numpy as np
+
+from ..errors import OptimizationError
+from .mapping import opamps_used_by
+from .matrix import OmegaDetectabilityTable
+
+MINIMIZE = "min"
+MAXIMIZE = "max"
+
+
+class CostFunction(abc.ABC):
+    """A scalar criterion over candidate configuration sets."""
+
+    #: human-readable name used in optimization reports
+    name: str = "cost"
+    #: ``"min"`` or ``"max"``
+    direction: str = MINIMIZE
+
+    @abc.abstractmethod
+    def evaluate(self, configs: FrozenSet[int]) -> float:
+        """Cost of selecting exactly ``configs``."""
+
+    def better(self, a: float, b: float) -> bool:
+        """True when cost ``a`` strictly beats cost ``b``."""
+        if self.direction == MINIMIZE:
+            return a < b
+        return a > b
+
+    def describe(self, value: float) -> str:
+        return f"{self.name}={value:g}"
+
+
+@dataclass
+class ConfigurationCount(CostFunction):
+    """Number of test configurations (2nd-order cost of §4.2)."""
+
+    name: str = "configurations"
+    direction: str = MINIMIZE
+
+    def evaluate(self, configs: FrozenSet[int]) -> float:
+        return float(len(configs))
+
+
+@dataclass
+class ConfigurableOpampCount(CostFunction):
+    """Number of opamps that must be made configurable (§4.3).
+
+    Requires the chain length to decode configuration indices into
+    follower-opamp sets.
+    """
+
+    n_opamps: int = 0
+    name: str = "configurable opamps"
+    direction: str = MINIMIZE
+
+    def __post_init__(self) -> None:
+        if self.n_opamps < 1:
+            raise OptimizationError(
+                "ConfigurableOpampCount needs the chain length n_opamps"
+            )
+
+    def evaluate(self, configs: FrozenSet[int]) -> float:
+        return float(len(opamps_used_by(sorted(configs), self.n_opamps)))
+
+
+@dataclass
+class AverageOmegaDetectability(CostFunction):
+    """Average best-case ω-detectability rate (3rd-order tie-breaker)."""
+
+    table: Optional[OmegaDetectabilityTable] = None
+    name: str = "<w-det>"
+    direction: str = MAXIMIZE
+
+    def __post_init__(self) -> None:
+        if self.table is None:
+            raise OptimizationError(
+                "AverageOmegaDetectability needs an ω-detectability table"
+            )
+
+    def evaluate(self, configs: FrozenSet[int]) -> float:
+        usable = [
+            i for i in sorted(configs) if i in self.table.config_indices
+        ]
+        return self.table.average_rate(usable)
+
+    def describe(self, value: float) -> str:
+        return f"{self.name}={100 * value:.1f}%"
+
+
+@dataclass
+class TestTime(CostFunction):
+    """Parametric test-time model.
+
+    ``time = Σ_configs (t_reconfigure + n_frequencies · t_measure)``
+
+    With identical per-configuration terms this orders like
+    :class:`ConfigurationCount`, but the explicit model lets benchmarks
+    report seconds and lets callers weight configurations unevenly
+    through ``frequencies_per_config``.
+    """
+
+    t_reconfigure_s: float = 1e-3
+    t_measure_s: float = 5e-3
+    n_frequencies: int = 10
+    frequencies_per_config: Optional[Callable[[int], int]] = None
+    name: str = "test time [s]"
+    direction: str = MINIMIZE
+
+    #: tell pytest this is a cost function, not a test class
+    __test__ = False
+
+    def evaluate(self, configs: FrozenSet[int]) -> float:
+        total = 0.0
+        for config in configs:
+            n_freq = (
+                self.frequencies_per_config(config)
+                if self.frequencies_per_config is not None
+                else self.n_frequencies
+            )
+            total += self.t_reconfigure_s + n_freq * self.t_measure_s
+        return total
+
+
+@dataclass
+class SiliconOverhead(CostFunction):
+    """Parametric area model of the configurable-opamp implementation.
+
+    Each configurable opamp costs ``switches_per_opamp`` analog switches
+    plus its share of the selection-line routing.  The unit is
+    dimensionless "switch-equivalents" by default; pass
+    ``area_per_switch`` (e.g. µm²) for physical area.
+    """
+
+    n_opamps: int = 0
+    switches_per_opamp: int = 3
+    routing_per_opamp: float = 1.0
+    area_per_switch: float = 1.0
+    name: str = "silicon overhead"
+    direction: str = MINIMIZE
+
+    def __post_init__(self) -> None:
+        if self.n_opamps < 1:
+            raise OptimizationError(
+                "SiliconOverhead needs the chain length n_opamps"
+            )
+
+    def evaluate(self, configs: FrozenSet[int]) -> float:
+        n_configurable = len(opamps_used_by(sorted(configs), self.n_opamps))
+        per_opamp = (
+            self.switches_per_opamp * self.area_per_switch
+            + self.routing_per_opamp
+        )
+        return n_configurable * per_opamp
+
+
+@dataclass
+class PerformanceDegradation(CostFunction):
+    """Measured nominal-performance impact of the partial DFT.
+
+    Given a callable that maps a configurable-opamp subset to the
+    worst-case nominal response deviation ``max_ω |ΔT/T|`` (built with
+    :func:`performance_degradation_evaluator`), the cost of a
+    configuration set is the degradation of the cheapest partial DFT that
+    can emulate it.
+    """
+
+    n_opamps: int = 0
+    evaluator: Optional[Callable[[FrozenSet[int]], float]] = None
+    name: str = "performance degradation"
+    direction: str = MINIMIZE
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_opamps < 1 or self.evaluator is None:
+            raise OptimizationError(
+                "PerformanceDegradation needs n_opamps and an evaluator"
+            )
+
+    def evaluate(self, configs: FrozenSet[int]) -> float:
+        opamps = opamps_used_by(sorted(configs), self.n_opamps)
+        if opamps not in self._cache:
+            self._cache[opamps] = float(self.evaluator(opamps))
+        return self._cache[opamps]
+
+    def describe(self, value: float) -> str:
+        return f"{self.name}={100 * value:.2f}%"
+
+
+def performance_degradation_evaluator(mcc, grid, output=None):
+    """Build a degradation evaluator from a DFT circuit with parasitics.
+
+    Returns a callable mapping an opamp subset to the worst-case relative
+    deviation between the original circuit's response and the C0
+    emulation of the partial DFT restricted to that subset.  The DFT
+    wrapper must carry a :class:`~repro.dft.transform.SwitchParasitics`
+    model, otherwise the degradation is identically zero.
+    """
+    from ..analysis.ac import ac_analysis
+    from ..dft.configuration import Configuration
+
+    nominal = ac_analysis(mcc.base, grid, output=output)
+
+    def evaluate(opamp_subset: FrozenSet[int]) -> float:
+        if not opamp_subset:
+            return 0.0
+        partial = mcc.restrict(opamp_subset)
+        functional = Configuration(0, partial.n_opamps)
+        emulated = partial.emulate(functional)
+        response = ac_analysis(emulated, grid, output=output)
+        return float(np.max(nominal.relative_deviation(response)))
+
+    return evaluate

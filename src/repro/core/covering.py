@@ -1,0 +1,278 @@
+"""The fundamental-requirement covering problem (paper §4.1).
+
+Given a fault detectability matrix, the configurations retained by the
+optimized DFT must keep the **maximum fault coverage**.  The module
+implements the paper's procedure faithfully:
+
+1. build the boolean expression ``ξ`` (one clause per detectable fault);
+2. extract the **essential configurations** (sole cover of some fault);
+3. build the **reduced** matrix / complementary expression ``ξ_compl``;
+4. expand ``ξ = ξ_ess · ξ_compl`` into an absorbed sum-of-products whose
+   terms are all the irredundant covering configuration sets.
+
+For circuits where the Petrick expansion blows up, two classical
+alternatives are provided: an exact branch-and-bound minimum cover and
+the greedy heuristic (used as a baseline in the scaling benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import InfeasibleCoverError, OptimizationError
+from .boolean_alg import ProductTerm, SumOfProducts, expand_product_of_sums
+from .matrix import FaultDetectabilityMatrix
+
+
+@dataclass(frozen=True)
+class CoverageProblem:
+    """ξ in clause form: per-fault sets of covering configuration indices."""
+
+    clauses: Tuple[Tuple[str, FrozenSet[int]], ...]
+    undetectable: Tuple[str, ...]
+    all_configs: Tuple[int, ...]
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    def clause_for(self, fault: str) -> FrozenSet[int]:
+        for name, clause in self.clauses:
+            if name == fault:
+                return clause
+        raise OptimizationError(f"no clause for fault {fault!r}")
+
+    def render_xi(self, config_prefix: str = "C") -> str:
+        """Pretty ξ expression, one factor per fault, as in the paper."""
+        if not self.clauses:
+            return "1"
+        factors = []
+        for fault, clause in self.clauses:
+            inner = "+".join(
+                f"{config_prefix}{i}" for i in sorted(clause)
+            )
+            factors.append(f"({inner})[{fault}]")
+        return ".".join(factors)
+
+
+def build_coverage_problem(
+    matrix: FaultDetectabilityMatrix,
+) -> CoverageProblem:
+    """Clause form of ξ from a detectability matrix.
+
+    Faults with empty columns are recorded as ``undetectable`` and
+    excluded from the clauses — the fundamental requirement targets the
+    *maximum achievable* coverage.
+    """
+    clauses: List[Tuple[str, FrozenSet[int]]] = []
+    undetectable: List[str] = []
+    for fault in matrix.fault_names:
+        covering = matrix.covering_configs(fault)
+        if covering:
+            clauses.append((fault, covering))
+        else:
+            undetectable.append(fault)
+    return CoverageProblem(
+        clauses=tuple(clauses),
+        undetectable=tuple(undetectable),
+        all_configs=tuple(matrix.config_indices),
+    )
+
+
+def essential_configurations(problem: CoverageProblem) -> FrozenSet[int]:
+    """Configurations that are the *only* cover of some fault.
+
+    These must belong to every solution ("such a configuration must
+    mandatorily appear in the final configuration set", §4.1).
+    """
+    essentials: Set[int] = set()
+    for _, clause in problem.clauses:
+        if len(clause) == 1:
+            essentials.update(clause)
+    return frozenset(essentials)
+
+
+def reduce_problem(
+    problem: CoverageProblem, chosen: FrozenSet[int]
+) -> CoverageProblem:
+    """Drop every clause already satisfied by ``chosen`` (paper Fig. 6)."""
+    remaining = tuple(
+        (fault, clause)
+        for fault, clause in problem.clauses
+        if not (clause & chosen)
+    )
+    return CoverageProblem(
+        clauses=remaining,
+        undetectable=problem.undetectable,
+        all_configs=problem.all_configs,
+    )
+
+
+@dataclass(frozen=True)
+class CoveringSolution:
+    """Complete output of the §4.1 procedure."""
+
+    problem: CoverageProblem
+    essentials: FrozenSet[int]
+    complementary: SumOfProducts
+    xi: SumOfProducts
+
+    @property
+    def covers(self) -> List[ProductTerm]:
+        """All irredundant covering configuration sets, smallest first."""
+        return self.xi.sorted_terms()
+
+    @property
+    def minimal_covers(self) -> List[ProductTerm]:
+        """Covers with the minimum number of configurations (§4.2)."""
+        return self.xi.minimal_terms()
+
+    def render(self, prefix: str = "C") -> str:
+        essential = (
+            ".".join(f"{prefix}{i}" for i in sorted(self.essentials))
+            or "1"
+        )
+        return (
+            f"xi_ess = ({essential})\n"
+            f"xi_compl = {self.complementary.render(prefix)}\n"
+            f"xi = {self.xi.render(prefix)}"
+        )
+
+
+def solve_covering(
+    matrix: FaultDetectabilityMatrix,
+    require_full_coverage: bool = False,
+    max_terms: int = 2_000_000,
+) -> CoveringSolution:
+    """Run the full §4.1 procedure on a detectability matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Fault detectability matrix (rows may include C0).
+    require_full_coverage:
+        When true, any fault detectable in *no* configuration raises
+        :class:`InfeasibleCoverError` instead of being set aside.
+    max_terms:
+        Petrick expansion safety valve.
+    """
+    problem = build_coverage_problem(matrix)
+    if require_full_coverage and problem.undetectable:
+        raise InfeasibleCoverError(
+            "faults detectable in no configuration: "
+            + ", ".join(problem.undetectable)
+        )
+
+    essentials = essential_configurations(problem)
+    reduced = reduce_problem(problem, essentials)
+    complementary = expand_product_of_sums(
+        (clause for _, clause in reduced.clauses), max_terms=max_terms
+    )
+    essential_sop = SumOfProducts.of_terms([essentials])
+    xi = essential_sop.and_with(complementary)
+    return CoveringSolution(
+        problem=problem,
+        essentials=essentials,
+        complementary=complementary,
+        xi=xi,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exact branch-and-bound minimum cover (for circuits where Petrick blows up)
+# ----------------------------------------------------------------------
+
+def branch_and_bound_cover(
+    problem: CoverageProblem,
+    weights: Optional[Dict[int, float]] = None,
+) -> FrozenSet[int]:
+    """Exact minimum-weight cover of a :class:`CoverageProblem`.
+
+    Uses the classic reduction rules (essential configurations, satisfied
+    clauses) plus depth-first branch and bound on the hardest clause.
+    ``weights`` default to 1 per configuration (minimum cardinality).
+    """
+    if any(not clause for _, clause in problem.clauses):
+        raise InfeasibleCoverError("a fault has an empty covering clause")
+
+    def weight(config: int) -> float:
+        return 1.0 if weights is None else weights.get(config, 1.0)
+
+    best_cover: List[FrozenSet[int]] = []
+    best_cost = [float("inf")]
+
+    def total(chosen: FrozenSet[int]) -> float:
+        return sum(weight(c) for c in chosen)
+
+    def recurse(
+        clauses: Tuple[FrozenSet[int], ...], chosen: FrozenSet[int]
+    ) -> None:
+        # Reduction: essentials of the remaining subproblem.
+        while True:
+            unsatisfied = tuple(
+                c for c in clauses if not (c & chosen)
+            )
+            forced = {
+                next(iter(c)) for c in unsatisfied if len(c) == 1
+            }
+            if not forced:
+                clauses = unsatisfied
+                break
+            chosen = chosen | forced
+        cost = total(chosen)
+        if cost >= best_cost[0]:
+            return
+        if not clauses:
+            best_cost[0] = cost
+            best_cover.clear()
+            best_cover.append(chosen)
+            return
+        # Lower bound: at least one more configuration is needed.
+        cheapest_extra = min(
+            min(weight(c) for c in clause) for clause in clauses
+        )
+        if cost + cheapest_extra >= best_cost[0]:
+            return
+        # Branch on the smallest clause, most-covering configs first.
+        clause = min(clauses, key=len)
+        coverage_count = {
+            config: sum(1 for c in clauses if config in c)
+            for config in clause
+        }
+        for config in sorted(
+            clause, key=lambda c: (-coverage_count[c], weight(c))
+        ):
+            recurse(clauses, chosen | {config})
+
+    recurse(tuple(clause for _, clause in problem.clauses), frozenset())
+    if not best_cover:
+        raise InfeasibleCoverError("no cover found")
+    return best_cover[0]
+
+
+def greedy_cover(problem: CoverageProblem) -> FrozenSet[int]:
+    """Classic greedy set-cover baseline: repeatedly pick the config
+    covering the most unsatisfied faults (ties to the lowest index)."""
+    if any(not clause for _, clause in problem.clauses):
+        raise InfeasibleCoverError("a fault has an empty covering clause")
+    unsatisfied = [clause for _, clause in problem.clauses]
+    chosen: Set[int] = set()
+    while unsatisfied:
+        counts: Dict[int, int] = {}
+        for clause in unsatisfied:
+            for config in clause:
+                counts[config] = counts.get(config, 0) + 1
+        pick = min(
+            counts, key=lambda config: (-counts[config], config)
+        )
+        chosen.add(pick)
+        unsatisfied = [c for c in unsatisfied if pick not in c]
+    return frozenset(chosen)
+
+
+def verify_cover(
+    matrix: FaultDetectabilityMatrix, configs: Sequence[object]
+) -> bool:
+    """Independent check that ``configs`` reach maximum coverage."""
+    return matrix.covers_all(configs)

@@ -1,0 +1,332 @@
+"""Fault diagnosis on top of the multi-configuration DFT.
+
+The paper optimizes for *detection*; its related work ([7]–[10], [13]) is
+largely about *diagnosis* — locating the faulty component.  The
+multi-configuration technique gives diagnosis for free: each fault's row
+of detection verdicts across the selected configurations is a **fault
+signature**, and two faults are *distinguishable* whenever their
+signatures differ.
+
+This module provides:
+
+* :func:`fault_signatures` — boolean signatures over a configuration set;
+* :class:`DiagnosisReport` — equivalence classes (ambiguity groups),
+  diagnostic resolution and coverage;
+* :func:`optimize_for_diagnosis` — selection of a configuration set that
+  maximises *distinguishability*: this is again a covering problem, but
+  over fault **pairs** (a configuration covers the pair ``(f, g)`` when
+  it detects exactly one of the two), solved with the same machinery as
+  the fundamental requirement;
+* :func:`diagnose` — look up an observed signature, returning the
+  candidate fault set (or "fault-free" / "unknown signature").
+
+Quantized (multi-level) signatures based on ω-detectability intervals are
+supported through ``levels`` for finer resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import OptimizationError
+from .covering import CoverageProblem, branch_and_bound_cover, greedy_cover
+from .matrix import FaultDetectabilityMatrix, OmegaDetectabilityTable
+
+Signature = Tuple[int, ...]
+
+
+def fault_signatures(
+    matrix: FaultDetectabilityMatrix,
+    configs: Optional[Sequence[object]] = None,
+) -> Dict[str, Signature]:
+    """Boolean signature of each fault over ``configs`` (default: all).
+
+    The signature of fault ``f`` is the tuple of Definition-1 verdicts in
+    the selected configurations, in row order.
+    """
+    if configs is None:
+        rows = list(range(matrix.n_configurations))
+    else:
+        rows = [matrix.row_of(c) for c in configs]
+    return {
+        fault: tuple(
+            int(matrix.data[i, matrix.column_of(fault)]) for i in rows
+        )
+        for fault in matrix.fault_names
+    }
+
+
+def quantized_signatures(
+    table: OmegaDetectabilityTable,
+    configs: Optional[Sequence[object]] = None,
+    levels: int = 2,
+) -> Dict[str, Signature]:
+    """Multi-level signatures quantizing ω-detectability into ``levels``.
+
+    ``levels=2`` reduces to the boolean signature; more levels split the
+    ``(0, 1]`` ω-detectability range into equal bins, which separates
+    faults that are detected in the same configurations but with very
+    different detection regions.
+    """
+    if levels < 2:
+        raise OptimizationError("need at least 2 quantization levels")
+    if configs is None:
+        rows = list(range(table.n_configurations))
+    else:
+        rows = [table.row_of(c) for c in configs]
+
+    def quantize(value: float) -> int:
+        if value <= 0.0:
+            return 0
+        return 1 + min(levels - 2, int(value * (levels - 1)))
+
+    return {
+        fault: tuple(
+            quantize(float(table.data[i, table.column_of(fault)]))
+            for i in rows
+        )
+        for fault in table.fault_names
+    }
+
+
+@dataclass(frozen=True)
+class DiagnosisReport:
+    """Distinguishability analysis of a signature dictionary."""
+
+    configs: Tuple[str, ...]
+    signatures: Dict[str, Signature]
+    ambiguity_groups: Tuple[FrozenSet[str], ...]
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.signatures)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.ambiguity_groups)
+
+    @property
+    def undetected_group(self) -> FrozenSet[str]:
+        """Faults with an all-zero signature (indistinguishable from
+        the fault-free circuit)."""
+        zero = tuple([0] * len(self.configs))
+        return frozenset(
+            fault
+            for fault, signature in self.signatures.items()
+            if signature == zero
+        )
+
+    @property
+    def diagnostic_resolution(self) -> float:
+        """Fraction of faults uniquely identified by their signature."""
+        if not self.signatures:
+            return 1.0
+        singletons = sum(
+            1 for group in self.ambiguity_groups if len(group) == 1
+        )
+        return singletons / self.n_faults
+
+    @property
+    def distinguishability(self) -> float:
+        """Fraction of fault pairs with distinct signatures."""
+        faults = sorted(self.signatures)
+        n = len(faults)
+        if n < 2:
+            return 1.0
+        total = n * (n - 1) // 2
+        same = sum(
+            (len(group) * (len(group) - 1)) // 2
+            for group in self.ambiguity_groups
+        )
+        return 1.0 - same / total
+
+    def group_of(self, fault: str) -> FrozenSet[str]:
+        for group in self.ambiguity_groups:
+            if fault in group:
+                return group
+        raise OptimizationError(f"no fault {fault!r} in report")
+
+    def render(self) -> str:
+        lines = [
+            f"diagnosis over {{{', '.join(self.configs)}}}: "
+            f"{self.n_groups} ambiguity group(s) for "
+            f"{self.n_faults} fault(s), "
+            f"resolution {100 * self.diagnostic_resolution:.1f}%, "
+            f"distinguishability {100 * self.distinguishability:.1f}%"
+        ]
+        for group in self.ambiguity_groups:
+            members = ", ".join(sorted(group))
+            marker = "" if len(group) == 1 else "  <- ambiguous"
+            lines.append(f"  {{{members}}}{marker}")
+        undetected = self.undetected_group
+        if undetected:
+            lines.append(
+                "  undetected (fault-free signature): "
+                + ", ".join(sorted(undetected))
+            )
+        return "\n".join(lines)
+
+
+def analyze_diagnosis(
+    matrix: FaultDetectabilityMatrix,
+    configs: Optional[Sequence[object]] = None,
+    table: Optional[OmegaDetectabilityTable] = None,
+    levels: int = 2,
+) -> DiagnosisReport:
+    """Build the :class:`DiagnosisReport` for a configuration set."""
+    if table is not None and levels > 2:
+        signatures = quantized_signatures(table, configs, levels)
+    else:
+        signatures = fault_signatures(matrix, configs)
+    if configs is None:
+        labels = tuple(matrix.config_labels)
+    else:
+        labels = tuple(
+            matrix.config_labels[matrix.row_of(c)] for c in configs
+        )
+    buckets: Dict[Signature, List[str]] = {}
+    for fault, signature in signatures.items():
+        buckets.setdefault(signature, []).append(fault)
+    groups = tuple(
+        sorted(
+            (frozenset(members) for members in buckets.values()),
+            key=lambda g: sorted(g),
+        )
+    )
+    return DiagnosisReport(
+        configs=labels, signatures=signatures, ambiguity_groups=groups
+    )
+
+
+# ----------------------------------------------------------------------
+# configuration selection for diagnosability
+# ----------------------------------------------------------------------
+
+def _distinguishing_clauses(
+    matrix: FaultDetectabilityMatrix,
+) -> List[Tuple[str, FrozenSet[int]]]:
+    """One clause per fault pair: configurations detecting exactly one."""
+    clauses: List[Tuple[str, FrozenSet[int]]] = []
+    faults = matrix.fault_names
+    for a_index in range(len(faults)):
+        for b_index in range(a_index + 1, len(faults)):
+            fa, fb = faults[a_index], faults[b_index]
+            col_a = matrix.data[:, matrix.column_of(fa)]
+            col_b = matrix.data[:, matrix.column_of(fb)]
+            differ = np.nonzero(col_a != col_b)[0]
+            clause = frozenset(
+                matrix.config_indices[i] for i in differ
+            )
+            clauses.append((f"{fa}|{fb}", clause))
+    return clauses
+
+
+def diagnosability_problem(
+    matrix: FaultDetectabilityMatrix,
+    require_detection: bool = True,
+) -> CoverageProblem:
+    """Covering problem whose solutions maximise diagnosis.
+
+    A configuration set solves the problem when every *distinguishable*
+    fault pair is split (some selected configuration detects exactly one
+    of the two) and — when ``require_detection`` — every detectable
+    fault is detected (the fundamental requirement folds in as ordinary
+    clauses).  Structurally indistinguishable pairs (identical matrix
+    columns) are reported as ``undetectable`` entries of the problem.
+    """
+    clauses: List[Tuple[str, FrozenSet[int]]] = []
+    impossible: List[str] = []
+    for name, clause in _distinguishing_clauses(matrix):
+        if clause:
+            clauses.append((name, clause))
+        else:
+            impossible.append(name)
+    if require_detection:
+        for fault in matrix.fault_names:
+            covering = matrix.covering_configs(fault)
+            if covering:
+                clauses.append((fault, covering))
+            else:
+                impossible.append(fault)
+    return CoverageProblem(
+        clauses=tuple(clauses),
+        undetectable=tuple(impossible),
+        all_configs=tuple(matrix.config_indices),
+    )
+
+
+def optimize_for_diagnosis(
+    matrix: FaultDetectabilityMatrix,
+    method: str = "exact",
+    require_detection: bool = True,
+) -> FrozenSet[int]:
+    """Smallest configuration set achieving maximum diagnosability.
+
+    ``method`` is ``"exact"`` (branch and bound) or ``"greedy"``.
+    """
+    problem = diagnosability_problem(matrix, require_detection)
+    if not problem.clauses:
+        return frozenset()
+    if method == "exact":
+        return branch_and_bound_cover(problem)
+    if method == "greedy":
+        return greedy_cover(problem)
+    raise OptimizationError(f"unknown method {method!r}")
+
+
+# ----------------------------------------------------------------------
+# signature lookup
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DiagnosisVerdict:
+    """Result of matching an observed signature against the dictionary."""
+
+    observed: Signature
+    candidates: FrozenSet[str]
+    fault_free: bool
+    known: bool
+
+    def render(self) -> str:
+        if self.fault_free:
+            return "signature matches the fault-free circuit"
+        if not self.known:
+            return (
+                f"unknown signature {self.observed} — fault outside "
+                "the modelled universe"
+            )
+        return "candidate fault(s): " + ", ".join(sorted(self.candidates))
+
+
+def diagnose(
+    observed: Sequence[int],
+    report: DiagnosisReport,
+) -> DiagnosisVerdict:
+    """Match an observed detection signature against the dictionary."""
+    signature = tuple(int(bool(v)) for v in observed)
+    if len(signature) != len(report.configs):
+        raise OptimizationError(
+            f"signature has {len(signature)} entries, dictionary uses "
+            f"{len(report.configs)} configurations"
+        )
+    if not any(signature):
+        return DiagnosisVerdict(
+            observed=signature,
+            candidates=frozenset(),
+            fault_free=True,
+            known=True,
+        )
+    candidates = frozenset(
+        fault
+        for fault, fault_signature in report.signatures.items()
+        if tuple(int(bool(v)) for v in fault_signature) == signature
+    )
+    return DiagnosisVerdict(
+        observed=signature,
+        candidates=candidates,
+        fault_free=False,
+        known=bool(candidates),
+    )

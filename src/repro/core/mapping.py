@@ -1,0 +1,71 @@
+"""Configuration → configurable-opamp mapping (paper §4.3, Table 3).
+
+To optimize the *number of configurable opamps* rather than the number of
+configurations, every configuration literal in ξ is substituted by the
+product of the opamps it uses in follower mode: ``C5 → OP1·OP3``.  The
+functional configuration ``C0`` uses none, so it maps to the empty
+product (boolean 1) and disappears from the terms — exactly the paper's
+Table 3 (``C0 → −``).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..dft.configuration import Configuration
+from ..errors import OptimizationError
+from .boolean_alg import SumOfProducts
+
+
+def follower_positions_of(config_index: int, n_opamps: int) -> FrozenSet[int]:
+    """1-based follower-opamp positions used by configuration ``C_index``."""
+    return Configuration(config_index, n_opamps).follower_set
+
+
+def mapping_table(
+    n_opamps: int, opamp_names: Optional[Sequence[str]] = None
+) -> List[Tuple[str, str]]:
+    """Rows of the paper's Table 3: ``(config label, opamp product)``.
+
+    Covers ``C0 … C_{2^n − 2}`` (the transparent configuration is not part
+    of the passive-fault study).
+    """
+    if opamp_names is not None and len(opamp_names) != n_opamps:
+        raise OptimizationError(
+            f"need {n_opamps} opamp names, got {len(opamp_names)}"
+        )
+
+    def name(position: int) -> str:
+        if opamp_names is None:
+            return f"Op{position}"
+        return opamp_names[position - 1]
+
+    rows: List[Tuple[str, str]] = []
+    for index in range(2 ** n_opamps - 1):
+        positions = follower_positions_of(index, n_opamps)
+        product = " ".join(name(p) for p in sorted(positions)) or "-"
+        rows.append((f"C{index}", product))
+    return rows
+
+
+def substitute_opamps(
+    xi: SumOfProducts, n_opamps: int
+) -> SumOfProducts:
+    """ξ* — substitute every configuration literal by its opamp product.
+
+    The result's literals are 1-based opamp positions; absorption applies
+    as usual, so e.g. ``OP1·OP2 + OP1·OP2·OP3`` collapses to ``OP1·OP2``.
+    """
+    return xi.map_literals(
+        lambda config_index: follower_positions_of(config_index, n_opamps)
+    )
+
+
+def opamps_used_by(
+    config_indices: Sequence[int], n_opamps: int
+) -> FrozenSet[int]:
+    """Union of follower-opamp positions over a configuration set."""
+    used: set = set()
+    for index in config_indices:
+        used |= follower_positions_of(index, n_opamps)
+    return frozenset(used)

@@ -1,0 +1,345 @@
+"""Fault-detectability matrix and ω-detectability table.
+
+These are the two central data artefacts of the paper:
+
+* the **fault detectability matrix** (Fig. 5): boolean ``d_ij``, line
+  ``i`` = test configuration ``C_i``, column ``j`` = fault ``f_j``;
+* the **ω-detectability table** (Tables 2 and 4): the refined real-valued
+  analogue, each cell holding the ω-detectability of fault ``f_j`` in
+  configuration ``C_i``.
+
+Both are deliberately plain containers — labelled numpy arrays with the
+query helpers the covering/optimization layer needs (columns, coverage,
+reduction, best-case aggregation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import OptimizationError
+
+
+def _unique(labels: Sequence[str], kind: str) -> Tuple[str, ...]:
+    result = tuple(labels)
+    if len(set(result)) != len(result):
+        raise OptimizationError(f"duplicate {kind} labels")
+    return result
+
+
+@dataclass(frozen=True)
+class FaultDetectabilityMatrix:
+    """Boolean detectability matrix ``d_ij`` (configurations × faults).
+
+    Parameters
+    ----------
+    config_labels:
+        Row labels, e.g. ``("C0", "C1", ...)``; order defines row indices.
+    fault_names:
+        Column labels, e.g. ``("fR1", ..., "fC2")``.
+    data:
+        Boolean array of shape ``(len(config_labels), len(fault_names))``.
+    config_indices:
+        Configuration *indices* (the ``k`` of ``C_k``) per row; defaults
+        to parsing the labels.  Kept explicit so partial-DFT matrices can
+        use full-chain indices.
+    """
+
+    config_labels: Tuple[str, ...]
+    fault_names: Tuple[str, ...]
+    data: np.ndarray
+    config_indices: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        labels = _unique(self.config_labels, "configuration")
+        faults = _unique(self.fault_names, "fault")
+        object.__setattr__(self, "config_labels", labels)
+        object.__setattr__(self, "fault_names", faults)
+        data = np.asarray(self.data, dtype=bool)
+        if data.shape != (len(labels), len(faults)):
+            raise OptimizationError(
+                f"matrix shape {data.shape} does not match "
+                f"{len(labels)} configurations x {len(faults)} faults"
+            )
+        object.__setattr__(self, "data", data)
+        if not self.config_indices:
+            indices = tuple(
+                int(label.lstrip("C")) if label.lstrip("C").isdigit() else i
+                for i, label in enumerate(labels)
+            )
+            object.__setattr__(self, "config_indices", indices)
+        elif len(self.config_indices) != len(labels):
+            raise OptimizationError(
+                "config_indices length does not match config_labels"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_configurations(self) -> int:
+        return len(self.config_labels)
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.fault_names)
+
+    def row_of(self, config: object) -> int:
+        """Row index of a configuration given by label or index."""
+        if isinstance(config, str):
+            try:
+                return self.config_labels.index(config)
+            except ValueError:
+                raise OptimizationError(
+                    f"no configuration {config!r} in matrix"
+                ) from None
+        try:
+            return self.config_indices.index(int(config))
+        except ValueError:
+            raise OptimizationError(
+                f"no configuration index {config!r} in matrix"
+            ) from None
+
+    def column_of(self, fault: str) -> int:
+        try:
+            return self.fault_names.index(fault)
+        except ValueError:
+            raise OptimizationError(f"no fault {fault!r} in matrix") from None
+
+    def entry(self, config: object, fault: str) -> bool:
+        return bool(self.data[self.row_of(config), self.column_of(fault)])
+
+    def covering_configs(self, fault: str) -> FrozenSet[int]:
+        """Configuration indices that detect ``fault`` (a ξ clause)."""
+        column = self.data[:, self.column_of(fault)]
+        return frozenset(
+            self.config_indices[i] for i in np.nonzero(column)[0]
+        )
+
+    def faults_detected_by(self, config: object) -> Tuple[str, ...]:
+        row = self.data[self.row_of(config), :]
+        return tuple(
+            self.fault_names[j] for j in np.nonzero(row)[0]
+        )
+
+    def undetectable_faults(self) -> Tuple[str, ...]:
+        """Faults with an all-zero column (no configuration detects them)."""
+        dead = ~np.any(self.data, axis=0)
+        return tuple(
+            self.fault_names[j] for j in np.nonzero(dead)[0]
+        )
+
+    # ------------------------------------------------------------------
+    def fault_coverage(
+        self, configs: Optional[Iterable[object]] = None
+    ) -> float:
+        """Fraction of faults detected by the union of ``configs``.
+
+        ``configs=None`` uses every row — the maximum achievable coverage.
+        """
+        if self.n_faults == 0:
+            return 1.0
+        if configs is None:
+            rows = self.data
+        else:
+            indices = [self.row_of(c) for c in configs]
+            if not indices:
+                return 0.0
+            rows = self.data[indices, :]
+        covered = np.any(rows, axis=0)
+        return float(np.count_nonzero(covered)) / self.n_faults
+
+    def covers_all(self, configs: Iterable[object]) -> bool:
+        """True when ``configs`` reach the maximum achievable coverage.
+
+        Faults undetectable in *every* configuration are excluded: the
+        fundamental requirement asks for the *maximum* coverage, which
+        those faults cap.
+        """
+        reachable = np.any(self.data, axis=0)
+        indices = [self.row_of(c) for c in configs]
+        if not indices:
+            return not np.any(reachable)
+        covered = np.any(self.data[indices, :], axis=0)
+        return bool(np.all(covered[reachable]))
+
+    # ------------------------------------------------------------------
+    def reduced(self, chosen: Iterable[object]) -> "FaultDetectabilityMatrix":
+        """Reduced matrix after adopting ``chosen`` configurations.
+
+        Drops every fault column already covered by the chosen
+        configurations (paper Fig. 6) while keeping all rows.
+        """
+        indices = [self.row_of(c) for c in chosen]
+        covered = (
+            np.any(self.data[indices, :], axis=0)
+            if indices
+            else np.zeros(self.n_faults, dtype=bool)
+        )
+        keep = [j for j in range(self.n_faults) if not covered[j]]
+        return FaultDetectabilityMatrix(
+            config_labels=self.config_labels,
+            fault_names=tuple(self.fault_names[j] for j in keep),
+            data=self.data[:, keep],
+            config_indices=self.config_indices,
+        )
+
+    def restricted(self, configs: Iterable[object]) -> "FaultDetectabilityMatrix":
+        """Sub-matrix keeping only the rows of ``configs``."""
+        indices = [self.row_of(c) for c in configs]
+        return FaultDetectabilityMatrix(
+            config_labels=tuple(self.config_labels[i] for i in indices),
+            fault_names=self.fault_names,
+            data=self.data[indices, :],
+            config_indices=tuple(self.config_indices[i] for i in indices),
+        )
+
+    def as_dict(self) -> Dict[str, Dict[str, bool]]:
+        """Nested ``{config: {fault: d_ij}}`` representation."""
+        return {
+            label: {
+                fault: bool(self.data[i, j])
+                for j, fault in enumerate(self.fault_names)
+            }
+            for i, label in enumerate(self.config_labels)
+        }
+
+
+@dataclass(frozen=True)
+class OmegaDetectabilityTable:
+    """ω-detectability per (configuration, fault) — paper Tables 2 and 4.
+
+    Values are stored as fractions in ``[0, 1]``; the paper prints
+    percentages.
+    """
+
+    config_labels: Tuple[str, ...]
+    fault_names: Tuple[str, ...]
+    data: np.ndarray
+    config_indices: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        labels = _unique(self.config_labels, "configuration")
+        faults = _unique(self.fault_names, "fault")
+        object.__setattr__(self, "config_labels", labels)
+        object.__setattr__(self, "fault_names", faults)
+        data = np.asarray(self.data, dtype=float)
+        if data.shape != (len(labels), len(faults)):
+            raise OptimizationError(
+                f"table shape {data.shape} does not match "
+                f"{len(labels)} configurations x {len(faults)} faults"
+            )
+        if np.any(data < 0.0) or np.any(data > 1.0 + 1e-12):
+            raise OptimizationError(
+                "omega-detectability values must lie in [0, 1]"
+            )
+        object.__setattr__(self, "data", data)
+        if not self.config_indices:
+            indices = tuple(
+                int(label.lstrip("C")) if label.lstrip("C").isdigit() else i
+                for i, label in enumerate(labels)
+            )
+            object.__setattr__(self, "config_indices", indices)
+        elif len(self.config_indices) != len(labels):
+            raise OptimizationError(
+                "config_indices length does not match config_labels"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_configurations(self) -> int:
+        return len(self.config_labels)
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.fault_names)
+
+    def row_of(self, config: object) -> int:
+        if isinstance(config, str):
+            try:
+                return self.config_labels.index(config)
+            except ValueError:
+                raise OptimizationError(
+                    f"no configuration {config!r} in table"
+                ) from None
+        try:
+            return self.config_indices.index(int(config))
+        except ValueError:
+            raise OptimizationError(
+                f"no configuration index {config!r} in table"
+            ) from None
+
+    def column_of(self, fault: str) -> int:
+        try:
+            return self.fault_names.index(fault)
+        except ValueError:
+            raise OptimizationError(f"no fault {fault!r} in table") from None
+
+    def value(self, config: object, fault: str) -> float:
+        return float(self.data[self.row_of(config), self.column_of(fault)])
+
+    # ------------------------------------------------------------------
+    def best_case(
+        self, configs: Optional[Iterable[object]] = None
+    ) -> Dict[str, float]:
+        """Per-fault best-case ω-detectability over ``configs``.
+
+        "A fault is assumed to be tested in the best case, i.e. the test
+        configuration in which the fault exhibits the higher
+        ω-detectability value" (paper §3.2).
+        """
+        if configs is None:
+            rows = self.data
+        else:
+            indices = [self.row_of(c) for c in configs]
+            if not indices:
+                return {fault: 0.0 for fault in self.fault_names}
+            rows = self.data[indices, :]
+        best = np.max(rows, axis=0)
+        return {
+            fault: float(best[j]) for j, fault in enumerate(self.fault_names)
+        }
+
+    def average_rate(self, configs: Optional[Iterable[object]] = None) -> float:
+        """Average best-case ω-detectability rate ``⟨ω-det⟩`` in [0, 1].
+
+        The circuit-level testability image of the paper: 12.5% for the
+        initial biquad, 68.3% after full DFT, ...
+        """
+        best = self.best_case(configs)
+        if not best:
+            return 0.0
+        return float(np.mean(list(best.values())))
+
+    def best_configuration_for(self, fault: str) -> Tuple[str, float]:
+        """(configuration label, value) maximising the fault's ω-det."""
+        column = self.data[:, self.column_of(fault)]
+        row = int(np.argmax(column))
+        return self.config_labels[row], float(column[row])
+
+    # ------------------------------------------------------------------
+    def to_detectability_matrix(self) -> FaultDetectabilityMatrix:
+        """Boolean matrix with ``d_ij = (ω-det > 0)``.
+
+        A fault with a non-empty detection region is detectable
+        (Definition 1 ⇔ Definition 2 > 0 on the same grid).
+        """
+        return FaultDetectabilityMatrix(
+            config_labels=self.config_labels,
+            fault_names=self.fault_names,
+            data=self.data > 0.0,
+            config_indices=self.config_indices,
+        )
+
+    def restricted(self, configs: Iterable[object]) -> "OmegaDetectabilityTable":
+        indices = [self.row_of(c) for c in configs]
+        return OmegaDetectabilityTable(
+            config_labels=tuple(self.config_labels[i] for i in indices),
+            fault_names=self.fault_names,
+            data=self.data[indices, :],
+            config_indices=tuple(self.config_indices[i] for i in indices),
+        )
+
+    def as_percent(self) -> np.ndarray:
+        return 100.0 * self.data

@@ -1,0 +1,113 @@
+"""Circuit-level testability metrics and comparison summaries.
+
+Thin, well-named aggregations over the matrix/table containers: fault
+coverage (Definition 1 ratio), the average ω-detectability rate
+(Definition 2 aggregate), and the before/after comparison records used by
+the Graph 2/3/4 reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from .matrix import FaultDetectabilityMatrix, OmegaDetectabilityTable
+
+
+def fault_coverage(
+    matrix: FaultDetectabilityMatrix,
+    configs: Optional[Iterable[object]] = None,
+) -> float:
+    """Fraction of faults detectable by ``configs`` (default: any row)."""
+    return matrix.fault_coverage(configs)
+
+
+def average_omega_detectability(
+    table: OmegaDetectabilityTable,
+    configs: Optional[Iterable[object]] = None,
+) -> float:
+    """Average best-case ω-detectability rate ``⟨ω-det⟩`` over ``configs``."""
+    return table.average_rate(configs)
+
+
+@dataclass(frozen=True)
+class TestabilityReport:
+    """Testability of one circuit variant under one configuration set."""
+
+    label: str
+    fault_coverage: float
+    average_omega_detectability: float
+    per_fault_omega: Dict[str, float]
+    n_configurations: int
+
+    def render(self) -> str:
+        return (
+            f"{self.label}: FC={100 * self.fault_coverage:.1f}%, "
+            f"<w-det>={100 * self.average_omega_detectability:.1f}% "
+            f"({self.n_configurations} configuration(s))"
+        )
+
+
+def testability_report(
+    label: str,
+    matrix: FaultDetectabilityMatrix,
+    table: OmegaDetectabilityTable,
+    configs: Optional[Iterable[object]] = None,
+) -> TestabilityReport:
+    """Build a :class:`TestabilityReport` for a configuration subset."""
+    config_list = (
+        list(configs) if configs is not None else list(matrix.config_labels)
+    )
+    best = table.best_case(config_list)
+    return TestabilityReport(
+        label=label,
+        fault_coverage=matrix.fault_coverage(config_list),
+        average_omega_detectability=table.average_rate(config_list),
+        per_fault_omega=best,
+        n_configurations=len(config_list),
+    )
+
+
+@dataclass(frozen=True)
+class ImprovementSummary:
+    """Before/after comparison (the Graph 2 story)."""
+
+    before: TestabilityReport
+    after: TestabilityReport
+
+    @property
+    def coverage_gain(self) -> float:
+        return self.after.fault_coverage - self.before.fault_coverage
+
+    @property
+    def omega_gain(self) -> float:
+        return (
+            self.after.average_omega_detectability
+            - self.before.average_omega_detectability
+        )
+
+    def per_fault_comparison(self) -> Tuple[Tuple[str, float, float], ...]:
+        """(fault, ω-det before, ω-det after) triplets."""
+        faults = self.before.per_fault_omega.keys()
+        return tuple(
+            (
+                fault,
+                self.before.per_fault_omega[fault],
+                self.after.per_fault_omega.get(fault, 0.0),
+            )
+            for fault in faults
+        )
+
+    def render(self) -> str:
+        lines = [self.before.render(), self.after.render()]
+        lines.append(
+            f"improvement: FC {100 * self.coverage_gain:+.1f} points, "
+            f"<w-det> {100 * self.omega_gain:+.1f} points"
+        )
+        return "\n".join(lines)
+
+
+def compare(
+    before: TestabilityReport, after: TestabilityReport
+) -> ImprovementSummary:
+    return ImprovementSummary(before=before, after=after)

@@ -1,0 +1,164 @@
+"""Partial-DFT synthesis: configurable-opamp count optimization (§4.3).
+
+The 2nd-order requirement here is the number of *configurable opamps*
+(area / performance impact), not the number of configurations.  The flow:
+
+1. take the irredundant covers ξ of the fundamental requirement;
+2. substitute configurations for opamps (ξ*, Table 3 mapping);
+3. pick the ξ* term(s) with the fewest opamps — each is a candidate
+   *partial DFT* where only those opamps become configurable;
+4. the permitted configurations of a candidate are all the configurations
+   whose follower opamps lie within the chosen subset; the fundamental
+   requirement stays satisfied because the originating cover's
+   configurations are among them;
+5. 3rd-order requirement: select the permitted-configuration subset with
+   the highest average ω-detectability rate — since the rate is a
+   per-fault maximum it is monotone in the set, so using *all* permitted
+   configurations is optimal (the paper's Table 4 conclusion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..dft.configuration import Configuration
+from ..errors import OptimizationError
+from .boolean_alg import ProductTerm, SumOfProducts
+from .covering import CoveringSolution
+from .mapping import substitute_opamps
+from .matrix import FaultDetectabilityMatrix, OmegaDetectabilityTable
+
+
+def permitted_configurations(
+    n_opamps: int,
+    opamp_subset: FrozenSet[int],
+    include_transparent: bool = False,
+) -> List[Configuration]:
+    """Configurations emulable with only ``opamp_subset`` configurable.
+
+    Indexed over the full chain so results remain comparable with the
+    full DFT; the all-follower transparent configuration is excluded by
+    default (it cannot detect passive faults).
+    """
+    configs = [
+        config
+        for config in (
+            Configuration(i, n_opamps) for i in range(2 ** n_opamps)
+        )
+        if config.follower_set <= opamp_subset
+    ]
+    if not include_transparent:
+        configs = [c for c in configs if not c.is_transparent]
+    return configs
+
+
+@dataclass(frozen=True)
+class PartialDftSolution:
+    """One candidate partial-DFT implementation."""
+
+    opamp_positions: FrozenSet[int]
+    n_opamps: int
+    permitted: Tuple[Configuration, ...]
+    average_omega_detectability: float
+    reaches_max_coverage: bool
+
+    @property
+    def n_configurable(self) -> int:
+        return len(self.opamp_positions)
+
+    @property
+    def permitted_indices(self) -> Tuple[int, ...]:
+        return tuple(c.index for c in self.permitted)
+
+    def masked_vectors(self) -> List[str]:
+        """§4.3-style vectors, e.g. ``["00-", "10-", "01-", "11-"]``."""
+        return [
+            c.masked_vector(self.opamp_positions) for c in self.permitted
+        ]
+
+    def describe(self) -> str:
+        opamps = ", ".join(f"OP{p}" for p in sorted(self.opamp_positions))
+        configs = ", ".join(c.label for c in self.permitted)
+        return (
+            f"configurable opamps: {{{opamps}}} "
+            f"({self.n_configurable}/{self.n_opamps}); "
+            f"permitted configurations: {{{configs}}}; "
+            f"<w-det> = {100 * self.average_omega_detectability:.1f}%"
+        )
+
+
+def candidate_opamp_subsets(
+    covering: CoveringSolution, n_opamps: int
+) -> Tuple[SumOfProducts, List[ProductTerm]]:
+    """ξ* and its minimal terms — the §4.3 candidates.
+
+    Returns the full substituted expression and the minimum-cardinality
+    opamp subsets.
+    """
+    xi_star = substitute_opamps(covering.xi, n_opamps)
+    if xi_star.is_false:
+        raise OptimizationError("no covering solution to map onto opamps")
+    return xi_star, xi_star.minimal_terms()
+
+
+def evaluate_partial_dft(
+    opamp_subset: FrozenSet[int],
+    n_opamps: int,
+    matrix: FaultDetectabilityMatrix,
+    omega_table: Optional[OmegaDetectabilityTable] = None,
+) -> PartialDftSolution:
+    """Assess a configurable-opamp subset against matrix / ω-det data."""
+    permitted = permitted_configurations(n_opamps, frozenset(opamp_subset))
+    indices = [c.index for c in permitted]
+    known = [i for i in indices if i in matrix.config_indices]
+    coverage_ok = matrix.covers_all(known)
+    average = 0.0
+    if omega_table is not None:
+        usable = [
+            i for i in indices if i in omega_table.config_indices
+        ]
+        average = omega_table.average_rate(usable)
+    return PartialDftSolution(
+        opamp_positions=frozenset(opamp_subset),
+        n_opamps=n_opamps,
+        permitted=tuple(permitted),
+        average_omega_detectability=average,
+        reaches_max_coverage=coverage_ok,
+    )
+
+
+def optimize_partial_dft(
+    covering: CoveringSolution,
+    n_opamps: int,
+    matrix: FaultDetectabilityMatrix,
+    omega_table: Optional[OmegaDetectabilityTable] = None,
+) -> Tuple[PartialDftSolution, List[PartialDftSolution]]:
+    """Full §4.3 optimization.
+
+    Returns the selected solution and the list of every
+    minimum-opamp-count candidate (ties resolved by the 3rd-order
+    average-ω-detectability requirement, then by lowest positions for
+    determinism).
+    """
+    _, minimal = candidate_opamp_subsets(covering, n_opamps)
+    candidates = [
+        evaluate_partial_dft(
+            frozenset(term.literals), n_opamps, matrix, omega_table
+        )
+        for term in minimal
+    ]
+    viable = [c for c in candidates if c.reaches_max_coverage]
+    if not viable:
+        raise OptimizationError(
+            "no minimal opamp subset reaches maximum coverage — "
+            "the detectability matrix is inconsistent with ξ"
+        )
+    best = max(
+        viable,
+        key=lambda c: (
+            c.average_omega_detectability,
+            tuple(-p for p in sorted(c.opamp_positions)),
+        ),
+    )
+    return best, candidates

@@ -1,0 +1,146 @@
+"""Structural pre-selection of candidate configurations.
+
+The paper's conclusion names the bottleneck of the approach — building
+the fault detectability matrix "implies extensive fault simulation" — and
+sketches the remedy: "using structural information to select a first
+subset of configurations that will be candidate for the simulation
+process".  This module implements that idea:
+
+* each configuration is scored *without any fault simulation*, using a
+  single nominal AC sweep plus per-component sensitivity curves (2 extra
+  sweeps per component);
+* configurations are ranked by how strongly the measured output responds
+  to component variations (aggregate normalised sensitivity);
+* only the top-ranked configurations are handed to the expensive fault
+  simulator.
+
+A configuration in which the output is insensitive to a component can
+never detect that component's deviation fault, so the sensitivity score
+is a faithful cheap proxy for the detectability row weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.sensitivity import sensitivity_map
+from ..analysis.sweep import FrequencyGrid
+from ..dft.configuration import Configuration
+from ..dft.transform import MultiConfigurationCircuit
+from ..errors import OptimizationError
+
+
+@dataclass(frozen=True)
+class ConfigurationScore:
+    """Structural score of one configuration."""
+
+    config: Configuration
+    aggregate_sensitivity: float
+    per_component: Dict[str, float]
+
+    def components_above(self, threshold: float) -> Tuple[str, ...]:
+        """Components whose peak |S| exceeds ``threshold`` (likely
+        detectable there)."""
+        return tuple(
+            name
+            for name, value in self.per_component.items()
+            if value > threshold
+        )
+
+
+def score_configurations(
+    mcc: MultiConfigurationCircuit,
+    grid: FrequencyGrid,
+    configs: Optional[Sequence[Configuration]] = None,
+    components: Optional[Sequence[str]] = None,
+    output: Optional[str] = None,
+) -> List[ConfigurationScore]:
+    """Sensitivity-based score of each configuration, best first."""
+    if configs is None:
+        configs = mcc.configurations(
+            include_functional=True, include_transparent=False
+        )
+    if not configs:
+        raise OptimizationError("no configurations to score")
+    probe = output or mcc.base.output
+    scores: List[ConfigurationScore] = []
+    for config in configs:
+        emulated = mcc.emulate(config)
+        curves = sensitivity_map(
+            emulated, grid, components=components, output=probe
+        )
+        per_component = {
+            name: curve.max_abs() for name, curve in curves.items()
+        }
+        scores.append(
+            ConfigurationScore(
+                config=config,
+                aggregate_sensitivity=float(sum(per_component.values())),
+                per_component=per_component,
+            )
+        )
+    scores.sort(
+        key=lambda s: (-s.aggregate_sensitivity, s.config.index)
+    )
+    return scores
+
+
+def preselect_configurations(
+    mcc: MultiConfigurationCircuit,
+    grid: FrequencyGrid,
+    keep: int,
+    sensitivity_floor: float = 0.0,
+    components: Optional[Sequence[str]] = None,
+    output: Optional[str] = None,
+) -> List[Configuration]:
+    """Top-``keep`` configurations by structural score.
+
+    A configuration is guaranteed a slot when it is the *only* one whose
+    sensitivity to some component exceeds ``sensitivity_floor`` — dropping
+    it could lose coverage of that component, which would violate the
+    fundamental requirement downstream.
+    """
+    if keep < 1:
+        raise OptimizationError("keep must be >= 1")
+    scores = score_configurations(
+        mcc, grid, components=components, output=output
+    )
+    selected = list(scores[:keep])
+    selected_ids = {s.config.index for s in selected}
+
+    # Coverage guard: every component must keep at least one sensitive
+    # configuration among the survivors.
+    floor = sensitivity_floor
+    component_names = scores[0].per_component.keys()
+    for name in component_names:
+        best_kept = max(
+            (s.per_component[name] for s in selected), default=0.0
+        )
+        if best_kept > floor:
+            continue
+        rescuer = max(scores, key=lambda s: s.per_component[name])
+        if rescuer.per_component[name] > floor and (
+            rescuer.config.index not in selected_ids
+        ):
+            selected.append(rescuer)
+            selected_ids.add(rescuer.config.index)
+
+    configs = [s.config for s in selected]
+    configs.sort(key=lambda c: c.index)
+    return configs
+
+
+def simulation_savings(
+    n_total_configs: int, n_selected: int, n_faults: int
+) -> Dict[str, float]:
+    """Quantify the fault-simulation work avoided by pre-selection."""
+    if n_total_configs < 1 or n_selected < 1 or n_selected > n_total_configs:
+        raise OptimizationError("inconsistent pre-selection sizes")
+    full = n_total_configs * (n_faults + 1)
+    reduced = n_selected * (n_faults + 1)
+    return {
+        "full_sweeps": float(full),
+        "reduced_sweeps": float(reduced),
+        "saving_fraction": 1.0 - reduced / full,
+    }

@@ -1,0 +1,283 @@
+"""Concrete test-program generation.
+
+Turns an optimization outcome into the artefact a test engineer (or an
+on-chip BIST controller) actually consumes: an ordered list of steps —
+*set the selection lines, apply this sine, compare the output magnitude
+against this tolerance window* — plus summary cost figures using the
+paper's test-time model.
+
+The pass window of each measurement is derived from the nominal response
+of the emulated configuration: ``|T| ∈ [(1 − ε)·ref, (1 + ε)·ref]`` in
+band-criterion terms, where the window half-width is ``ε`` times the
+configuration's passband level.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dft.configuration import Configuration
+from ..dft.transform import MultiConfigurationCircuit
+from ..errors import OptimizationError
+from .frequencies import TestSchedule, select_test_frequencies
+
+
+@dataclass(frozen=True)
+class TestStep:
+    """One measurement instruction of the program."""
+
+    step: int
+    config_label: str
+    vector: str
+    frequency_hz: float
+    nominal_magnitude: float
+    lower_bound: float
+    upper_bound: float
+
+    def render(self) -> str:
+        return (
+            f"step {self.step:2d}: set CV={self.vector} ({self.config_label}), "
+            f"apply {self.frequency_hz:,.4g} Hz sine, "
+            f"pass if {self.lower_bound:.4g} <= |V(out)| <= "
+            f"{self.upper_bound:.4g} (nominal {self.nominal_magnitude:.4g})"
+        )
+
+
+@dataclass(frozen=True)
+class TestProgram:
+    """A complete, ordered analog test program."""
+
+    circuit_title: str
+    epsilon: float
+    steps: Tuple[TestStep, ...]
+    covered_faults: Tuple[str, ...]
+    uncovered_faults: Tuple[str, ...]
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def n_configurations(self) -> int:
+        return len({step.config_label for step in self.steps})
+
+    def test_time_s(
+        self, t_reconfigure_s: float = 1e-3, t_measure_s: float = 5e-3
+    ) -> float:
+        """Paper-style test time: reconfigurations + measurements.
+
+        Steps are grouped by configuration, so consecutive steps in the
+        same configuration pay the reconfiguration cost once.
+        """
+        reconfigurations = 0
+        last = None
+        for step in self.steps:
+            if step.config_label != last:
+                reconfigurations += 1
+                last = step.config_label
+        return (
+            reconfigurations * t_reconfigure_s
+            + self.n_steps * t_measure_s
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"test program for {self.circuit_title!r} "
+            f"(eps = {100 * self.epsilon:.0f}%):"
+        ]
+        lines.extend("  " + step.render() for step in self.steps)
+        lines.append(
+            f"  -> {self.n_steps} measurement(s), "
+            f"{self.n_configurations} configuration(s), "
+            f"~{1e3 * self.test_time_s():.1f} ms"
+        )
+        lines.append(
+            "  covers: " + (", ".join(self.covered_faults) or "(none)")
+        )
+        if self.uncovered_faults:
+            lines.append(
+                "  cannot cover: " + ", ".join(self.uncovered_faults)
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable program (for ATE / BIST tooling)."""
+        payload = {
+            "circuit": self.circuit_title,
+            "epsilon": self.epsilon,
+            "steps": [
+                {
+                    "step": step.step,
+                    "configuration": step.config_label,
+                    "vector": step.vector,
+                    "frequency_hz": step.frequency_hz,
+                    "nominal_magnitude": step.nominal_magnitude,
+                    "pass_window": [step.lower_bound, step.upper_bound],
+                }
+                for step in self.steps
+            ],
+            "covered_faults": list(self.covered_faults),
+            "uncovered_faults": list(self.uncovered_faults),
+        }
+        return json.dumps(payload, indent=2)
+
+
+def generate_test_program(
+    mcc: MultiConfigurationCircuit,
+    dataset,
+    configs: Optional[Sequence[Configuration]] = None,
+    schedule: Optional[TestSchedule] = None,
+    output: Optional[str] = None,
+    ordering: str = "gray",
+) -> TestProgram:
+    """Build a :class:`TestProgram` from fault-simulation results.
+
+    Parameters
+    ----------
+    mcc:
+        The DFT-instrumented circuit (provides configuration vectors).
+    dataset:
+        :class:`~repro.faults.simulator.DetectabilityDataset` carrying
+        the detection masks and the simulation setup.
+    configs:
+        Configurations available to the program (defaults to all in the
+        dataset) — pass the optimizer's selection here.
+    schedule:
+        Pre-computed measurement schedule; derived greedily when absent.
+    output:
+        Probe node; defaults to the dataset setup / base circuit.
+    ordering:
+        Configuration walk order: ``"gray"`` (default) minimises
+        selection-line toggles via :func:`order_configurations_gray`;
+        ``"index"`` keeps ascending configuration indices.
+    """
+    if ordering not in ("gray", "index"):
+        raise OptimizationError(f"unknown step ordering {ordering!r}")
+    if schedule is None:
+        schedule = select_test_frequencies(dataset, configs=configs)
+    epsilon = dataset.setup.epsilon
+
+    config_by_index: Dict[int, Configuration] = {
+        c.index: c for c in dataset.configs
+    }
+    measurements = list(schedule.measurements)
+    if ordering == "gray" and measurements:
+        used = sorted({m.config_index for m in measurements})
+        missing = [i for i in used if i not in config_by_index]
+        if missing:
+            raise OptimizationError(
+                f"schedule uses configuration C{missing[0]} "
+                "absent from the dataset"
+            )
+        walk = order_configurations_gray(
+            [config_by_index[i] for i in used]
+        )
+        rank = {config.index: k for k, config in enumerate(walk)}
+        measurements.sort(
+            key=lambda m: (rank[m.config_index], m.frequency_hz)
+        )
+    steps: List[TestStep] = []
+    for number, measurement in enumerate(measurements, start=1):
+        config = config_by_index.get(measurement.config_index)
+        if config is None:
+            raise OptimizationError(
+                f"schedule uses configuration C{measurement.config_index} "
+                "absent from the dataset"
+            )
+        nominal_response = dataset.nominal[config.index]
+        grid_f = nominal_response.frequencies_hz
+        index = int(np.argmin(np.abs(grid_f - measurement.frequency_hz)))
+        nominal = float(nominal_response.magnitude[index])
+        # Band-criterion pass window: half-width = eps * passband level.
+        reference = float(np.max(nominal_response.magnitude))
+        half_width = epsilon * reference
+        steps.append(
+            TestStep(
+                step=number,
+                config_label=config.label,
+                vector=config.vector_string,
+                frequency_hz=measurement.frequency_hz,
+                nominal_magnitude=nominal,
+                lower_bound=max(0.0, nominal - half_width),
+                upper_bound=nominal + half_width,
+            )
+        )
+
+    return TestProgram(
+        circuit_title=mcc.base.title,
+        epsilon=epsilon,
+        steps=tuple(steps),
+        covered_faults=tuple(schedule.covered_faults),
+        uncovered_faults=tuple(schedule.uncoverable_faults),
+    )
+
+
+def order_configurations_gray(
+    configs: Sequence[Configuration],
+) -> Tuple[Configuration, ...]:
+    """Order configurations to minimise selection-line toggles.
+
+    A BIST controller walking the test configurations pays one
+    settling/update cycle per toggled selection line, so the natural
+    ordering metric is the summed Hamming distance between consecutive
+    configuration vectors.  Small sets (≤ 10) are ordered exactly by
+    branch-and-bound over open paths starting from the functional
+    configuration when present; larger sets use nearest-neighbour.
+    """
+    remaining = list(configs)
+    if len(remaining) <= 1:
+        return tuple(remaining)
+
+    def distance(a: Configuration, b: Configuration) -> int:
+        return bin(a.index ^ b.index).count("1")
+
+    start_pool = [c for c in remaining if c.is_functional] or remaining
+
+    if len(remaining) <= 10:
+        best_order: list = []
+        best_cost = [float("inf")]
+
+        def search(path, cost, left):
+            if cost >= best_cost[0]:
+                return
+            if not left:
+                best_cost[0] = cost
+                best_order.clear()
+                best_order.extend(path)
+                return
+            for nxt in sorted(
+                left, key=lambda c: distance(path[-1], c)
+            ):
+                search(
+                    path + [nxt],
+                    cost + distance(path[-1], nxt),
+                    [c for c in left if c is not nxt],
+                )
+
+        for start in start_pool:
+            search(
+                [start], 0, [c for c in remaining if c is not start]
+            )
+        return tuple(best_order)
+
+    # Nearest-neighbour for big sets.
+    current = start_pool[0]
+    ordered = [current]
+    pool = [c for c in remaining if c is not current]
+    while pool:
+        current = min(pool, key=lambda c: distance(current, c))
+        ordered.append(current)
+        pool = [c for c in pool if c is not current]
+    return tuple(ordered)
+
+
+def gray_path_cost(configs: Sequence[Configuration]) -> int:
+    """Total selection-line toggles along an ordered configuration walk."""
+    total = 0
+    for a, b in zip(configs, configs[1:]):
+        total += bin(a.index ^ b.index).count("1")
+    return total

@@ -1,0 +1,5 @@
+"""Published reference data from the reproduced paper."""
+
+from . import paper1998
+
+__all__ = ["paper1998"]

@@ -1,0 +1,153 @@
+"""Verbatim data published in the paper (Renovell et al., DATE 1998).
+
+The authors did not publish their biquad's component values, so their
+exact ω-detectability percentages cannot be regenerated from circuit
+simulation alone.  They *did* publish every intermediate artefact of the
+optimization flow — the fault detectability matrix (Fig. 5) and the
+ω-detectability tables (Tables 2 and 4) — which this module transcribes.
+
+Running the optimization layer on these matrices reproduces the paper's
+results **exactly** (ξ, essential configuration, minimal covers,
+{C2, C5}, OP1·OP2, the 12.5 / 30 / 32.5 / 52.5 / 68.3 % rates); running
+the full simulation stack on :mod:`repro.circuits.biquad` reproduces the
+qualitative shape with our own component values.  Both paths are
+exercised by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.matrix import FaultDetectabilityMatrix, OmegaDetectabilityTable
+
+#: number of opamps in the paper's biquadratic filter
+N_OPAMPS = 3
+
+#: fault list of the case study: +20% deviations, ε = 10%
+FAULT_NAMES: Tuple[str, ...] = (
+    "fR1", "fR2", "fR3", "fR4", "fR5", "fR6", "fC1", "fC2",
+)
+
+#: configurations used for passive faults (transparent C7 excluded)
+CONFIG_LABELS: Tuple[str, ...] = ("C0", "C1", "C2", "C3", "C4", "C5", "C6")
+
+#: Figure 5 — fault detectability matrix d_ij
+DETECTABILITY_MATRIX_DATA = np.array(
+    [
+        # fR1 fR2 fR3 fR4 fR5 fR6 fC1 fC2
+        [1, 0, 0, 1, 0, 0, 0, 0],  # C0
+        [0, 0, 1, 0, 1, 1, 0, 1],  # C1
+        [1, 1, 0, 1, 1, 1, 1, 0],  # C2
+        [0, 0, 0, 0, 1, 1, 0, 0],  # C3
+        [1, 1, 1, 1, 1, 0, 0, 0],  # C4
+        [0, 0, 1, 0, 0, 0, 0, 1],  # C5
+        [1, 1, 0, 1, 0, 0, 0, 0],  # C6
+    ],
+    dtype=bool,
+)
+
+#: Table 2 — ω-detectability (percent) per configuration and fault
+OMEGA_TABLE_PERCENT = np.array(
+    [
+        # fR1 fR2 fR3 fR4 fR5  fR6  fC1 fC2
+        [54,  0,  0, 46,  0,   0,   0,  0],   # C0
+        [0,   0, 30,  0, 30,  30,   0, 30],   # C1
+        [30, 30,  0, 30, 30,  30,  30,  0],   # C2
+        [0,   0,  0,  0, 100, 100,  0,  0],   # C3
+        [14, 70, 70, 70, 70,   0,   0,  0],   # C4
+        [0,   0, 40,  0,  0,   0,   0, 40],   # C5
+        [66, 40,  0, 40,  0,   0,   0,  0],   # C6
+    ],
+    dtype=float,
+)
+
+#: Table 4 — ω-detectability of the partial DFT (OP1, OP2 configurable).
+#: Configurations C0..C3 over the full chain (vectors 00-, 10-, 01-, 11-);
+#: identical to the first four rows of Table 2, as published.
+PARTIAL_CONFIG_LABELS: Tuple[str, ...] = ("C0", "C1", "C2", "C3")
+PARTIAL_OMEGA_TABLE_PERCENT = OMEGA_TABLE_PERCENT[:4, :].copy()
+
+#: Headline numbers quoted in the paper's text
+EXPECTED: Dict[str, float] = {
+    # fault coverage of the initial (DFT-free) filter, §2
+    "fc_initial": 0.25,
+    # fault coverage after DFT, §3.2
+    "fc_dft": 1.00,
+    # average ω-detectability rates
+    "avg_omega_initial": 0.125,           # §2, Graph 1
+    "avg_omega_brute_force": 0.683,       # §3.2, Graph 2 (68.3%)
+    "avg_omega_c1_c2": 0.30,              # §4.2
+    "avg_omega_c2_c5": 0.325,             # §4.2 (selected optimum)
+    "avg_omega_partial": 0.525,           # §4.3, Graph 4 (52.5%)
+}
+
+#: §4.1/§4.2/§4.3 symbolic results
+EXPECTED_ESSENTIALS = frozenset({2})                    # C2 (sole cover of fC1)
+EXPECTED_MINIMAL_COVERS = (
+    frozenset({1, 2}),                                  # {C1, C2}
+    frozenset({2, 5}),                                  # {C2, C5}
+)
+EXPECTED_SELECTED_COVER = frozenset({2, 5})             # {C2, C5}
+EXPECTED_OPAMP_SUBSET = frozenset({1, 2})               # OP1, OP2
+EXPECTED_PARTIAL_CONFIGS = (0, 1, 2, 3)                 # 00-, 10-, 01-, 11-
+
+#: Table 1 — configuration table of the 3-opamp chain
+CONFIGURATION_TABLE: Tuple[Tuple[str, str, str], ...] = (
+    ("C0", "000", "Funct. Conf"),
+    ("C1", "001", "New Test Conf"),
+    ("C2", "010", "New Test Conf"),
+    ("C3", "011", "New Test Conf"),
+    ("C4", "100", "New Test Conf"),
+    ("C5", "101", "New Test Conf"),
+    ("C6", "110", "New Test Conf"),
+    ("C7", "111", "Transp. Conf"),
+)
+
+#: Table 3 — configuration → follower-opamp mapping
+MAPPING_TABLE: Tuple[Tuple[str, str], ...] = (
+    ("C0", "-"),
+    ("C1", "Op1"),
+    ("C2", "Op2"),
+    ("C3", "Op1 Op2"),
+    ("C4", "Op3"),
+    ("C5", "Op1 Op3"),
+    ("C6", "Op2 Op3"),
+)
+
+
+def detectability_matrix() -> FaultDetectabilityMatrix:
+    """The published Figure 5 matrix as a library object."""
+    return FaultDetectabilityMatrix(
+        config_labels=CONFIG_LABELS,
+        fault_names=FAULT_NAMES,
+        data=DETECTABILITY_MATRIX_DATA,
+    )
+
+
+def omega_table() -> OmegaDetectabilityTable:
+    """The published Table 2 as a library object (values in [0, 1])."""
+    return OmegaDetectabilityTable(
+        config_labels=CONFIG_LABELS,
+        fault_names=FAULT_NAMES,
+        data=OMEGA_TABLE_PERCENT / 100.0,
+    )
+
+
+def partial_omega_table() -> OmegaDetectabilityTable:
+    """The published Table 4 as a library object (values in [0, 1])."""
+    return OmegaDetectabilityTable(
+        config_labels=PARTIAL_CONFIG_LABELS,
+        fault_names=FAULT_NAMES,
+        data=PARTIAL_OMEGA_TABLE_PERCENT / 100.0,
+    )
+
+
+def initial_omega_row() -> OmegaDetectabilityTable:
+    """ω-detectability of the DFT-free filter (Graph 1 = the C0 row)."""
+    return OmegaDetectabilityTable(
+        config_labels=("C0",),
+        fault_names=FAULT_NAMES,
+        data=OMEGA_TABLE_PERCENT[:1, :] / 100.0,
+    )

@@ -1,0 +1,186 @@
+"""Configuration vectors of the multi-configuration DFT technique.
+
+A circuit with ``n`` configurable opamps can be emulated in ``2^n``
+configurations.  Configuration ``C_k`` turns opamp ``i`` (1-based, in DFT
+chain order) into follower mode iff bit ``i−1`` of ``k`` is set — i.e.
+``sel_1`` is the least-significant bit.
+
+This is the only indexing convention consistent with both Table 1 and
+Table 3 of the paper: ``C_1 = "001"`` maps to ``Op1`` and ``C_5 = "101"``
+maps to ``Op1·Op3``, so the printed vector is most-significant-sel first
+(``sel_n … sel_1``) while the configuration *index* reads ``sel_1`` as the
+LSB.
+
+``C_0`` is the functional configuration (all opamps normal);
+``C_{2^n − 1}`` is the transparent configuration (all followers, the
+circuit performs the identity function and is reserved for testing the
+opamps themselves, so the passive-fault studies exclude it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class Configuration:
+    """One test configuration ``C_index`` of an ``n_opamps``-opamp circuit."""
+
+    index: int
+    n_opamps: int
+
+    def __post_init__(self) -> None:
+        if self.n_opamps < 1:
+            raise ConfigurationError("a DFT circuit needs at least 1 opamp")
+        if not 0 <= self.index < 2 ** self.n_opamps:
+            raise ConfigurationError(
+                f"configuration index {self.index} out of range for "
+                f"{self.n_opamps} opamps"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Paper-style label ``C0``, ``C1``, ..."""
+        return f"C{self.index}"
+
+    @property
+    def bits(self) -> Tuple[int, ...]:
+        """Selection bits ``(sel_1, …, sel_n)``; ``sel_1`` is bit 0."""
+        return tuple(
+            (self.index >> i) & 1 for i in range(self.n_opamps)
+        )
+
+    @property
+    def vector_string(self) -> str:
+        """Printed configuration vector, MSB (``sel_n``) first.
+
+        Matches Table 1 of the paper: ``C1`` of a 3-opamp circuit prints
+        as ``001``.
+        """
+        return "".join(str(b) for b in reversed(self.bits))
+
+    @property
+    def follower_positions(self) -> Tuple[int, ...]:
+        """1-based positions of the opamps emulated in follower mode."""
+        return tuple(
+            i + 1 for i, bit in enumerate(self.bits) if bit
+        )
+
+    @property
+    def follower_set(self) -> FrozenSet[int]:
+        return frozenset(self.follower_positions)
+
+    @property
+    def normal_positions(self) -> Tuple[int, ...]:
+        """1-based positions of the opamps operating normally."""
+        return tuple(
+            i + 1 for i, bit in enumerate(self.bits) if not bit
+        )
+
+    @property
+    def is_functional(self) -> bool:
+        """True for ``C_0`` (the circuit's normal functionality)."""
+        return self.index == 0
+
+    @property
+    def is_transparent(self) -> bool:
+        """True for the all-follower identity configuration."""
+        return self.index == 2 ** self.n_opamps - 1
+
+    @property
+    def n_followers(self) -> int:
+        return len(self.follower_positions)
+
+    # ------------------------------------------------------------------
+    def masked_vector(self, configurable: Iterable[int]) -> str:
+        """Partial-DFT vector with ``-`` for non-configurable opamps.
+
+        Matches the paper's §4.3 notation: with only OP1 and OP2
+        configurable, ``C1`` prints as ``10-``... i.e. position 1 shown
+        first, a dash for every opamp that kept its classical
+        implementation.
+        """
+        configurable_set = set(configurable)
+        parts = []
+        for position in range(1, self.n_opamps + 1):
+            if position in configurable_set:
+                parts.append(str(self.bits[position - 1]))
+            else:
+                parts.append("-")
+        return "".join(parts)
+
+    def uses_only(self, configurable: Iterable[int]) -> bool:
+        """True when every follower opamp belongs to ``configurable``."""
+        return self.follower_set <= set(configurable)
+
+    def describe(self) -> str:
+        if self.is_functional:
+            kind = "Funct. Conf"
+        elif self.is_transparent:
+            kind = "Transp. Conf"
+        else:
+            kind = "New Test Conf"
+        return f"{self.label} ({self.vector_string}): {kind}"
+
+
+def enumerate_configurations(
+    n_opamps: int,
+    include_functional: bool = True,
+    include_transparent: bool = False,
+) -> List[Configuration]:
+    """All configurations of an ``n_opamps`` circuit, in index order.
+
+    The paper's passive-fault study uses ``C_0 … C_{2^n − 2}`` — the
+    transparent configuration "obviously does not permit the detection of
+    the faults on passive components" — hence the default
+    ``include_transparent=False``.
+    """
+    if n_opamps < 1:
+        raise ConfigurationError("a DFT circuit needs at least 1 opamp")
+    configs = [Configuration(i, n_opamps) for i in range(2 ** n_opamps)]
+    if not include_transparent:
+        configs = [c for c in configs if not c.is_transparent]
+    if not include_functional:
+        configs = [c for c in configs if not c.is_functional]
+    return configs
+
+
+def configuration_from_bits(bits: Iterable[int]) -> Configuration:
+    """Build a configuration from ``(sel_1, …, sel_n)`` bits."""
+    bit_list = list(bits)
+    index = sum(bit << i for i, bit in enumerate(bit_list))
+    return Configuration(index, len(bit_list))
+
+
+def configuration_from_vector_string(
+    vector: str, n_opamps: Optional[int] = None
+) -> Configuration:
+    """Parse a printed vector (MSB first, as in Table 1) back into a config."""
+    cleaned = vector.strip()
+    if not cleaned or any(ch not in "01" for ch in cleaned):
+        raise ConfigurationError(f"bad configuration vector {vector!r}")
+    if n_opamps is not None and len(cleaned) != n_opamps:
+        raise ConfigurationError(
+            f"vector {vector!r} has {len(cleaned)} bits, expected {n_opamps}"
+        )
+    return configuration_from_bits(int(ch) for ch in reversed(cleaned))
+
+
+def configuration_table(n_opamps: int) -> List[Tuple[str, str, str]]:
+    """Rows of the paper's Table 1: (label, vector, description)."""
+    rows = []
+    for config in enumerate_configurations(
+        n_opamps, include_functional=True, include_transparent=True
+    ):
+        if config.is_functional:
+            description = "Funct. Conf"
+        elif config.is_transparent:
+            description = "Transp. Conf"
+        else:
+            description = "New Test Conf"
+        rows.append((config.label, config.vector_string, description))
+    return rows

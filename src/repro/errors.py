@@ -1,0 +1,70 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate between circuit-construction problems,
+analysis failures and optimization failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class CircuitError(ReproError):
+    """A circuit is malformed (bad topology, duplicate names, bad values)."""
+
+
+class NetlistSyntaxError(CircuitError):
+    """A textual netlist could not be parsed.
+
+    Parameters
+    ----------
+    message:
+        Human readable description of the problem.
+    line_number:
+        1-based line number in the netlist source, when known.
+    line:
+        The offending source line, when known.
+    """
+
+    def __init__(self, message: str, line_number: int = 0, line: str = ""):
+        self.line_number = line_number
+        self.line = line
+        if line_number:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class AnalysisError(ReproError):
+    """An analysis (AC sweep, pole extraction, ...) failed."""
+
+
+class SingularCircuitError(AnalysisError):
+    """The MNA system is singular at the requested frequency.
+
+    This typically indicates a floating node, a loop of ideal voltage
+    sources, or an ideal opamp without feedback.
+    """
+
+
+class FaultModelError(ReproError):
+    """A fault refers to a component that does not exist or cannot host it."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid DFT configuration was requested."""
+
+
+class OptimizationError(ReproError):
+    """The covering/optimization layer could not produce a solution."""
+
+
+class InfeasibleCoverError(OptimizationError):
+    """No configuration set can reach the maximum fault coverage.
+
+    Raised when a fault is detectable in no configuration at all yet the
+    caller required it to be covered.
+    """

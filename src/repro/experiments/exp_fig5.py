@@ -1,0 +1,73 @@
+"""E-F5 — Figure 5: the fault detectability matrix.
+
+Published mode replays the paper's matrix verbatim; simulated mode
+regenerates it end-to-end through the MNA fault simulator and reports the
+cell-level agreement with the published one (the component values differ,
+so perfect agreement is not expected — the structural properties are
+compared instead: C0 row, existence of covering configurations, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data import paper1998
+from ..reporting.report import ExperimentReport
+from ..reporting.tables import render_detectability_matrix
+from .paper import FAULT_ORDER, PUBLISHED, PaperScenario, check_mode, default_scenario
+
+
+def run(
+    mode: str = PUBLISHED, scenario: Optional[PaperScenario] = None
+) -> ExperimentReport:
+    check_mode(mode)
+    scenario = scenario or default_scenario()
+    report = ExperimentReport(
+        experiment_id="E-F5",
+        title=f"Figure 5 - fault detectability matrix [{mode}]",
+    )
+    published = paper1998.detectability_matrix()
+
+    if mode == PUBLISHED:
+        matrix = published
+    else:
+        matrix = scenario.detectability_matrix()
+
+    report.add_section(
+        "fault detectability matrix",
+        render_detectability_matrix(matrix, fault_order=FAULT_ORDER),
+    )
+
+    # Cell-level agreement with the published matrix.
+    same_cells = 0
+    for i, label in enumerate(published.config_labels):
+        for fault in FAULT_ORDER:
+            if matrix.entry(label, fault) == published.entry(label, fault):
+                same_cells += 1
+    total = published.n_configurations * published.n_faults
+    report.add_comparison(
+        "matching_cells", paper_value=total, measured_value=same_cells
+    )
+
+    c0_detected = set(matrix.faults_detected_by("C0"))
+    report.add_comparison(
+        "c0_row_matches_paper",
+        paper_value=1.0,
+        measured_value=float(c0_detected == {"fR1", "fR4"}),
+    )
+    report.add_value(
+        "ones_in_matrix", float(np.count_nonzero(matrix.data))
+    )
+    report.add_comparison(
+        "max_fault_coverage",
+        paper_value=paper1998.EXPECTED["fc_dft"],
+        measured_value=matrix.fault_coverage(),
+    )
+    undetectable = matrix.undetectable_faults()
+    report.add_section(
+        "faults detectable in no configuration",
+        ", ".join(undetectable) if undetectable else "(none)",
+    )
+    return report

@@ -1,0 +1,57 @@
+"""E-G1 — Graph 1: ω-detectability of the initial (DFT-free) filter.
+
+The paper finds the biquad poorly testable: only fR1 and fR4 are
+(partially) ω-detectable in the functional circuit, fault coverage 25%,
+average ω-detectability 12.5%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..data import paper1998
+from ..reporting.bars import render_bar_graph
+from ..reporting.report import ExperimentReport
+from .paper import FAULT_ORDER, PUBLISHED, PaperScenario, check_mode, default_scenario
+
+
+def run(
+    mode: str = PUBLISHED, scenario: Optional[PaperScenario] = None
+) -> ExperimentReport:
+    check_mode(mode)
+    scenario = scenario or default_scenario()
+    report = ExperimentReport(
+        experiment_id="E-G1",
+        title=f"Graph 1 - w-detectability of the initial filter [{mode}]",
+    )
+
+    if mode == PUBLISHED:
+        table = paper1998.initial_omega_row()
+    else:
+        table = scenario.omega_table().restricted(["C0"])
+    per_fault = {fault: table.value("C0", fault) for fault in FAULT_ORDER}
+
+    report.add_section(
+        "w-detectability per fault (functional configuration)",
+        render_bar_graph(per_fault, as_percent=True),
+    )
+
+    matrix = table.to_detectability_matrix()
+    coverage = matrix.fault_coverage(["C0"])
+    average = table.average_rate(["C0"])
+    report.add_comparison(
+        "fault_coverage",
+        paper_value=paper1998.EXPECTED["fc_initial"],
+        measured_value=coverage,
+    )
+    report.add_comparison(
+        "avg_omega_detectability",
+        paper_value=paper1998.EXPECTED["avg_omega_initial"],
+        measured_value=average,
+    )
+    detected = matrix.faults_detected_by("C0")
+    report.add_section(
+        "detectable faults",
+        ", ".join(detected) if detected else "(none)",
+    )
+    return report

@@ -1,0 +1,70 @@
+"""E-G2 — Graph 2: testability improvement brought by the brute-force DFT.
+
+Per-fault best-case ω-detectability of the DFT-modified filter against
+the initial one; the paper's headline: ⟨ω-det⟩ rises from 12.5% to 68.3%
+and every fault becomes detectable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..data import paper1998
+from ..reporting.bars import averages_line, render_grouped_bar_graph
+from ..reporting.report import ExperimentReport
+from .paper import FAULT_ORDER, PUBLISHED, PaperScenario, check_mode, default_scenario
+
+
+def run(
+    mode: str = PUBLISHED, scenario: Optional[PaperScenario] = None
+) -> ExperimentReport:
+    check_mode(mode)
+    scenario = scenario or default_scenario()
+    report = ExperimentReport(
+        experiment_id="E-G2",
+        title=(
+            "Graph 2 - initial vs DFT-modified w-detectability "
+            f"[{mode}]"
+        ),
+    )
+
+    if mode == PUBLISHED:
+        table = paper1998.omega_table()
+    else:
+        table = scenario.omega_table()
+
+    initial = {f: table.value("C0", f) for f in FAULT_ORDER}
+    modified = table.best_case()
+    series = {
+        "initial filter": initial,
+        "DFT-mod. filter": {f: modified[f] for f in FAULT_ORDER},
+    }
+    report.add_section(
+        "per-fault w-detectability",
+        render_grouped_bar_graph(series, fault_order=FAULT_ORDER),
+    )
+    report.add_section("averages", averages_line(series))
+
+    report.add_comparison(
+        "avg_omega_initial",
+        paper_value=paper1998.EXPECTED["avg_omega_initial"],
+        measured_value=table.average_rate(["C0"]),
+    )
+    report.add_comparison(
+        "avg_omega_dft",
+        paper_value=paper1998.EXPECTED["avg_omega_brute_force"],
+        measured_value=table.average_rate(),
+    )
+    improvement = table.average_rate() / max(
+        table.average_rate(["C0"]), 1e-12
+    )
+    paper_improvement = (
+        paper1998.EXPECTED["avg_omega_brute_force"]
+        / paper1998.EXPECTED["avg_omega_initial"]
+    )
+    report.add_comparison(
+        "improvement_factor",
+        paper_value=paper_improvement,
+        measured_value=improvement,
+    )
+    return report

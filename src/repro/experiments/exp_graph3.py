@@ -1,0 +1,89 @@
+"""E-G3 — §4.2 + Graph 3: configuration-count optimization.
+
+2nd-order requirement: minimum number of test configurations (test
+time); 3rd-order: maximum average ω-detectability.  On the published data
+the pipeline must land on S_opt = {C2, C5} with ⟨ω-det⟩ = 32.5%, beating
+{C1, C2} at 30%.  Graph 3 compares, per fault: initial circuit,
+brute-force DFT, and the optimized 2-configuration solution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.costs import AverageOmegaDetectability, ConfigurationCount
+from ..core.optimizer import DftOptimizer
+from ..data import paper1998
+from ..reporting.bars import averages_line, render_grouped_bar_graph
+from ..reporting.report import ExperimentReport
+from .paper import FAULT_ORDER, PUBLISHED, PaperScenario, check_mode, default_scenario
+
+
+def run(
+    mode: str = PUBLISHED, scenario: Optional[PaperScenario] = None
+) -> ExperimentReport:
+    check_mode(mode)
+    scenario = scenario or default_scenario()
+    report = ExperimentReport(
+        experiment_id="E-G3",
+        title=(
+            "Section 4.2 / Graph 3 - configuration-number optimization "
+            f"[{mode}]"
+        ),
+    )
+
+    if mode == PUBLISHED:
+        matrix = paper1998.detectability_matrix()
+        table = paper1998.omega_table()
+    else:
+        matrix = scenario.detectability_matrix()
+        table = scenario.omega_table()
+
+    optimizer = DftOptimizer(matrix, table)
+    result = optimizer.optimize(
+        [ConfigurationCount(), AverageOmegaDetectability(table=table)]
+    )
+    report.add_section("optimization trace", result.render())
+
+    selected = sorted(result.selected)
+    summary = optimizer.summarize_selection(result)
+    report.add_value("n_selected_configurations", summary["n_configurations"])
+    report.add_comparison(
+        "selection_coverage",
+        paper_value=summary["max_fault_coverage"],
+        measured_value=summary["fault_coverage"],
+    )
+
+    series = {
+        "initial": {f: table.value("C0", f) for f in FAULT_ORDER},
+        "brute force": table.best_case(),
+        "optimized": table.best_case(selected),
+    }
+    report.add_section(
+        "Graph 3 - per-fault w-detectability",
+        render_grouped_bar_graph(series, fault_order=FAULT_ORDER),
+    )
+    report.add_section("averages", averages_line(series))
+    report.add_value(
+        "avg_omega_optimized", table.average_rate(selected)
+    )
+
+    if mode == PUBLISHED:
+        report.add_comparison(
+            "selected_is_C2_C5",
+            paper_value=1.0,
+            measured_value=float(
+                result.selected == paper1998.EXPECTED_SELECTED_COVER
+            ),
+        )
+        report.add_comparison(
+            "avg_omega_selected",
+            paper_value=paper1998.EXPECTED["avg_omega_c2_c5"],
+            measured_value=table.average_rate(selected),
+        )
+        report.add_comparison(
+            "avg_omega_runner_up",
+            paper_value=paper1998.EXPECTED["avg_omega_c1_c2"],
+            measured_value=table.average_rate([1, 2]),
+        )
+    return report

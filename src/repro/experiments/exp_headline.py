@@ -1,0 +1,117 @@
+"""E-HL — headline fault-coverage numbers of the whole study.
+
+The paper's abstract/conclusion narrative in one table:
+
+* initial filter: FC 25%, ⟨ω-det⟩ 12.5%;
+* brute-force DFT (2³ configurations): FC 100%, ⟨ω-det⟩ 68.3%;
+* optimized 2-configuration set {C2, C5}: FC 100%, ⟨ω-det⟩ 32.5%;
+* partial DFT (2 configurable opamps, 4 configurations): FC 100%,
+  ⟨ω-det⟩ 52.5%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.costs import AverageOmegaDetectability, ConfigurationCount
+from ..core.covering import solve_covering
+from ..core.optimizer import DftOptimizer
+from ..core.partial_dft import optimize_partial_dft
+from ..data import paper1998
+from ..reporting.report import ExperimentReport
+from ..reporting.tables import render_table
+from .paper import PUBLISHED, PaperScenario, check_mode, default_scenario
+
+
+def run(
+    mode: str = PUBLISHED, scenario: Optional[PaperScenario] = None
+) -> ExperimentReport:
+    check_mode(mode)
+    scenario = scenario or default_scenario()
+    report = ExperimentReport(
+        experiment_id="E-HL",
+        title=f"Headline testability numbers [{mode}]",
+    )
+
+    if mode == PUBLISHED:
+        matrix = paper1998.detectability_matrix()
+        table = paper1998.omega_table()
+    else:
+        matrix = scenario.detectability_matrix()
+        table = scenario.omega_table()
+
+    optimizer = DftOptimizer(matrix, table)
+    optimized = optimizer.optimize(
+        [ConfigurationCount(), AverageOmegaDetectability(table=table)]
+    )
+    covering = solve_covering(matrix)
+    partial, _ = optimize_partial_dft(
+        covering, paper1998.N_OPAMPS, matrix, table
+    )
+    partial_usable = [
+        i for i in partial.permitted_indices if i in table.config_indices
+    ]
+
+    variants = [
+        ("initial filter", ["C0"]),
+        ("brute-force DFT", list(matrix.config_labels)),
+        (
+            "optimized configs "
+            + "{"
+            + ", ".join(f"C{i}" for i in sorted(optimized.selected))
+            + "}",
+            sorted(optimized.selected),
+        ),
+        (
+            "partial DFT "
+            + "{"
+            + ", ".join(
+                f"OP{p}" for p in sorted(partial.opamp_positions)
+            )
+            + "}",
+            partial_usable,
+        ),
+    ]
+    rows = []
+    for label, configs in variants:
+        rows.append(
+            [
+                label,
+                len(configs),
+                f"{100 * matrix.fault_coverage(configs):.1f}%",
+                f"{100 * table.average_rate(configs):.1f}%",
+            ]
+        )
+    report.add_section(
+        "summary",
+        render_table(
+            ["variant", "#configs", "fault coverage", "<w-det>"], rows
+        ),
+    )
+
+    report.add_comparison(
+        "fc_initial",
+        paper_value=paper1998.EXPECTED["fc_initial"],
+        measured_value=matrix.fault_coverage(["C0"]),
+    )
+    report.add_comparison(
+        "fc_dft",
+        paper_value=paper1998.EXPECTED["fc_dft"],
+        measured_value=matrix.fault_coverage(),
+    )
+    report.add_comparison(
+        "avg_omega_initial",
+        paper_value=paper1998.EXPECTED["avg_omega_initial"],
+        measured_value=table.average_rate(["C0"]),
+    )
+    report.add_comparison(
+        "avg_omega_brute_force",
+        paper_value=paper1998.EXPECTED["avg_omega_brute_force"],
+        measured_value=table.average_rate(),
+    )
+    report.add_comparison(
+        "avg_omega_partial",
+        paper_value=paper1998.EXPECTED["avg_omega_partial"],
+        measured_value=table.average_rate(partial_usable),
+    )
+    return report

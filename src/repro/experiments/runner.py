@@ -1,0 +1,82 @@
+"""Run every paper experiment in both modes and collect the reports.
+
+``python -m repro.experiments.runner`` prints the complete reproduction —
+all tables, figures, the scaling study and the ablations — which is also
+what ``examples/full_reproduction.py`` wraps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..reporting.report import ExperimentReport, render_reports
+from . import (
+    exp_ablations,
+    exp_covering,
+    exp_diagnosis,
+    exp_epsilon,
+    exp_fig5,
+    exp_graph1,
+    exp_graph2,
+    exp_graph3,
+    exp_graph4,
+    exp_headline,
+    exp_scaling,
+    exp_table1,
+    exp_table2,
+    exp_table3,
+    exp_table4,
+)
+from .paper import MODES, PaperScenario, default_scenario
+
+#: the per-table/figure drivers, in paper order
+DRIVERS = (
+    exp_table1,
+    exp_graph1,
+    exp_fig5,
+    exp_table2,
+    exp_graph2,
+    exp_covering,
+    exp_graph3,
+    exp_table3,
+    exp_table4,
+    exp_graph4,
+    exp_headline,
+    exp_diagnosis,
+)
+
+
+def run_paper_experiments(
+    modes=MODES, scenario: Optional[PaperScenario] = None
+) -> List[ExperimentReport]:
+    """Every table/figure driver, in each requested mode."""
+    scenario = scenario or default_scenario()
+    reports: List[ExperimentReport] = []
+    for driver in DRIVERS:
+        for mode in modes:
+            try:
+                reports.append(driver.run(mode, scenario=scenario))
+            except TypeError:
+                # structural drivers (Tables 1 and 3) take no scenario
+                reports.append(driver.run(mode))
+                break
+    return reports
+
+
+def run_all(include_scaling: bool = True, include_ablations: bool = True):
+    """The complete reproduction run."""
+    reports = run_paper_experiments()
+    if include_scaling:
+        reports.append(exp_scaling.run())
+    if include_ablations:
+        reports.extend(exp_ablations.run())
+        reports.append(exp_epsilon.run())
+    return reports
+
+
+def main() -> None:
+    print(render_reports(run_all()))
+
+
+if __name__ == "__main__":
+    main()

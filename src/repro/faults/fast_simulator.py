@@ -1,0 +1,288 @@
+"""Rank-1 (Sherman–Morrison) fast fault simulation.
+
+The paper's conclusion names the flow's bottleneck: building the fault
+detectability matrix "implies extensive fault simulation" — one AC sweep
+per (configuration, fault) pair.  This module removes almost all of that
+cost for the dominant fault class.
+
+A fault on a two-terminal element between nodes *i* and *j* changes the
+MNA matrix by a **rank-1 symmetric update**
+
+.. math:: A' = A + δ(ω)\\,u u^T, \\qquad u = e_i - e_j
+
+where ``δ(ω)`` is the admittance change (``Δg`` for a resistor,
+``jωΔC`` for a capacitor, ``1/r_short − jωC`` for a shorted capacitor,
+…).  By the Sherman–Morrison identity the faulty output voltage follows
+from the *nominal* solve:
+
+.. math::
+   x'_{out} = x_{out} -
+      \\frac{δ\\,(u^T x)}{1 + δ\\,(u^T A^{-1} u)} (A^{-1}u)_{out}
+
+so one batched multi-RHS solve per configuration — nominal excitation
+plus one unit vector per faulted node pair — replaces the per-fault
+sweeps entirely.  For the biquad campaign this turns 63 sweeps into 7,
+and the advantage grows linearly with the fault count.
+
+Faults outside the supported class (``MultipleFault``, faults on
+branch-based inductors whose replacement changes the matrix structure)
+fall back transparently to the exact per-fault engine, so
+:func:`simulate_faults_fast` is a drop-in replacement for
+:func:`repro.faults.simulator.simulate_faults` — the tests assert
+bit-identical detectability matrices and ω-tables to machine precision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.ac import FrequencyResponse
+from ..analysis.mna import MnaSystem
+from ..circuit.components import Capacitor, Resistor
+from ..circuit.netlist import Circuit
+from ..core.detectability import evaluate_detectability
+from ..dft.configuration import Configuration
+from ..dft.transform import MultiConfigurationCircuit
+from ..errors import AnalysisError, SingularCircuitError
+from .model import DeviationFault, Fault, OpenFault, ShortFault
+from .simulator import (
+    DetectabilityDataset,
+    SimulationSetup,
+    _fault_label,
+)
+from .universe import check_unique_names
+
+
+def _admittance_change(
+    fault: Fault, circuit: Circuit, omega: np.ndarray
+) -> Optional[Tuple[str, str, np.ndarray]]:
+    """(node+, node−, δ(ω)) of a rank-1 fault, or None if unsupported.
+
+    ``δ(ω)`` is the faulty-minus-nominal admittance of the element, per
+    frequency.
+    """
+    if not isinstance(fault, (DeviationFault, OpenFault, ShortFault)):
+        return None
+    element = circuit[fault.component] if fault.component in circuit else None
+    if element is None:
+        return None
+
+    if isinstance(element, Resistor):
+        y_old = np.full_like(omega, 1.0 / element.value, dtype=complex)
+    elif isinstance(element, Capacitor):
+        y_old = 1j * omega * element.value
+    else:
+        return None  # inductors replace a branch equation: not rank-1 here
+
+    if isinstance(fault, DeviationFault):
+        if isinstance(element, Resistor):
+            y_new = np.full_like(
+                omega,
+                1.0 / (element.value * (1.0 + fault.deviation)),
+                dtype=complex,
+            )
+        else:
+            y_new = 1j * omega * element.value * (1.0 + fault.deviation)
+    elif isinstance(fault, OpenFault):
+        y_new = np.full_like(omega, 1.0 / fault.r_open, dtype=complex)
+    else:  # ShortFault
+        y_new = np.full_like(omega, 1.0 / fault.r_short, dtype=complex)
+
+    return element.n1, element.n2, y_new - y_old
+
+
+def _sweep_with_updates(
+    circuit: Circuit,
+    output: str,
+    frequencies: np.ndarray,
+    rank1_faults: Sequence[Tuple[str, Tuple[str, str, np.ndarray]]],
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Nominal response plus every rank-1-faulty response in one pass.
+
+    Returns ``(nominal_values, {fault_label: faulty_values})``.
+    """
+    system = MnaSystem(circuit)
+    out_index = system.index_of(output)
+    omega = 2.0 * np.pi * frequencies
+    n = system.size
+
+    # Unique node pairs -> unit-difference vectors.
+    pair_of_label: Dict[str, Tuple[str, str]] = {}
+    pairs: List[Tuple[str, str]] = []
+    for label, (n1, n2, _) in rank1_faults:
+        pair = (n1, n2)
+        pair_of_label[label] = pair
+        if pair not in pairs:
+            pairs.append(pair)
+    pair_column = {pair: k + 1 for k, pair in enumerate(pairs)}
+
+    rhs = np.zeros((n, 1 + len(pairs)), dtype=complex)
+    rhs[:, 0] = system.z
+    u_vectors = np.zeros((n, len(pairs)))
+    for pair, column in pair_column.items():
+        i = system.index_of(pair[0])
+        j = system.index_of(pair[1])
+        if i >= 0:
+            u_vectors[i, column - 1] += 1.0
+        if j >= 0:
+            u_vectors[j, column - 1] -= 1.0
+        rhs[:, column] = u_vectors[:, column - 1]
+
+    nominal = np.empty(frequencies.size, dtype=complex)
+    faulty = {
+        label: np.empty(frequencies.size, dtype=complex)
+        for label, _ in rank1_faults
+    }
+
+    chunk = max(1, int(2_000_000 // max(n * n, 1)))
+    two_pi_j = 2j * np.pi
+    for start in range(0, frequencies.size, chunk):
+        freqs = frequencies[start:start + chunk]
+        f_slice = slice(start, start + freqs.size)
+        matrices = (
+            system.G[np.newaxis, :, :]
+            + (two_pi_j * freqs)[:, np.newaxis, np.newaxis]
+            * system.C[np.newaxis, :, :]
+        )
+        try:
+            solutions = np.linalg.solve(
+                matrices,
+                np.broadcast_to(rhs, (freqs.size,) + rhs.shape),
+            )
+        except np.linalg.LinAlgError:
+            raise SingularCircuitError(
+                f"{circuit.title}: singular within "
+                f"[{freqs[0]:g}, {freqs[-1]:g}] Hz"
+            ) from None
+        x = solutions[:, :, 0]                  # (F, n) nominal
+        w = solutions[:, :, 1:]                 # (F, n, P) = A^-1 U
+        x_out = (
+            x[:, out_index] if out_index >= 0 else np.zeros(freqs.size)
+        )
+        nominal[f_slice] = x_out
+
+        # u^T x and u^T A^-1 u per pair (einsum over the node axis).
+        ut_x = np.einsum("np,fn->fp", u_vectors, x)
+        ut_w = np.einsum("np,fnp->fp", u_vectors, w)
+        w_out = (
+            w[:, out_index, :]
+            if out_index >= 0
+            else np.zeros((freqs.size, len(pairs)))
+        )
+
+        omega_slice = omega[f_slice]
+        for label, (n1, n2, delta) in rank1_faults:
+            column = pair_column[(n1, n2)] - 1
+            d = delta[f_slice]
+            denominator = 1.0 + d * ut_w[:, column]
+            if np.any(np.abs(denominator) < 1e-300):
+                raise SingularCircuitError(
+                    f"{circuit.title}: rank-1 update singular for "
+                    f"{label}"
+                )
+            faulty[label][f_slice] = x_out - (
+                d * ut_x[:, column] / denominator
+            ) * w_out[:, column]
+
+    if not np.all(np.isfinite(nominal)):
+        raise SingularCircuitError(
+            f"{circuit.title}: non-finite nominal response"
+        )
+    return nominal, faulty
+
+
+def simulate_faults_fast(
+    mcc: MultiConfigurationCircuit,
+    faults: Sequence[Fault],
+    setup: SimulationSetup,
+    configs: Optional[Sequence[Configuration]] = None,
+) -> DetectabilityDataset:
+    """Drop-in fast variant of :func:`~repro.faults.simulator.simulate_faults`.
+
+    Produces numerically identical results; rank-1-compatible faults are
+    evaluated through the Sherman–Morrison identity, the remainder
+    through ordinary per-fault sweeps.  ``n_solves`` counts effective
+    full solves (1 per configuration + 1 per non-rank-1 fault), showing
+    the saving against the standard engine's ``configs × (faults + 1)``.
+    """
+    check_unique_names(faults)
+    if configs is None:
+        configs = mcc.configurations(
+            include_functional=True, include_transparent=False
+        )
+    if not configs:
+        raise AnalysisError("no configurations to simulate")
+
+    labels = [
+        _fault_label(fault, setup.fault_name_style) for fault in faults
+    ]
+    if len(set(labels)) != len(labels):
+        raise AnalysisError(
+            "fault labels collide; use fault_name_style='full'"
+        )
+
+    grid = setup.grid
+    frequencies = grid.frequencies_hz
+    omega = 2.0 * np.pi * frequencies
+    nominal: Dict[int, FrequencyResponse] = {}
+    results = {}
+    n_solves = 0
+
+    for config in configs:
+        emulated = mcc.emulate(config)
+        output = setup.output or emulated.output or mcc.base.output
+        if output is None:
+            raise AnalysisError("no output node designated")
+
+        rank1: List[Tuple[str, Tuple[str, str, np.ndarray]]] = []
+        slow: List[Tuple[Fault, str]] = []
+        for fault, label in zip(faults, labels):
+            change = _admittance_change(fault, emulated, omega)
+            if change is None:
+                slow.append((fault, label))
+            else:
+                rank1.append((label, change))
+
+        nominal_values, faulty_values = _sweep_with_updates(
+            emulated, output, frequencies, rank1
+        )
+        n_solves += 1
+        nominal_response = FrequencyResponse(
+            grid=grid,
+            values=nominal_values,
+            label=f"{emulated.title}:V({output})",
+        )
+        nominal[config.index] = nominal_response
+
+        for label, values in faulty_values.items():
+            faulty_response = FrequencyResponse(grid=grid, values=values)
+            results[(config.index, label)] = evaluate_detectability(
+                nominal_response,
+                faulty_response,
+                setup.epsilon,
+                setup.criterion,
+            )
+        for fault, label in slow:
+            from ..analysis.ac import ac_analysis
+
+            faulty_response = ac_analysis(
+                fault.apply(emulated), grid, output=output
+            )
+            n_solves += 1
+            results[(config.index, label)] = evaluate_detectability(
+                nominal_response,
+                faulty_response,
+                setup.epsilon,
+                setup.criterion,
+            )
+
+    return DetectabilityDataset(
+        configs=tuple(configs),
+        fault_labels=tuple(labels),
+        setup=setup,
+        nominal=nominal,
+        results=results,
+        n_solves=n_solves,
+    )

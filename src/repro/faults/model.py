@@ -1,0 +1,191 @@
+"""Fault models for analog circuits.
+
+The paper studies *soft* (parametric deviation) faults on passive
+components — "the 20% deviations from the nominal value for all resistors
+and capacitors".  :class:`DeviationFault` models exactly that.  As an
+extension the library also supports the classic *catastrophic* faults:
+:class:`OpenFault` (component becomes a very large impedance) and
+:class:`ShortFault` (component is bridged by a very small resistance).
+
+A fault is a pure transformation: ``fault.apply(circuit)`` returns a new
+faulty circuit and never mutates the original.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..circuit.components import Resistor, TwoTerminal
+from ..circuit.netlist import Circuit
+from ..errors import FaultModelError
+
+
+class Fault(abc.ABC):
+    """Abstract fault: a named circuit transformation."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Unique fault identifier, e.g. ``fR1+20%``."""
+
+    @property
+    @abc.abstractmethod
+    def component(self) -> str:
+        """Name of the faulted component."""
+
+    @abc.abstractmethod
+    def apply(self, circuit: Circuit) -> Circuit:
+        """Return a faulty copy of ``circuit``."""
+
+    def _target(self, circuit: Circuit) -> TwoTerminal:
+        if self.component not in circuit:
+            raise FaultModelError(
+                f"fault {self.name}: circuit {circuit.title!r} has no "
+                f"component {self.component!r}"
+            )
+        element = circuit[self.component]
+        if not isinstance(element, TwoTerminal):
+            raise FaultModelError(
+                f"fault {self.name}: component {self.component!r} is not a "
+                "two-terminal passive"
+            )
+        return element
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+@dataclass(frozen=True, repr=False)
+class DeviationFault(Fault):
+    """Soft fault: the component value deviates by ``deviation`` (relative).
+
+    ``DeviationFault("R1", +0.20)`` is the paper's ``f_R1``: the value of
+    R1 is 20% above nominal.
+    """
+
+    target: str
+    deviation: float
+
+    def __post_init__(self) -> None:
+        if self.deviation <= -1.0:
+            raise FaultModelError(
+                f"deviation {self.deviation:+.0%} would make "
+                f"{self.target} non-physical"
+            )
+        if self.deviation == 0.0:
+            raise FaultModelError("a 0% deviation is not a fault")
+
+    @property
+    def component(self) -> str:
+        return self.target
+
+    @property
+    def name(self) -> str:
+        return f"f{self.target}{self.deviation:+.0%}"
+
+    @property
+    def short_name(self) -> str:
+        """Paper-style name without the deviation suffix (``fR1``)."""
+        return f"f{self.target}"
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        element = self._target(circuit)
+        faulty = element.scaled(1.0 + self.deviation)
+        return circuit.with_replaced(self.target, faulty)
+
+
+@dataclass(frozen=True, repr=False)
+class OpenFault(Fault):
+    """Catastrophic open: the component is replaced by ``r_open`` ohms.
+
+    Replacing (rather than removing) the element keeps the node set of the
+    circuit intact, so probes and DFT wiring remain valid.
+    """
+
+    target: str
+    r_open: float = 1e12
+
+    @property
+    def component(self) -> str:
+        return self.target
+
+    @property
+    def name(self) -> str:
+        return f"f{self.target}:open"
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        element = self._target(circuit)
+        replacement = Resistor(element.name, element.n1, element.n2, self.r_open)
+        return circuit.with_replaced(self.target, replacement)
+
+
+@dataclass(frozen=True, repr=False)
+class ShortFault(Fault):
+    """Catastrophic short: the component is replaced by ``r_short`` ohms."""
+
+    target: str
+    r_short: float = 1e-1
+
+    @property
+    def component(self) -> str:
+        return self.target
+
+    @property
+    def name(self) -> str:
+        return f"f{self.target}:short"
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        element = self._target(circuit)
+        replacement = Resistor(
+            element.name, element.n1, element.n2, self.r_short
+        )
+        return circuit.with_replaced(self.target, replacement)
+
+
+@dataclass(frozen=True, repr=False)
+class MultipleFault(Fault):
+    """Simultaneous occurrence of several single faults.
+
+    The paper's study is single-fault (the standard assumption); this
+    extension composes faults so double-fault coverage and the
+    robustness of diagnosis dictionaries against fault masking can be
+    measured.  Components must be distinct — two faults on the same
+    component do not model a physical defect pair.
+    """
+
+    parts: Tuple[Fault, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise FaultModelError(
+                "a multiple fault needs at least two constituent faults"
+            )
+        components = [part.component for part in self.parts]
+        if len(set(components)) != len(components):
+            raise FaultModelError(
+                "multiple fault repeats a component: "
+                + ", ".join(components)
+            )
+
+    @property
+    def component(self) -> str:
+        """Comma-joined component list (first component for sorting)."""
+        return ",".join(part.component for part in self.parts)
+
+    @property
+    def name(self) -> str:
+        return "+".join(part.name for part in self.parts)
+
+    @property
+    def short_name(self) -> str:
+        parts = []
+        for part in self.parts:
+            parts.append(getattr(part, "short_name", part.name))
+        return "&".join(parts)
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        for part in self.parts:
+            circuit = part.apply(circuit)
+        return circuit

@@ -1,0 +1,294 @@
+"""Fault × configuration simulation engine.
+
+This is the computational bottleneck the paper names in its conclusion —
+"the fault detectability matrix construction implies extensive fault
+simulation".  The engine sweeps every fault of a universe through every
+requested DFT configuration:
+
+* one nominal AC sweep per configuration (cached),
+* one faulty AC sweep per (configuration, fault) pair,
+* Definition 1 / Definition 2 evaluation of each pair.
+
+The result is a :class:`DetectabilityDataset` from which the
+fault-detectability matrix (Fig. 5), the ω-detectability table (Table 2)
+and the per-pair detection masks (for test-frequency selection) are all
+derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.ac import FrequencyResponse, ac_analysis
+from ..analysis.sweep import FrequencyGrid
+from ..core.detectability import DetectabilityResult, evaluate_detectability
+from ..core.matrix import FaultDetectabilityMatrix, OmegaDetectabilityTable
+from ..dft.configuration import Configuration
+from ..dft.transform import MultiConfigurationCircuit
+from ..errors import AnalysisError
+from .model import Fault
+from .universe import check_unique_names
+
+
+@dataclass(frozen=True)
+class SimulationSetup:
+    """Shared parameters of a fault-simulation campaign.
+
+    Parameters
+    ----------
+    grid:
+        Frequency grid implementing Ω_reference.
+    epsilon:
+        Relative detection tolerance ε (the paper uses 10%).
+    output:
+        Probe node; defaults to the base circuit's designated output.
+    criterion:
+        Deviation criterion — ``"band"`` (tolerance band around the
+        magnitude response, the paper's Figure 2 picture, default) or
+        ``"relative"`` (point-wise ``|ΔT/T|``).
+    fault_name_style:
+        ``"short"`` names columns ``fR1`` like the paper (requires a
+        single fault per component); ``"full"`` keeps unique fault names
+        like ``fR1+20%``.
+    """
+
+    grid: FrequencyGrid
+    epsilon: float = 0.10
+    output: Optional[str] = None
+    criterion: str = "band"
+    fault_name_style: str = "short"
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise AnalysisError("epsilon must be > 0")
+        if self.criterion not in ("band", "relative"):
+            raise AnalysisError(
+                f"unknown deviation criterion {self.criterion!r}"
+            )
+        if self.fault_name_style not in ("short", "full"):
+            raise AnalysisError(
+                f"unknown fault_name_style {self.fault_name_style!r}"
+            )
+
+
+def _fault_label(fault: Fault, style: str) -> str:
+    if style == "short" and hasattr(fault, "short_name"):
+        return fault.short_name  # type: ignore[attr-defined]
+    return fault.name
+
+
+@dataclass
+class DetectabilityDataset:
+    """All raw results of one fault-simulation campaign."""
+
+    configs: Tuple[Configuration, ...]
+    fault_labels: Tuple[str, ...]
+    setup: SimulationSetup
+    nominal: Dict[int, FrequencyResponse]
+    results: Dict[Tuple[int, str], DetectabilityResult]
+    n_solves: int = 0
+    _matrix: Optional[FaultDetectabilityMatrix] = field(
+        default=None, repr=False
+    )
+    _table: Optional[OmegaDetectabilityTable] = field(
+        default=None, repr=False
+    )
+
+    # ------------------------------------------------------------------
+    @property
+    def config_labels(self) -> Tuple[str, ...]:
+        return tuple(c.label for c in self.configs)
+
+    @property
+    def config_indices(self) -> Tuple[int, ...]:
+        return tuple(c.index for c in self.configs)
+
+    def result(self, config: Configuration, fault_label: str) -> DetectabilityResult:
+        return self.results[(config.index, fault_label)]
+
+    # ------------------------------------------------------------------
+    def detectability_matrix(self) -> FaultDetectabilityMatrix:
+        """Boolean Definition 1 matrix (paper Fig. 5)."""
+        if self._matrix is None:
+            data = np.array(
+                [
+                    [
+                        self.results[(c.index, fault)].detectable
+                        for fault in self.fault_labels
+                    ]
+                    for c in self.configs
+                ],
+                dtype=bool,
+            )
+            self._matrix = FaultDetectabilityMatrix(
+                config_labels=self.config_labels,
+                fault_names=self.fault_labels,
+                data=data,
+                config_indices=self.config_indices,
+            )
+        return self._matrix
+
+    def omega_table(self) -> OmegaDetectabilityTable:
+        """ω-detectability table (paper Table 2)."""
+        if self._table is None:
+            data = np.array(
+                [
+                    [
+                        self.results[(c.index, fault)].omega_detectability
+                        for fault in self.fault_labels
+                    ]
+                    for c in self.configs
+                ],
+                dtype=float,
+            )
+            self._table = OmegaDetectabilityTable(
+                config_labels=self.config_labels,
+                fault_names=self.fault_labels,
+                data=data,
+                config_indices=self.config_indices,
+            )
+        return self._table
+
+    def detection_mask(
+        self, config: Configuration, fault_label: str
+    ) -> np.ndarray:
+        """Per-frequency detectability of one pair (for ω-domain covers)."""
+        return self.results[(config.index, fault_label)].mask
+
+    def restricted(
+        self, configs: Sequence[Configuration]
+    ) -> "DetectabilityDataset":
+        """Dataset keeping only ``configs`` (e.g. a partial DFT's)."""
+        keep = tuple(configs)
+        keep_indices = {c.index for c in keep}
+        return DetectabilityDataset(
+            configs=keep,
+            fault_labels=self.fault_labels,
+            setup=self.setup,
+            nominal={
+                i: r for i, r in self.nominal.items() if i in keep_indices
+            },
+            results={
+                key: r
+                for key, r in self.results.items()
+                if key[0] in keep_indices
+            },
+            n_solves=self.n_solves,
+        )
+
+
+def simulate_faults(
+    mcc: MultiConfigurationCircuit,
+    faults: Sequence[Fault],
+    setup: SimulationSetup,
+    configs: Optional[Sequence[Configuration]] = None,
+) -> DetectabilityDataset:
+    """Run the full fault × configuration campaign.
+
+    Parameters
+    ----------
+    mcc:
+        The DFT-instrumented circuit.
+    faults:
+        Fault universe (unique names required).
+    setup:
+        Grid / tolerance / probe parameters.
+    configs:
+        Configurations to simulate; defaults to every configuration the
+        DFT can emulate except the transparent one (the paper's
+        ``C0 … C6`` for the 3-opamp biquad).
+    """
+    check_unique_names(faults)
+    if configs is None:
+        configs = mcc.configurations(
+            include_functional=True, include_transparent=False
+        )
+    if not configs:
+        raise AnalysisError("no configurations to simulate")
+
+    labels = [
+        _fault_label(fault, setup.fault_name_style) for fault in faults
+    ]
+    if len(set(labels)) != len(labels):
+        raise AnalysisError(
+            "fault labels collide; use fault_name_style='full' for "
+            "universes with several faults per component"
+        )
+
+    nominal: Dict[int, FrequencyResponse] = {}
+    results: Dict[Tuple[int, str], DetectabilityResult] = {}
+    n_solves = 0
+
+    for config in configs:
+        emulated = mcc.emulate(config)
+        # Probe priority: explicit setup override, then the emulated
+        # circuit's own output (parasitics may move it to the external
+        # pin), then the base circuit's.
+        output = setup.output or emulated.output or mcc.base.output
+        nominal_response = ac_analysis(emulated, setup.grid, output=output)
+        nominal[config.index] = nominal_response
+        n_solves += 1
+        for fault, label in zip(faults, labels):
+            faulty_circuit = fault.apply(emulated)
+            faulty_response = ac_analysis(
+                faulty_circuit, setup.grid, output=output
+            )
+            n_solves += 1
+            results[(config.index, label)] = evaluate_detectability(
+                nominal_response,
+                faulty_response,
+                setup.epsilon,
+                setup.criterion,
+            )
+
+    return DetectabilityDataset(
+        configs=tuple(configs),
+        fault_labels=tuple(labels),
+        setup=setup,
+        nominal=nominal,
+        results=results,
+        n_solves=n_solves,
+    )
+
+
+def simulate_single_configuration(
+    circuit,
+    faults: Sequence[Fault],
+    setup: SimulationSetup,
+    label: str = "C0",
+) -> DetectabilityDataset:
+    """Fault simulation of a bare circuit (no DFT) as configuration C0.
+
+    Used for the initial-testability studies (paper §2, Graph 1).
+    """
+    check_unique_names(faults)
+    labels = [
+        _fault_label(fault, setup.fault_name_style) for fault in faults
+    ]
+    output = setup.output or circuit.output
+    nominal_response = ac_analysis(circuit, setup.grid, output=output)
+    results: Dict[Tuple[int, str], DetectabilityResult] = {}
+    n_solves = 1
+    for fault, fault_label in zip(faults, labels):
+        faulty_response = ac_analysis(
+            fault.apply(circuit), setup.grid, output=output
+        )
+        n_solves += 1
+        results[(0, fault_label)] = evaluate_detectability(
+            nominal_response,
+            faulty_response,
+            setup.epsilon,
+            setup.criterion,
+        )
+    config = Configuration(0, 1)
+    return DetectabilityDataset(
+        configs=(config,),
+        fault_labels=tuple(labels),
+        setup=setup,
+        nominal={0: nominal_response},
+        results=results,
+        n_solves=n_solves,
+    )

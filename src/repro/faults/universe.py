@@ -1,0 +1,134 @@
+"""Fault-list (fault universe) generation policies.
+
+The paper's fault list is "the 20% deviations from the nominal value for
+all resistors and capacitors" — one fault per passive component.
+:func:`deviation_faults` generates that list; the other factories build
+richer universes (bidirectional deviations, catastrophic faults) used by
+the extension experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..circuit.netlist import Circuit
+from ..errors import FaultModelError
+from .model import DeviationFault, Fault, OpenFault, ShortFault
+
+
+def _component_names(
+    circuit: Circuit, components: Optional[Sequence[str]]
+) -> List[str]:
+    if components is None:
+        names = [element.name for element in circuit.passives()]
+    else:
+        names = list(components)
+        for name in names:
+            if name not in circuit:
+                raise FaultModelError(
+                    f"{circuit.title}: no component {name!r} for fault list"
+                )
+    if not names:
+        raise FaultModelError(
+            f"{circuit.title}: no passive components to build faults on"
+        )
+    return names
+
+
+def deviation_faults(
+    circuit: Circuit,
+    deviation: float = 0.20,
+    components: Optional[Sequence[str]] = None,
+) -> List[DeviationFault]:
+    """One deviation fault per passive component (the paper's universe).
+
+    Parameters
+    ----------
+    circuit:
+        Circuit whose passives define the universe.
+    deviation:
+        Relative deviation; the paper uses +20%.
+    components:
+        Restrict to these components (default: every R, L, C).
+    """
+    return [
+        DeviationFault(name, deviation)
+        for name in _component_names(circuit, components)
+    ]
+
+
+def bidirectional_deviation_faults(
+    circuit: Circuit,
+    deviation: float = 0.20,
+    components: Optional[Sequence[str]] = None,
+) -> List[DeviationFault]:
+    """Both +deviation and −deviation faults per component."""
+    faults: List[DeviationFault] = []
+    for name in _component_names(circuit, components):
+        faults.append(DeviationFault(name, +deviation))
+        faults.append(DeviationFault(name, -deviation))
+    return faults
+
+
+def catastrophic_faults(
+    circuit: Circuit,
+    components: Optional[Sequence[str]] = None,
+    include_opens: bool = True,
+    include_shorts: bool = True,
+) -> List[Fault]:
+    """Open and/or short faults per passive component."""
+    if not include_opens and not include_shorts:
+        raise FaultModelError(
+            "catastrophic universe needs opens, shorts or both"
+        )
+    faults: List[Fault] = []
+    for name in _component_names(circuit, components):
+        if include_opens:
+            faults.append(OpenFault(name))
+        if include_shorts:
+            faults.append(ShortFault(name))
+    return faults
+
+
+def combined_universe(
+    circuit: Circuit,
+    deviation: float = 0.20,
+    components: Optional[Sequence[str]] = None,
+) -> List[Fault]:
+    """Soft + catastrophic universe (extension experiments)."""
+    universe: List[Fault] = []
+    universe.extend(deviation_faults(circuit, deviation, components))
+    universe.extend(catastrophic_faults(circuit, components))
+    return universe
+
+
+def check_unique_names(faults: Iterable[Fault]) -> None:
+    """Raise when two faults share a name (would corrupt matrices)."""
+    seen = set()
+    for fault in faults:
+        if fault.name in seen:
+            raise FaultModelError(f"duplicate fault name {fault.name!r}")
+        seen.add(fault.name)
+
+
+def double_deviation_faults(
+    circuit: Circuit,
+    deviation: float = 0.20,
+    components: Optional[Sequence[str]] = None,
+) -> List["MultipleFault"]:
+    """All unordered component pairs, both deviated by ``deviation``.
+
+    Extension universe for double-fault studies: ``n`` components yield
+    ``n·(n−1)/2`` simultaneous-pair faults.
+    """
+    from itertools import combinations
+
+    from .model import MultipleFault
+
+    names = _component_names(circuit, components)
+    return [
+        MultipleFault(
+            (DeviationFault(a, deviation), DeviationFault(b, deviation))
+        )
+        for a, b in combinations(names, 2)
+    ]

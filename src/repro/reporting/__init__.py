@@ -1,0 +1,45 @@
+"""Plain-text rendering of matrices, tables, bar graphs and reports."""
+
+from .bars import (
+    averages_line,
+    render_bar,
+    render_bar_graph,
+    render_grouped_bar_graph,
+)
+from .export import (
+    dataset_to_json,
+    matrix_to_csv,
+    matrix_to_json,
+    omega_table_to_csv,
+    omega_table_to_json,
+    parse_matrix_csv,
+)
+from .report import ExperimentReport, print_report, render_reports
+from .tables import (
+    render_configuration_table,
+    render_detectability_matrix,
+    render_mapping_table,
+    render_omega_table,
+    render_table,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "averages_line",
+    "dataset_to_json",
+    "matrix_to_csv",
+    "matrix_to_json",
+    "omega_table_to_csv",
+    "omega_table_to_json",
+    "parse_matrix_csv",
+    "print_report",
+    "render_bar",
+    "render_bar_graph",
+    "render_configuration_table",
+    "render_detectability_matrix",
+    "render_grouped_bar_graph",
+    "render_mapping_table",
+    "render_omega_table",
+    "render_reports",
+    "render_table",
+]

@@ -1,0 +1,97 @@
+"""ASCII bar graphs reproducing the paper's Graphs 1–4.
+
+The paper's graphs are per-fault ω-detectability bar charts, optionally
+with several series (initial / brute-force DFT / optimized DFT).  These
+renderers produce the same information as labelled horizontal text bars.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..errors import ReproError
+
+_FULL = "#"
+_EMPTY = "."
+
+
+def render_bar(
+    value: float, width: int = 40, vmax: float = 1.0
+) -> str:
+    """One horizontal bar, ``value`` out of ``vmax``."""
+    if width < 1:
+        raise ReproError("bar width must be >= 1")
+    if vmax <= 0:
+        raise ReproError("bar maximum must be > 0")
+    clamped = min(max(value, 0.0), vmax)
+    filled = int(round(width * clamped / vmax))
+    return _FULL * filled + _EMPTY * (width - filled)
+
+
+def render_bar_graph(
+    values: Mapping[str, float],
+    title: Optional[str] = None,
+    width: int = 40,
+    as_percent: bool = True,
+) -> str:
+    """Single-series bar graph (paper Graph 1 style).
+
+    ``values`` maps labels (fault names) to values in [0, 1].
+    """
+    lines = [title] if title else []
+    label_width = max((len(k) for k in values), default=0)
+    for label, value in values.items():
+        suffix = f"{100 * value:6.1f}%" if as_percent else f"{value:8.3f}"
+        lines.append(
+            f"{label.ljust(label_width)} |{render_bar(value, width)}| "
+            f"{suffix}"
+        )
+    return "\n".join(lines)
+
+
+def render_grouped_bar_graph(
+    series: Mapping[str, Mapping[str, float]],
+    fault_order: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    width: int = 40,
+) -> str:
+    """Multi-series bar graph (paper Graphs 2/3/4 style).
+
+    ``series`` maps a series name (e.g. ``"initial"``, ``"brute force"``,
+    ``"optimized"``) to its per-fault values.  Faults become groups, one
+    bar per series inside each group.
+    """
+    if not series:
+        raise ReproError("no series to render")
+    first = next(iter(series.values()))
+    faults = list(fault_order or first.keys())
+    series_width = max(len(name) for name in series)
+    lines = [title] if title else []
+    for fault in faults:
+        lines.append(f"{fault}:")
+        for name, values in series.items():
+            value = values.get(fault, 0.0)
+            lines.append(
+                f"  {name.ljust(series_width)} "
+                f"|{render_bar(value, width)}| {100 * value:6.1f}%"
+            )
+    return "\n".join(lines)
+
+
+def averages_line(series: Mapping[str, Mapping[str, float]]) -> str:
+    """One-line summary of per-series average values."""
+    parts = []
+    for name, values in series.items():
+        if values:
+            average = sum(values.values()) / len(values)
+        else:
+            average = 0.0
+        parts.append(f"<w-det>({name}) = {100 * average:.1f}%")
+    return ", ".join(parts)
+
+
+def series_from_best_case(
+    per_fault: Dict[str, float]
+) -> Dict[str, float]:
+    """Identity helper kept for symmetry with the table builders."""
+    return dict(per_fault)

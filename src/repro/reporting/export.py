@@ -1,0 +1,137 @@
+"""Machine-readable export of matrices, tables and datasets.
+
+Benchmarks print ASCII; downstream tooling (spreadsheets, notebooks, ATE
+flows) wants CSV and JSON.  These functions serialise the central data
+artefacts losslessly and deterministically (sorted keys, fixed column
+order), so exported files diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Optional, Sequence
+
+from ..core.matrix import FaultDetectabilityMatrix, OmegaDetectabilityTable
+
+
+def matrix_to_csv(
+    matrix: FaultDetectabilityMatrix,
+    fault_order: Optional[Sequence[str]] = None,
+) -> str:
+    """Fault detectability matrix as CSV (0/1 cells)."""
+    faults = list(fault_order or matrix.fault_names)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["configuration"] + faults)
+    for i, label in enumerate(matrix.config_labels):
+        writer.writerow(
+            [label]
+            + [
+                int(matrix.data[i, matrix.column_of(f)])
+                for f in faults
+            ]
+        )
+    return buffer.getvalue()
+
+
+def omega_table_to_csv(
+    table: OmegaDetectabilityTable,
+    fault_order: Optional[Sequence[str]] = None,
+    as_percent: bool = True,
+) -> str:
+    """ω-detectability table as CSV."""
+    faults = list(fault_order or table.fault_names)
+    scale = 100.0 if as_percent else 1.0
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["configuration"] + faults)
+    for i, label in enumerate(table.config_labels):
+        writer.writerow(
+            [label]
+            + [
+                f"{scale * table.data[i, table.column_of(f)]:.6g}"
+                for f in faults
+            ]
+        )
+    return buffer.getvalue()
+
+
+def matrix_to_json(matrix: FaultDetectabilityMatrix) -> str:
+    """Fault detectability matrix as JSON (nested dict form)."""
+    return json.dumps(
+        {
+            "configurations": list(matrix.config_labels),
+            "config_indices": list(matrix.config_indices),
+            "faults": list(matrix.fault_names),
+            "detectability": matrix.as_dict(),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def omega_table_to_json(table: OmegaDetectabilityTable) -> str:
+    """ω-detectability table as JSON (fractions in [0, 1])."""
+    payload = {
+        "configurations": list(table.config_labels),
+        "config_indices": list(table.config_indices),
+        "faults": list(table.fault_names),
+        "omega_detectability": {
+            label: {
+                fault: float(table.data[i, j])
+                for j, fault in enumerate(table.fault_names)
+            }
+            for i, label in enumerate(table.config_labels)
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def dataset_to_json(dataset) -> str:
+    """A :class:`~repro.faults.simulator.DetectabilityDataset` summary.
+
+    Exports the scalar verdicts per (configuration, fault) — detectable,
+    ω-detectability, peak deviation and its frequency — not the raw
+    masks (use the matrices for the grid-level data).
+    """
+    results = {}
+    for (config_index, fault), result in sorted(dataset.results.items()):
+        results.setdefault(f"C{config_index}", {})[fault] = {
+            "detectable": bool(result.detectable),
+            "omega_detectability": float(result.omega_detectability),
+            "max_deviation": float(result.max_deviation),
+            "f_max_deviation_hz": float(result.f_max_deviation_hz),
+        }
+    payload = {
+        "epsilon": dataset.setup.epsilon,
+        "criterion": dataset.setup.criterion,
+        "grid": {
+            "f_start_hz": dataset.setup.grid.f_start,
+            "f_stop_hz": dataset.setup.grid.f_stop,
+            "points_per_decade": dataset.setup.grid.points_per_decade,
+        },
+        "configurations": list(dataset.config_labels),
+        "faults": list(dataset.fault_labels),
+        "results": results,
+        "n_solves": dataset.n_solves,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def parse_matrix_csv(text: str) -> FaultDetectabilityMatrix:
+    """Inverse of :func:`matrix_to_csv` (for round-trip workflows)."""
+    import numpy as np
+
+    rows = list(csv.reader(io.StringIO(text)))
+    header = rows[0]
+    faults = tuple(header[1:])
+    labels = tuple(row[0] for row in rows[1:])
+    data = np.array(
+        [[int(cell) for cell in row[1:]] for row in rows[1:]],
+        dtype=bool,
+    )
+    return FaultDetectabilityMatrix(
+        config_labels=labels, fault_names=faults, data=data
+    )

@@ -1,0 +1,80 @@
+"""Experiment report assembly.
+
+An :class:`ExperimentReport` is an ordered collection of named sections
+(free text, tables, bar graphs, key/value summaries) with a single
+``render()`` producing the benchmark's printable output.  Keeping the
+assembly in one place makes every ``benchmarks/test_bench_*.py`` short
+and uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class ExperimentReport:
+    """Printable record of one reproduced table/figure."""
+
+    experiment_id: str
+    title: str
+    sections: List[Tuple[str, str]] = field(default_factory=list)
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def add_section(self, heading: str, body: str) -> None:
+        self.sections.append((heading, body))
+
+    def add_value(self, key: str, value: float) -> None:
+        """Record a scalar for paper-vs-measured comparison tables."""
+        self.values[key] = float(value)
+
+    def add_comparison(
+        self,
+        key: str,
+        paper_value: float,
+        measured_value: float,
+    ) -> None:
+        """Record a paper-vs-measured pair under ``key``."""
+        self.values[f"{key}.paper"] = float(paper_value)
+        self.values[f"{key}.measured"] = float(measured_value)
+
+    def comparison_rows(self) -> List[Tuple[str, float, float]]:
+        """(key, paper, measured) triplets recorded so far."""
+        rows = []
+        for key in sorted(self.values):
+            if key.endswith(".paper"):
+                stem = key[: -len(".paper")]
+                measured = self.values.get(f"{stem}.measured")
+                if measured is not None:
+                    rows.append((stem, self.values[key], measured))
+        return rows
+
+    def render(self) -> str:
+        bar = "=" * 72
+        lines = [bar, f"[{self.experiment_id}] {self.title}", bar]
+        for heading, body in self.sections:
+            lines.append("")
+            lines.append(f"--- {heading} ---")
+            lines.append(body)
+        comparisons = self.comparison_rows()
+        if comparisons:
+            lines.append("")
+            lines.append("--- paper vs measured ---")
+            for key, paper, measured in comparisons:
+                lines.append(
+                    f"{key}: paper={paper:g}  measured={measured:g}"
+                )
+        return "\n".join(lines)
+
+
+def render_reports(reports: List[ExperimentReport]) -> str:
+    """Concatenate several reports (for run-everything scripts)."""
+    return "\n\n".join(report.render() for report in reports)
+
+
+def print_report(report: ExperimentReport) -> Optional[str]:
+    """Print a report and return its text (convenience for benches)."""
+    text = report.render()
+    print(text)
+    return text

@@ -1,0 +1,84 @@
+"""ASCII table renderers for matrices, tables and experiment output.
+
+All benchmark output is plain monospaced text (the paper's tables are
+small), rendered deterministically so textual diffs of benchmark output
+are meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.matrix import FaultDetectabilityMatrix, OmegaDetectabilityTable
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a generic ASCII table with column alignment."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(c) for c in row] for row in rows)
+    widths = [
+        max(len(row[i]) for row in cells) for i in range(len(headers))
+    ]
+
+    def fmt(row: List[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(row, widths))
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append(rule)
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def render_detectability_matrix(
+    matrix: FaultDetectabilityMatrix,
+    title: str = "Fault detectability matrix",
+    fault_order: Optional[Sequence[str]] = None,
+) -> str:
+    """Paper Fig. 5 style rendering (0/1 entries)."""
+    faults = list(fault_order or matrix.fault_names)
+    columns = [matrix.column_of(f) for f in faults]
+    rows = []
+    for i, label in enumerate(matrix.config_labels):
+        rows.append(
+            [label] + [int(matrix.data[i, j]) for j in columns]
+        )
+    return render_table(["conf"] + faults, rows, title=title)
+
+
+def render_omega_table(
+    table: OmegaDetectabilityTable,
+    title: str = "w-detectability table [%]",
+    fault_order: Optional[Sequence[str]] = None,
+    decimals: int = 1,
+) -> str:
+    """Paper Table 2/4 style rendering (percentages)."""
+    faults = list(fault_order or table.fault_names)
+    columns = [table.column_of(f) for f in faults]
+    rows = []
+    for i, label in enumerate(table.config_labels):
+        rows.append(
+            [label]
+            + [
+                f"{100.0 * table.data[i, j]:.{decimals}f}"
+                for j in columns
+            ]
+        )
+    return render_table(["conf"] + faults, rows, title=title)
+
+
+def render_configuration_table(rows: Sequence[Sequence[str]]) -> str:
+    """Paper Table 1 rendering: (label, vector, description) rows."""
+    return render_table(["Conf", "Vector", "Description"], rows)
+
+
+def render_mapping_table(rows: Sequence[Sequence[str]]) -> str:
+    """Paper Table 3 rendering: (label, opamp product) rows."""
+    return render_table(["Conf", "Conf Op"], rows)

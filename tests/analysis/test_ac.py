@@ -1,0 +1,144 @@
+"""Tests for AC analysis and FrequencyResponse."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FrequencyGrid,
+    ac_analysis,
+    dc_gain,
+    decade_grid,
+    transfer_at,
+)
+from repro.analysis.ac import FrequencyResponse
+from repro.circuit import Circuit
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def rc():
+    c = Circuit("rc", output="out")
+    c.voltage_source("V1", "in")
+    c.resistor("R1", "in", "out", 1e3)
+    c.capacitor("C1", "out", "0", 1e-6)
+    return c
+
+
+@pytest.fixture
+def rc_grid():
+    return decade_grid(159.15, 2, 2, points_per_decade=25)
+
+
+class TestAcAnalysis:
+    def test_passband_unity(self, rc, rc_grid):
+        response = ac_analysis(rc, rc_grid)
+        assert response.magnitude[0] == pytest.approx(1.0, rel=1e-3)
+
+    def test_stopband_rolloff(self, rc, rc_grid):
+        response = ac_analysis(rc, rc_grid)
+        # 2 decades above the corner: -40 dB
+        assert response.magnitude_db[-1] == pytest.approx(-40.0, abs=0.1)
+
+    def test_phase_at_corner(self, rc, rc_grid):
+        response = ac_analysis(rc, rc_grid)
+        assert response.phase_deg[len(rc_grid) // 2] == pytest.approx(
+            -45.0, abs=1.0
+        )
+
+    def test_explicit_output_overrides(self, rc, rc_grid):
+        response = ac_analysis(rc, rc_grid, output="in")
+        assert np.allclose(response.magnitude, 1.0)
+
+    def test_missing_output_raises(self, rc_grid):
+        c = Circuit("noout")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "0", 1e3)
+        with pytest.raises(AnalysisError, match="output"):
+            ac_analysis(c, rc_grid)
+
+    def test_label_default(self, rc, rc_grid):
+        response = ac_analysis(rc, rc_grid)
+        assert "rc" in response.label and "out" in response.label
+
+
+class TestFrequencyResponse:
+    def test_at_picks_closest(self, rc, rc_grid):
+        response = ac_analysis(rc, rc_grid)
+        assert abs(response.at(159.15)) == pytest.approx(
+            2 ** -0.5, rel=0.01
+        )
+
+    def test_peak(self, rc, rc_grid):
+        response = ac_analysis(rc, rc_grid)
+        f_peak, magnitude = response.peak()
+        assert f_peak == pytest.approx(rc_grid.f_start)
+        assert magnitude == pytest.approx(1.0, rel=1e-3)
+
+    def test_relative_deviation_zero_for_identical(self, rc, rc_grid):
+        response = ac_analysis(rc, rc_grid)
+        assert np.allclose(response.relative_deviation(response), 0.0)
+
+    def test_relative_deviation_gain_fault(self, rc, rc_grid):
+        nominal = ac_analysis(rc, rc_grid)
+        faulty = ac_analysis(rc.with_scaled("R1", 2.0), rc_grid)
+        deviation = nominal.relative_deviation(faulty)
+        # In the deep stopband |T| ~ 1/(w R C): halved by doubling R.
+        assert deviation[-1] == pytest.approx(0.5, abs=0.01)
+
+    def test_band_deviation_vanishes_in_stopband(self, rc, rc_grid):
+        nominal = ac_analysis(rc, rc_grid)
+        faulty = ac_analysis(rc.with_scaled("R1", 2.0), rc_grid)
+        band = nominal.band_deviation(faulty)
+        assert band[-1] < 0.01  # tiny absolute change deep in stopband
+
+    def test_band_vs_relative_criterion_difference(self, rc, rc_grid):
+        nominal = ac_analysis(rc, rc_grid)
+        faulty = ac_analysis(rc.with_scaled("R1", 2.0), rc_grid)
+        relative = nominal.relative_deviation(faulty)
+        band = nominal.band_deviation(faulty)
+        assert relative[-1] > 10 * band[-1]
+
+    def test_mismatched_grids_raise(self, rc):
+        g1 = FrequencyGrid(1.0, 100.0, points_per_decade=10)
+        g2 = FrequencyGrid(1.0, 100.0, points_per_decade=12)
+        r1 = ac_analysis(rc, g1)
+        r2 = ac_analysis(rc, g2)
+        with pytest.raises(AnalysisError, match="grids"):
+            r1.relative_deviation(r2)
+
+    def test_values_length_checked(self):
+        grid = FrequencyGrid(1.0, 10.0, points_per_decade=5)
+        with pytest.raises(AnalysisError):
+            FrequencyResponse(grid=grid, values=np.ones(3))
+
+    def test_group_delay_positive_for_lowpass(self, rc, rc_grid):
+        response = ac_analysis(rc, rc_grid)
+        delay = response.group_delay_s()
+        assert np.all(delay > 0)
+        # At the corner, group delay of a 1st-order LP is RC/2.
+        mid = len(rc_grid) // 2
+        assert delay[mid] == pytest.approx(0.5e-3, rel=0.05)
+
+
+class TestPointHelpers:
+    def test_transfer_at(self, rc):
+        value = transfer_at(rc, 159.15)
+        assert abs(value) == pytest.approx(2 ** -0.5, rel=1e-3)
+
+    def test_dc_gain(self, rc):
+        assert dc_gain(rc) == pytest.approx(1.0)
+
+    def test_dc_gain_inverting(self):
+        c = Circuit("inv", output="out")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "x", 1e3)
+        c.resistor("R2", "x", "out", 4e3)
+        c.opamp("OP1", "0", "x", "out")
+        assert dc_gain(c) == pytest.approx(-4.0)
+
+    def test_missing_output_raises(self):
+        c = Circuit("noout")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "0", 1e3)
+        with pytest.raises(AnalysisError):
+            dc_gain(c)

@@ -1,0 +1,147 @@
+"""Tests for the MNA assembly and solver."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mna import MnaSystem
+from repro.circuit import Circuit
+from repro.errors import AnalysisError, SingularCircuitError
+
+
+def divider():
+    c = Circuit("div")
+    c.voltage_source("V1", "in")
+    c.resistor("R1", "in", "mid", 1e3)
+    c.resistor("R2", "mid", "0", 1e3)
+    return c
+
+
+class TestAssembly:
+    def test_size_counts_nodes_and_branches(self):
+        system = MnaSystem(divider())
+        assert system.n_nodes == 2  # in, mid
+        assert system.n_branches == 1  # V1
+        assert system.size == 3
+
+    def test_ground_not_indexed(self):
+        system = MnaSystem(divider())
+        assert "0" not in system.node_index
+        assert system.index_of("0") == -1
+
+    def test_unknown_node_raises(self):
+        system = MnaSystem(divider())
+        with pytest.raises(AnalysisError, match="unknown node"):
+            system.index_of("ghost")
+
+    def test_unknown_branch_raises(self):
+        from repro.circuit.components import Branch
+
+        system = MnaSystem(divider())
+        with pytest.raises(AnalysisError, match="unknown branch"):
+            system.index_of(Branch("R1", 0))
+
+    def test_empty_circuit_raises(self):
+        with pytest.raises(AnalysisError, match="empty"):
+            MnaSystem(Circuit("empty"))
+
+    def test_g_matrix_symmetric_for_rc(self):
+        c = Circuit("rc")
+        c.resistor("R1", "a", "b", 1e3)
+        c.capacitor("C1", "b", "0", 1e-9)
+        c.current_source("I1", "0", "a")
+        system = MnaSystem(c)
+        assert np.allclose(system.G, system.G.T)
+        assert np.allclose(system.C, system.C.T)
+
+
+class TestSolve:
+    def test_divider_voltage(self):
+        solution = MnaSystem(divider()).solve_s(0j)
+        assert solution.voltage("mid") == pytest.approx(0.5)
+
+    def test_voltage_between(self):
+        solution = MnaSystem(divider()).solve_s(0j)
+        assert solution.voltage_between("in", "mid") == pytest.approx(0.5)
+
+    def test_ground_voltage_is_zero(self):
+        solution = MnaSystem(divider()).solve_s(0j)
+        assert solution.voltage("0") == 0.0
+
+    def test_as_dict(self):
+        solution = MnaSystem(divider()).solve_s(0j)
+        voltages = solution.as_dict()
+        assert set(voltages) == {"in", "mid"}
+        assert voltages["in"] == pytest.approx(1.0)
+
+    def test_solve_at_uses_hertz(self):
+        c = Circuit("rc")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-6)
+        f_corner = 1.0 / (2 * np.pi * 1e-3)
+        solution = MnaSystem(c).solve_at(f_corner)
+        assert abs(solution.voltage("out")) == pytest.approx(
+            2 ** -0.5, rel=1e-9
+        )
+
+    def test_singular_circuit_reports(self):
+        # A current source driving a capacitor-only path is singular at
+        # DC (capacitors open, no path for the current).
+        c = Circuit("bad")
+        c.current_source("I1", "0", "top")
+        c.capacitor("C1", "top", "mid", 1e-9)
+        c.capacitor("C2", "mid", "0", 1e-9)
+        with pytest.raises(SingularCircuitError):
+            MnaSystem(c).solve_s(0j)
+
+    def test_solve_many(self):
+        c = divider()
+        solutions = MnaSystem(c).solve_many(np.array([1.0, 10.0, 100.0]))
+        assert len(solutions) == 3
+        for solution in solutions:
+            assert solution.voltage("mid") == pytest.approx(0.5)
+
+
+class TestSweepVoltage:
+    def test_matches_pointwise_solve(self):
+        c = Circuit("rc")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-6)
+        system = MnaSystem(c)
+        frequencies = np.logspace(0, 4, 17)
+        swept = system.sweep_voltage("out", frequencies)
+        pointwise = np.array(
+            [system.solve_at(f).voltage("out") for f in frequencies]
+        )
+        assert np.allclose(swept, pointwise)
+
+    def test_superposition(self):
+        """Doubling the source amplitude doubles every node voltage."""
+        c1 = divider()
+        c2 = Circuit("div2")
+        c2.voltage_source("V1", "in", "0", ac=2.0)
+        c2.resistor("R1", "in", "mid", 1e3)
+        c2.resistor("R2", "mid", "0", 1e3)
+        f = np.array([10.0, 1000.0])
+        v1 = MnaSystem(c1).sweep_voltage("mid", f)
+        v2 = MnaSystem(c2).sweep_voltage("mid", f)
+        assert np.allclose(v2, 2.0 * v1)
+
+    def test_two_sources_superpose(self):
+        """V(out) with both sources = sum of single-source responses."""
+
+        def build(amp1, amp2):
+            c = Circuit("two")
+            c.voltage_source("V1", "a", "0", ac=amp1)
+            c.voltage_source("V2", "b", "0", ac=amp2)
+            c.resistor("R1", "a", "out", 1e3)
+            c.resistor("R2", "b", "out", 2e3)
+            c.resistor("R3", "out", "0", 3e3)
+            return c
+
+        f = np.array([50.0])
+        both = MnaSystem(build(1, 1)).sweep_voltage("out", f)
+        only1 = MnaSystem(build(1, 0)).sweep_voltage("out", f)
+        only2 = MnaSystem(build(0, 1)).sweep_voltage("out", f)
+        assert np.allclose(both, only1 + only2)

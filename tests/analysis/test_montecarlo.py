@@ -1,0 +1,102 @@
+"""Tests for Monte Carlo process-tolerance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    decade_grid,
+    epsilon_headroom,
+    monte_carlo_tolerance,
+)
+from repro.circuit import Circuit
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def rc():
+    c = Circuit("rc", output="out")
+    c.voltage_source("V1", "in")
+    c.resistor("R1", "in", "out", 1e3)
+    c.capacitor("C1", "out", "0", 1e-6)
+    return c
+
+
+@pytest.fixture
+def grid():
+    return decade_grid(159.15, 1, 1, points_per_decade=10)
+
+
+class TestMonteCarloTolerance:
+    def test_shapes(self, rc, grid):
+        analysis = monte_carlo_tolerance(rc, grid, 0.05, n_samples=20)
+        assert analysis.deviations.shape == (20, len(grid))
+        assert analysis.n_samples == 20
+
+    def test_deterministic_with_seed(self, rc, grid):
+        a = monte_carlo_tolerance(rc, grid, 0.05, n_samples=10, seed=7)
+        b = monte_carlo_tolerance(rc, grid, 0.05, n_samples=10, seed=7)
+        assert np.allclose(a.deviations, b.deviations)
+
+    def test_different_seeds_differ(self, rc, grid):
+        a = monte_carlo_tolerance(rc, grid, 0.05, n_samples=10, seed=1)
+        b = monte_carlo_tolerance(rc, grid, 0.05, n_samples=10, seed=2)
+        assert not np.allclose(a.deviations, b.deviations)
+
+    def test_tighter_tolerance_smaller_deviation(self, rc, grid):
+        loose = monte_carlo_tolerance(rc, grid, 0.10, n_samples=40)
+        tight = monte_carlo_tolerance(rc, grid, 0.01, n_samples=40)
+        assert (
+            tight.suggested_epsilon() < loose.suggested_epsilon()
+        )
+
+    def test_suggested_epsilon_bounded_by_max(self, rc, grid):
+        analysis = monte_carlo_tolerance(rc, grid, 0.05, n_samples=30)
+        worst = analysis.max_deviation_per_sample().max()
+        assert analysis.suggested_epsilon(95.0) <= worst + 1e-12
+
+    def test_envelope_dominates_samples(self, rc, grid):
+        analysis = monte_carlo_tolerance(rc, grid, 0.05, n_samples=15)
+        envelope = analysis.envelope()
+        assert np.all(analysis.deviations <= envelope + 1e-15)
+
+    def test_normal_distribution(self, rc, grid):
+        analysis = monte_carlo_tolerance(
+            rc, grid, 0.05, n_samples=15, distribution="normal"
+        )
+        assert analysis.n_samples == 15
+
+    def test_unknown_distribution(self, rc, grid):
+        with pytest.raises(AnalysisError):
+            monte_carlo_tolerance(
+                rc, grid, 0.05, n_samples=5, distribution="levy"
+            )
+
+    def test_component_subset(self, rc, grid):
+        analysis = monte_carlo_tolerance(
+            rc, grid, 0.05, n_samples=10, components=["R1"]
+        )
+        assert analysis.n_samples == 10
+
+    def test_invalid_parameters(self, rc, grid):
+        with pytest.raises(AnalysisError):
+            monte_carlo_tolerance(rc, grid, -0.1)
+        with pytest.raises(AnalysisError):
+            monte_carlo_tolerance(rc, grid, 0.05, n_samples=0)
+
+    def test_paper_epsilon_clears_5pct_process(self, rc, grid):
+        """ε = 10% must sit above the 5%-tolerance process noise floor
+        of a first-order circuit — the paper's implicit assumption."""
+        analysis = monte_carlo_tolerance(rc, grid, 0.05, n_samples=100)
+        assert epsilon_headroom(analysis, 0.10) > 0.0
+
+
+class TestEpsilonHeadroom:
+    def test_sign(self, rc, grid):
+        analysis = monte_carlo_tolerance(rc, grid, 0.05, n_samples=50)
+        floor = analysis.suggested_epsilon()
+        assert epsilon_headroom(analysis, floor + 0.01) == pytest.approx(
+            0.01
+        )
+        assert epsilon_headroom(analysis, floor - 0.01) == pytest.approx(
+            -0.01
+        )

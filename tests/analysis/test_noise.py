@@ -1,0 +1,179 @@
+"""Tests for the output noise analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.noise import (
+    BOLTZMANN,
+    ROOM_TEMPERATURE,
+    kt_over_c,
+    noise_analysis,
+)
+from repro.analysis.sweep import FrequencyGrid, decade_grid
+from repro.circuit import Circuit
+from repro.errors import AnalysisError
+
+
+def rc_lowpass(r=1e3, c=1e-9):
+    circuit = Circuit("rc", output="out")
+    circuit.voltage_source("V1", "in")
+    circuit.resistor("R1", "in", "out", r)
+    circuit.capacitor("C1", "out", "0", c)
+    return circuit
+
+
+class TestThermalNoise:
+    def test_rc_integrates_to_kt_over_c(self):
+        """The classic result: total RC output noise = sqrt(kT/C),
+        independent of R."""
+        for r in (1e2, 1e3, 1e5):
+            circuit = rc_lowpass(r=r, c=1e-9)
+            fc = 1.0 / (2 * math.pi * r * 1e-9)
+            grid = FrequencyGrid(fc / 1e3, fc * 1e3, 30)
+            result = noise_analysis(circuit, grid)
+            assert result.integrated_rms() == pytest.approx(
+                kt_over_c(1e-9), rel=0.01
+            )
+
+    def test_divider_density_is_parallel_resistance(self):
+        circuit = Circuit("div", output="mid")
+        circuit.voltage_source("V1", "in")
+        circuit.resistor("R1", "in", "mid", 2e3)
+        circuit.resistor("R2", "mid", "0", 3e3)
+        grid = FrequencyGrid(10.0, 1e3, 10)
+        result = noise_analysis(circuit, grid)
+        parallel = 2e3 * 3e3 / 5e3
+        expected = 4 * BOLTZMANN * ROOM_TEMPERATURE * parallel
+        assert np.allclose(result.total_psd, expected, rtol=1e-9)
+
+    def test_density_scales_with_temperature(self):
+        circuit = rc_lowpass()
+        grid = FrequencyGrid(10.0, 1e3, 8)
+        cold = noise_analysis(circuit, grid, temperature_k=100.0)
+        hot = noise_analysis(circuit, grid, temperature_k=400.0)
+        assert np.allclose(hot.total_psd, 4.0 * cold.total_psd)
+
+    def test_lowpass_noise_rolls_off(self):
+        circuit = rc_lowpass()
+        fc = 1.0 / (2 * math.pi * 1e-6)
+        grid = decade_grid(fc, 2, 2, points_per_decade=10)
+        result = noise_analysis(circuit, grid)
+        assert result.total_psd[-1] < 1e-3 * result.total_psd[0]
+
+
+class TestOpampNoise:
+    def test_inverting_amp_noise_gain(self):
+        """Input en appears at the output amplified by 1 + R2/R1."""
+        circuit = Circuit("inv", output="out")
+        circuit.voltage_source("V1", "in")
+        circuit.resistor("R1", "in", "x", 1e3)
+        circuit.resistor("R2", "x", "out", 4e3)
+        circuit.opamp("OP1", "0", "x", "out")
+        grid = FrequencyGrid(10.0, 1e3, 8)
+        result = noise_analysis(circuit, grid, en_v_per_rt_hz=10e-9)
+        assert result.contributions["OP1"][0] == pytest.approx(
+            (10e-9 * 5.0) ** 2, rel=1e-9
+        )
+
+    def test_opamp_noise_off_by_default(self):
+        circuit = Circuit("inv", output="out")
+        circuit.voltage_source("V1", "in")
+        circuit.resistor("R1", "in", "x", 1e3)
+        circuit.resistor("R2", "x", "out", 4e3)
+        circuit.opamp("OP1", "0", "x", "out")
+        grid = FrequencyGrid(10.0, 1e3, 8)
+        result = noise_analysis(circuit, grid)
+        assert "OP1" not in result.contributions
+
+    def test_dominant_contributor(self):
+        circuit = Circuit("inv", output="out")
+        circuit.voltage_source("V1", "in")
+        circuit.resistor("R1", "in", "x", 1e3)
+        circuit.resistor("R2", "x", "out", 4e3)
+        circuit.opamp("OP1", "0", "x", "out")
+        grid = FrequencyGrid(10.0, 1e3, 8)
+        loud = noise_analysis(circuit, grid, en_v_per_rt_hz=100e-9)
+        assert loud.dominant_contributor(100.0) == "OP1"
+
+
+class TestDftNoiseInteraction:
+    def test_switch_parasitics_contribute_noise(self):
+        """The DFT's output-mux switches appear as thermal contributors
+        in the emulated functional configuration."""
+        from repro.circuits import benchmark_biquad
+        from repro.dft import Configuration, SwitchParasitics
+
+        bench = benchmark_biquad()
+        grid = decade_grid(bench.f0_hz, 1, 1, points_per_decade=8)
+        mcc = bench.dft(parasitics=SwitchParasitics(ron=1e3, roff=1e9))
+        emulated = mcc.emulate(Configuration(0, 3))
+        noisy = noise_analysis(emulated, grid)
+        switch_names = [
+            name for name in noisy.contributions if "_sw_" in name
+        ]
+        assert len(switch_names) == 6  # 3 opamps x (on + off) switches
+        total_share = sum(
+            noisy.fraction_of(name) for name in switch_names
+        )
+        assert total_share > 0.0
+
+    def test_follower_configuration_changes_spectrum(self):
+        from repro.circuits import benchmark_biquad
+        from repro.dft import Configuration
+
+        bench = benchmark_biquad()
+        grid = decade_grid(bench.f0_hz, 1, 1, points_per_decade=8)
+        mcc = bench.dft()
+        c0 = noise_analysis(mcc.emulate(Configuration(0, 3)), grid)
+        c3 = noise_analysis(mcc.emulate(Configuration(3, 3)), grid)
+        assert not np.allclose(c0.total_psd, c3.total_psd, atol=0.0)
+
+
+class TestValidationAndHelpers:
+    def test_fraction_of_sums_to_one(self):
+        circuit = rc_lowpass()
+        circuit.resistor("Rload", "out", "0", 10e3)
+        fc = 1.0 / (2 * math.pi * 1e-6)
+        grid = decade_grid(fc, 2, 2, points_per_decade=10)
+        result = noise_analysis(circuit, grid)
+        total = sum(
+            result.fraction_of(name) for name in result.contributions
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_unknown_contributor(self):
+        result = noise_analysis(
+            rc_lowpass(), FrequencyGrid(10, 100, 5)
+        )
+        with pytest.raises(AnalysisError):
+            result.fraction_of("R99")
+
+    def test_no_output_rejected(self):
+        circuit = rc_lowpass()
+        circuit.output = None
+        with pytest.raises(AnalysisError):
+            noise_analysis(circuit, FrequencyGrid(10, 100, 5))
+
+    def test_noiseless_circuit_rejected(self):
+        circuit = Circuit("lc", output="a")
+        circuit.current_source("I1", "0", "a")
+        circuit.capacitor("C1", "a", "0", 1e-9)
+        circuit.inductor("L1", "a", "0", 1e-3)
+        with pytest.raises(AnalysisError, match="no noise"):
+            noise_analysis(circuit, FrequencyGrid(10, 100, 5))
+
+    def test_kt_over_c_validation(self):
+        with pytest.raises(AnalysisError):
+            kt_over_c(0.0)
+
+    def test_integration_band(self):
+        circuit = rc_lowpass()
+        grid = FrequencyGrid(10.0, 1e5, 10)
+        result = noise_analysis(circuit, grid)
+        narrow = result.integrated_rms(100.0, 1000.0)
+        wide = result.integrated_rms()
+        assert 0 < narrow < wide
+        with pytest.raises(AnalysisError):
+            result.integrated_rms(1e5, 2e5)

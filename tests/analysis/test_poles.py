@@ -1,0 +1,118 @@
+"""Tests for pole extraction and biquad parameter identification."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.poles import (
+    biquad_parameters,
+    circuit_poles,
+    dominant_pair,
+    is_stable,
+)
+from repro.circuit import Circuit
+from repro.circuits import BiquadDesign, tow_thomas_biquad
+from repro.errors import AnalysisError
+
+
+class TestCircuitPoles:
+    def test_rc_single_pole(self):
+        c = Circuit("rc")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-6)
+        poles = circuit_poles(c)
+        assert len(poles) == 1
+        assert poles[0] == pytest.approx(-1000.0)
+
+    def test_resistive_network_has_no_poles(self):
+        c = Circuit("r")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 1e3)
+        c.resistor("R2", "out", "0", 1e3)
+        assert circuit_poles(c) == []
+
+    def test_two_rc_sections(self):
+        c = Circuit("rc2")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "a", 1e3)
+        c.capacitor("C1", "a", "0", 1e-6)
+        c.opamp("OP1", "a", "fb", "b")
+        c.resistor("Rfb", "fb", "b", 1.0)
+        c.resistor("Rfg", "fb", "0", 1e9)
+        c.resistor("R2", "b", "out", 2e3)
+        c.capacitor("C2", "out", "0", 1e-6)
+        poles = sorted(p.real for p in circuit_poles(c))
+        assert poles[0] == pytest.approx(-1000.0, rel=1e-3)
+        assert poles[1] == pytest.approx(-500.0, rel=1e-3)
+
+    def test_lc_resonator_poles_on_axis(self):
+        c = Circuit("lc")
+        c.current_source("I1", "0", "top")
+        c.inductor("L1", "top", "0", 1e-3)
+        c.capacitor("C1", "top", "0", 1e-6)
+        c.resistor("Rdamp", "top", "0", 1e9)  # keep finite
+        poles = circuit_poles(c)
+        omega = 1.0 / math.sqrt(1e-3 * 1e-6)
+        pair = dominant_pair(poles)
+        assert abs(pair[0]) == pytest.approx(omega, rel=1e-6)
+
+
+class TestBiquadParameters:
+    def test_tow_thomas_f0(self):
+        design = BiquadDesign(q=0.7)
+        params = biquad_parameters(tow_thomas_biquad(design))
+        assert params.f0_hz == pytest.approx(design.f0_hz, rel=1e-6)
+
+    def test_tow_thomas_q(self):
+        design = BiquadDesign(q=0.7)
+        params = biquad_parameters(tow_thomas_biquad(design))
+        assert params.q == pytest.approx(0.7, rel=1e-6)
+
+    def test_q_tracks_r2(self):
+        low = biquad_parameters(tow_thomas_biquad(BiquadDesign(q=0.6)))
+        high = biquad_parameters(tow_thomas_biquad(BiquadDesign(q=0.9)))
+        assert high.q > low.q
+
+    def test_overdamped_default_design(self):
+        # The paper-scenario biquad (Q = 0.4) has two real poles.
+        params = biquad_parameters(tow_thomas_biquad(BiquadDesign(q=0.4)))
+        assert params.q == pytest.approx(0.4, rel=1e-6)
+        assert params.f0_hz == pytest.approx(
+            BiquadDesign().f0_hz, rel=1e-6
+        )
+
+    def test_describe(self):
+        params = biquad_parameters(tow_thomas_biquad())
+        assert "f0" in params.describe() and "Q" in params.describe()
+
+    def test_first_order_network_rejected(self):
+        c = Circuit("rc")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-6)
+        with pytest.raises(AnalysisError, match="two poles"):
+            biquad_parameters(c)
+
+
+class TestStability:
+    def test_biquad_stable(self):
+        assert is_stable(tow_thomas_biquad())
+
+    def test_all_catalog_circuits_stable(self):
+        from repro.circuits import build_all
+
+        for bench in build_all():
+            assert is_stable(bench.circuit), bench.name
+
+    def test_positive_feedback_is_unstable(self):
+        c = Circuit("latch")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "p", 1e3)
+        c.resistor("R2", "p", "out", 1e3)  # feedback to + input
+        c.capacitor("C1", "p", "0", 1e-9)
+        c.opamp("OP1", "p", "g", "out")
+        c.resistor("Rg", "g", "0", 1e3)
+        c.resistor("Rf", "g", "out", 2e3)  # gain +3, loop gain 1.5
+        assert not is_stable(c)

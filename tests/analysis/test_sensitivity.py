@@ -1,0 +1,106 @@
+"""Tests for normalised component sensitivities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    aggregate_sensitivity,
+    component_sensitivity,
+    decade_grid,
+    rank_components,
+    sensitivity_map,
+)
+from repro.circuit import Circuit
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def divider():
+    c = Circuit("div", output="out")
+    c.voltage_source("V1", "in")
+    c.resistor("R1", "in", "out", 1e3)
+    c.resistor("R2", "out", "0", 1e3)
+    return c
+
+
+@pytest.fixture
+def grid():
+    return decade_grid(1000.0, 1, 1, points_per_decade=10)
+
+
+class TestComponentSensitivity:
+    def test_divider_sensitivities_are_half(self, divider, grid):
+        """For V(out) = R2/(R1+R2) with R1=R2: S_R1 = -1/2, S_R2 = +1/2."""
+        s_r1 = component_sensitivity(divider, "R1", grid)
+        s_r2 = component_sensitivity(divider, "R2", grid)
+        assert np.allclose(s_r1.values, -0.5, atol=1e-3)
+        assert np.allclose(s_r2.values, +0.5, atol=1e-3)
+
+    def test_rc_cap_sensitivity_peaks_at_corner(self, grid):
+        c = Circuit("rc", output="out")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1.0 / (2 * np.pi * 1e6))
+        curve = component_sensitivity(c, "C1", grid)
+        # |S| is 1/2 at the corner (1 kHz) and small well below it.
+        mid = len(grid) // 2
+        assert abs(curve.values[mid]) == pytest.approx(0.5, abs=0.05)
+        assert abs(curve.values[0]) < 0.05
+
+    def test_max_and_mean(self, divider, grid):
+        curve = component_sensitivity(divider, "R1", grid)
+        assert curve.max_abs() == pytest.approx(0.5, abs=1e-3)
+        assert curve.mean_abs() == pytest.approx(0.5, abs=1e-3)
+
+    def test_zero_response_raises(self, grid):
+        c = Circuit("dead", output="out")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "0", 1e3)
+        c.resistor("R2", "out", "0", 1e3)
+        with pytest.raises(AnalysisError):
+            component_sensitivity(c, "R1", grid)
+
+
+class TestSensitivityMap:
+    def test_defaults_to_all_passives(self, divider, grid):
+        curves = sensitivity_map(divider, grid)
+        assert set(curves) == {"R1", "R2"}
+
+    def test_subset(self, divider, grid):
+        curves = sensitivity_map(divider, grid, components=["R1"])
+        assert set(curves) == {"R1"}
+
+    def test_aggregate_max(self, divider, grid):
+        curves = sensitivity_map(divider, grid)
+        assert aggregate_sensitivity(curves, "max") == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_aggregate_mean(self, divider, grid):
+        curves = sensitivity_map(divider, grid)
+        assert aggregate_sensitivity(curves, "mean") == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_aggregate_unknown_reducer(self, divider, grid):
+        curves = sensitivity_map(divider, grid)
+        with pytest.raises(AnalysisError):
+            aggregate_sensitivity(curves, "median")
+
+    def test_rank_components(self, grid):
+        c = Circuit("rank", output="out")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 1e3)
+        c.resistor("R2", "out", "0", 9e3)  # out = 0.9 in
+        curves = sensitivity_map(c, grid)
+        # S_R1 = -0.1, S_R2 = +0.1 for the 9:1 divider... equal; use an
+        # asymmetric 3-resistor network instead.
+        c2 = Circuit("rank2", output="out")
+        c2.voltage_source("V1", "in")
+        c2.resistor("R1", "in", "out", 1e3)
+        c2.resistor("R2", "out", "0", 9e3)
+        c2.resistor("R3", "in", "0", 1e3)  # no effect on V(out)
+        curves = sensitivity_map(c2, grid)
+        ranked = rank_components(curves)
+        assert ranked[-1] == "R3"
+        assert curves["R3"].max_abs() < 1e-6

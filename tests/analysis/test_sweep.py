@@ -1,0 +1,96 @@
+"""Tests for frequency grids and the log-measure."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import FrequencyGrid, decade_grid
+from repro.errors import AnalysisError
+
+
+class TestFrequencyGrid:
+    def test_limits(self):
+        grid = FrequencyGrid(10.0, 1000.0, points_per_decade=10)
+        assert grid.frequencies_hz[0] == pytest.approx(10.0)
+        assert grid.frequencies_hz[-1] == pytest.approx(1000.0)
+
+    def test_decades(self):
+        grid = FrequencyGrid(10.0, 1000.0)
+        assert grid.decades == pytest.approx(2.0)
+
+    def test_point_count(self):
+        grid = FrequencyGrid(10.0, 1000.0, points_per_decade=10)
+        assert grid.n_points == 21
+
+    def test_log_spacing(self):
+        grid = FrequencyGrid(1.0, 100.0, points_per_decade=5)
+        ratios = grid.frequencies_hz[1:] / grid.frequencies_hz[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_iteration_and_len(self):
+        grid = FrequencyGrid(1.0, 10.0, points_per_decade=4)
+        assert len(list(grid)) == len(grid)
+
+    def test_invalid_limits(self):
+        with pytest.raises(AnalysisError):
+            FrequencyGrid(0.0, 100.0)
+        with pytest.raises(AnalysisError):
+            FrequencyGrid(100.0, 10.0)
+
+    def test_invalid_density(self):
+        with pytest.raises(AnalysisError):
+            FrequencyGrid(1.0, 10.0, points_per_decade=1)
+
+
+class TestLogMeasure:
+    def test_full_mask_equals_decades(self):
+        grid = FrequencyGrid(1.0, 10_000.0, points_per_decade=25)
+        mask = np.ones(grid.n_points, dtype=bool)
+        assert grid.log_measure(mask) == pytest.approx(grid.decades)
+
+    def test_empty_mask_is_zero(self):
+        grid = FrequencyGrid(1.0, 100.0)
+        mask = np.zeros(grid.n_points, dtype=bool)
+        assert grid.log_measure(mask) == 0.0
+
+    def test_fraction_of_full_mask_is_one(self):
+        grid = FrequencyGrid(1.0, 100.0, points_per_decade=50)
+        assert grid.fraction(np.ones(grid.n_points, bool)) == pytest.approx(
+            1.0
+        )
+
+    def test_half_mask_is_about_half(self):
+        grid = FrequencyGrid(1.0, 100.0, points_per_decade=100)
+        mask = grid.frequencies_hz <= 10.0
+        assert grid.fraction(mask) == pytest.approx(0.5, abs=0.01)
+
+    def test_measure_additive(self):
+        grid = FrequencyGrid(1.0, 1000.0, points_per_decade=30)
+        mask_a = grid.frequencies_hz < 10.0
+        mask_b = ~mask_a
+        total = grid.log_measure(mask_a) + grid.log_measure(mask_b)
+        assert total == pytest.approx(grid.decades)
+
+    def test_wrong_mask_shape_raises(self):
+        grid = FrequencyGrid(1.0, 100.0)
+        with pytest.raises(AnalysisError):
+            grid.log_measure(np.ones(3, dtype=bool))
+
+
+class TestDecadeGrid:
+    def test_centered(self):
+        grid = decade_grid(1000.0, 2, 2)
+        assert grid.f_start == pytest.approx(10.0)
+        assert grid.f_stop == pytest.approx(100_000.0)
+
+    def test_asymmetric(self):
+        grid = decade_grid(1000.0, decades_below=1, decades_above=3)
+        assert grid.f_start == pytest.approx(100.0)
+        assert grid.f_stop == pytest.approx(1_000_000.0)
+
+    def test_invalid_center(self):
+        with pytest.raises(AnalysisError):
+            decade_grid(0.0)
+
+    def test_default_is_four_decades(self):
+        grid = decade_grid(100.0)
+        assert grid.decades == pytest.approx(4.0)

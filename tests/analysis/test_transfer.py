@@ -1,0 +1,121 @@
+"""Tests for rational transfer-function extraction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import extract_transfer_function
+from repro.analysis.transfer import RationalTransferFunction
+from repro.circuit import Circuit
+from repro.circuits import BiquadDesign, tow_thomas_biquad
+from repro.errors import AnalysisError
+
+
+def rc_lowpass():
+    circuit = Circuit("rc", output="out")
+    circuit.voltage_source("V1", "in")
+    circuit.resistor("R1", "in", "out", 1e3)
+    circuit.capacitor("C1", "out", "0", 1e-6)
+    return circuit
+
+
+def rc_highpass():
+    circuit = Circuit("hp", output="out")
+    circuit.voltage_source("V1", "in")
+    circuit.capacitor("C1", "in", "out", 1e-6)
+    circuit.resistor("R1", "out", "0", 1e3)
+    return circuit
+
+
+class TestRationalTransferFunction:
+    def test_evaluate(self):
+        tf = RationalTransferFunction(
+            zeros=(), poles=(-1000.0 + 0j,), gain=1000.0
+        )
+        assert tf(0) == pytest.approx(1.0)
+        assert abs(tf(1000j)) == pytest.approx(2 ** -0.5)
+
+    def test_pole_evaluation_rejected(self):
+        tf = RationalTransferFunction(
+            zeros=(), poles=(-1.0 + 0j,), gain=1.0
+        )
+        with pytest.raises(AnalysisError):
+            tf(-1.0 + 0j)
+
+    def test_orders(self):
+        tf = RationalTransferFunction(
+            zeros=(0j,), poles=(-1 + 0j, -2 + 0j), gain=3.0
+        )
+        assert tf.order == 2
+        assert tf.relative_degree == 1
+
+    def test_describe(self):
+        tf = RationalTransferFunction(
+            zeros=(), poles=(-1 + 0j,), gain=2.0
+        )
+        assert "poles" in tf.describe()
+
+
+class TestExtraction:
+    def test_rc_lowpass(self):
+        tf = extract_transfer_function(rc_lowpass())
+        assert len(tf.poles) == 1
+        assert tf.poles[0] == pytest.approx(-1000.0)
+        assert len(tf.zeros) == 0
+        assert tf.dc_gain() == pytest.approx(1.0, rel=1e-6)
+
+    def test_rc_highpass_zero_at_origin(self):
+        tf = extract_transfer_function(rc_highpass())
+        assert len(tf.poles) == 1
+        assert len(tf.zeros) == 1
+        assert abs(tf.zeros[0]) < 1.0  # zero at the origin
+
+    def test_biquad_lowpass(self):
+        design = BiquadDesign(q=0.7, dc_gain=2.0)
+        tf = extract_transfer_function(tow_thomas_biquad(design))
+        assert len(tf.poles) == 2
+        assert len(tf.zeros) == 0
+        assert tf.dc_gain() == pytest.approx(-2.0, rel=1e-6)
+
+    def test_biquad_bandpass_zero(self):
+        from repro.circuits import bandpass_output_biquad
+
+        tf = extract_transfer_function(bandpass_output_biquad())
+        assert len(tf.zeros) == 1
+        assert abs(tf.zeros[0]) < 1.0  # s = 0
+
+    def test_matches_sampled_response(self):
+        """The fitted zpk model reproduces the MNA response everywhere."""
+        from repro.analysis import ac_analysis, decade_grid
+
+        design = BiquadDesign()
+        circuit = tow_thomas_biquad(design)
+        tf = extract_transfer_function(circuit)
+        grid = decade_grid(design.f0_hz, 3, 3, points_per_decade=7)
+        response = ac_analysis(circuit, grid)
+        fitted = np.array(
+            [tf.at_frequency(f) for f in grid.frequencies_hz]
+        )
+        assert np.allclose(fitted, response.values, rtol=1e-6)
+
+    def test_lead_lag_network(self):
+        """R-C lead network: one pole, one finite zero."""
+        circuit = Circuit("lead", output="out")
+        circuit.voltage_source("V1", "in")
+        circuit.resistor("R1", "in", "out", 1e3)
+        circuit.capacitor("C1", "in", "out", 1e-7)
+        circuit.resistor("R2", "out", "0", 1e3)
+        tf = extract_transfer_function(circuit)
+        assert len(tf.poles) == 1
+        assert len(tf.zeros) == 1
+        # zero at -1/(R1 C1) = -1e4 rad/s
+        assert tf.zeros[0].real == pytest.approx(-1e4, rel=1e-3)
+
+    def test_divider_is_constant(self):
+        circuit = Circuit("div", output="out")
+        circuit.voltage_source("V1", "in")
+        circuit.resistor("R1", "in", "out", 1e3)
+        circuit.resistor("R2", "out", "0", 3e3)
+        tf = extract_transfer_function(circuit)
+        assert tf.poles == ()
+        assert tf.zeros == ()
+        assert tf.gain == pytest.approx(0.75, rel=1e-9)

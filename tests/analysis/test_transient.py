@@ -1,0 +1,220 @@
+"""Tests for the transient (time-domain) engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    multitone,
+    pulse,
+    sine,
+    step,
+    step_response,
+    transient_analysis,
+)
+from repro.circuit import Circuit
+from repro.circuits import BiquadDesign, tow_thomas_biquad
+from repro.errors import AnalysisError
+
+
+def rc_circuit(r=1e3, c=1e-6):
+    circuit = Circuit("rc", output="out")
+    circuit.voltage_source("V1", "in")
+    circuit.resistor("R1", "in", "out", r)
+    circuit.capacitor("C1", "out", "0", c)
+    return circuit
+
+
+class TestWaveforms:
+    def test_step(self):
+        w = step(2.0, t0=1.0)
+        assert w(0.5) == 0.0
+        assert w(1.0) == 2.0
+
+    def test_sine(self):
+        w = sine(1.0, 1000.0)
+        assert w(0.0) == pytest.approx(0.0)
+        assert w(0.25e-3) == pytest.approx(1.0)
+
+    def test_sine_phase(self):
+        w = sine(1.0, 1000.0, phase_deg=90.0)
+        assert w(0.0) == pytest.approx(1.0)
+
+    def test_pulse(self):
+        w = pulse(3.0, t_start=1e-3, width=1e-3)
+        assert w(0.5e-3) == 0.0
+        assert w(1.5e-3) == 3.0
+        assert w(2.5e-3) == 0.0
+
+    def test_multitone(self):
+        w = multitone([(1.0, 100.0), (0.5, 300.0)])
+        t = 1.234e-3
+        expected = math.sin(2 * math.pi * 100 * t) + 0.5 * math.sin(
+            2 * math.pi * 300 * t
+        )
+        assert w(t) == pytest.approx(expected)
+
+
+class TestRcStepResponse:
+    def test_exponential_charge(self):
+        circuit = rc_circuit()
+        tau = 1e-3
+        result = transient_analysis(
+            circuit,
+            {"V1": step(1.0)},
+            t_stop=5 * tau,
+            dt=tau / 100,
+        )
+        # Initial DC solve applies the t=0 value of the step (1 V), so
+        # force a zero start by shifting the step slightly.
+        result = transient_analysis(
+            circuit,
+            {"V1": step(1.0, t0=tau / 50)},
+            t_stop=6 * tau,
+            dt=tau / 100,
+        )
+        v_at_tau = result.at("out", tau + tau / 50)
+        assert v_at_tau == pytest.approx(1 - math.exp(-1), abs=0.01)
+        assert result.final_value("out") == pytest.approx(1.0, abs=0.01)
+
+    def test_matches_analytic_curve(self):
+        circuit = rc_circuit()
+        tau = 1e-3
+        t0 = 0.05e-3
+        result = transient_analysis(
+            circuit,
+            {"V1": step(1.0, t0=t0)},
+            t_stop=5e-3,
+            dt=5e-6,
+        )
+        t = result.times_s
+        analytic = np.where(
+            t >= t0, 1.0 - np.exp(-(t - t0) / tau), 0.0
+        )
+        assert np.max(np.abs(result["out"] - analytic)) < 5e-3
+
+    def test_settling_time(self):
+        circuit = rc_circuit()
+        result = transient_analysis(
+            circuit,
+            {"V1": step(1.0, t0=1e-5)},
+            t_stop=10e-3,
+            dt=1e-5,
+        )
+        settle = result.settling_time("out", tolerance=0.01)
+        # 1% settling of a 1 ms first-order lag: ~4.6 tau.
+        assert settle == pytest.approx(4.6e-3, rel=0.1)
+
+    def test_first_order_has_no_overshoot(self):
+        circuit = rc_circuit()
+        result = transient_analysis(
+            circuit, {"V1": step(1.0, t0=1e-5)}, t_stop=8e-3, dt=1e-5
+        )
+        assert result.overshoot("out") == 0.0
+
+
+class TestSineSteadyState:
+    def test_amplitude_matches_ac_analysis(self):
+        from repro.analysis import transfer_at
+
+        circuit = rc_circuit()
+        f = 159.155  # the RC corner: |T| = 0.7071
+        result = transient_analysis(
+            circuit,
+            {"V1": sine(1.0, f)},
+            t_stop=20.0 / f,
+            dt=1.0 / (400 * f),
+        )
+        expected = abs(transfer_at(circuit, f))
+        assert result.amplitude("out") == pytest.approx(
+            expected, rel=0.01
+        )
+
+    def test_biquad_tone_through_dft_configuration(self):
+        """Transient through an emulated configuration agrees with AC."""
+        from repro.analysis import transfer_at
+        from repro.dft import Configuration, apply_multiconfiguration
+
+        design = BiquadDesign()
+        circuit = tow_thomas_biquad(design)
+        mcc = apply_multiconfiguration(circuit)
+        emulated = mcc.emulate(Configuration(2, 3))
+        f = design.f0_hz
+        result = transient_analysis(
+            emulated,
+            {"Vin": sine(1.0, f)},
+            t_stop=30.0 / f,
+            dt=1.0 / (300 * f),
+        )
+        expected = abs(transfer_at(emulated, f))
+        assert result.amplitude("v3") == pytest.approx(
+            expected, rel=0.02
+        )
+
+
+class TestStepResponseHelper:
+    def test_biquad_step(self):
+        circuit = tow_thomas_biquad()
+        result = step_response(circuit)
+        # DC gain is -1: the output settles at -1 V.
+        assert result.final_value("v3") == pytest.approx(-1.0, abs=0.02)
+
+    def test_overdamped_biquad_low_overshoot(self):
+        result = step_response(tow_thomas_biquad(BiquadDesign(q=0.4)))
+        assert result.overshoot("v3") < 0.02
+
+    def test_underdamped_biquad_overshoots(self):
+        result = step_response(tow_thomas_biquad(BiquadDesign(q=2.0)))
+        assert result.overshoot("v3") > 0.2
+
+    def test_no_source_rejected(self):
+        circuit = Circuit("dead", output="a")
+        circuit.resistor("R1", "a", "0", 1.0)
+        circuit.capacitor("C1", "a", "0", 1.0)
+        with pytest.raises(AnalysisError):
+            step_response(circuit)
+
+
+class TestValidation:
+    def test_bad_window(self):
+        circuit = rc_circuit()
+        with pytest.raises(AnalysisError):
+            transient_analysis(circuit, {}, t_stop=0.0, dt=1e-6)
+        with pytest.raises(AnalysisError):
+            transient_analysis(circuit, {}, t_stop=1e-3, dt=2e-3)
+
+    def test_unknown_source(self):
+        circuit = rc_circuit()
+        with pytest.raises(AnalysisError, match="V9"):
+            transient_analysis(
+                circuit, {"V9": step()}, t_stop=1e-3, dt=1e-5
+            )
+
+    def test_unknown_output_node(self):
+        circuit = rc_circuit()
+        result = transient_analysis(
+            circuit, {"V1": step()}, t_stop=1e-3, dt=1e-5
+        )
+        with pytest.raises(AnalysisError):
+            result["ghost"]
+
+    def test_bad_x0(self):
+        circuit = rc_circuit()
+        with pytest.raises(AnalysisError, match="x0"):
+            transient_analysis(
+                circuit,
+                {"V1": step()},
+                t_stop=1e-3,
+                dt=1e-5,
+                x0=np.zeros(99),
+            )
+
+    def test_current_source_excitation(self):
+        circuit = Circuit("ir", output="a")
+        circuit.current_source("I1", "0", "a")
+        circuit.resistor("R1", "a", "0", 1e3)
+        result = transient_analysis(
+            circuit, {"I1": step(1e-3, t0=1e-5)}, t_stop=1e-3, dt=1e-5
+        )
+        assert result.final_value("a") == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,228 @@
+"""Tests for circuit elements and their MNA stamps.
+
+Stamps are verified *behaviourally*: tiny circuits with known analytic
+answers are solved through the MNA engine and compared.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mna import MnaSystem
+from repro.circuit import (
+    Capacitor,
+    CCCS,
+    CCVS,
+    Circuit,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    Switch,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from repro.errors import CircuitError
+
+
+def solve_dc(circuit, node):
+    return MnaSystem(circuit).solve_s(0j).voltage(node)
+
+
+def solve_at(circuit, node, f_hz):
+    return MnaSystem(circuit).solve_at(f_hz).voltage(node)
+
+
+class TestResistor:
+    def test_voltage_divider(self):
+        c = Circuit("div")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 3e3)
+        c.resistor("R2", "out", "0", 1e3)
+        assert solve_dc(c, "out") == pytest.approx(0.25)
+
+    def test_positive_value_required(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", 0.0)
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", -1.0)
+
+    def test_scaled(self):
+        r = Resistor("R1", "a", "b", 1000.0)
+        assert r.scaled(1.2).value == pytest.approx(1200.0)
+        assert r.value == 1000.0  # original untouched
+
+    def test_with_value(self):
+        r = Resistor("R1", "a", "b", 1000.0)
+        assert r.with_value(5).value == 5.0
+
+    def test_card(self):
+        assert Resistor("R1", "a", "b", 10e3).card() == "R1 a b 10k"
+
+
+class TestCapacitor:
+    def test_rc_lowpass_corner(self):
+        c = Circuit("rc")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-6)
+        f_corner = 1.0 / (2 * np.pi * 1e-3)
+        assert abs(solve_at(c, "out", f_corner)) == pytest.approx(
+            1 / np.sqrt(2), rel=1e-6
+        )
+
+    def test_open_at_dc(self):
+        c = Circuit("rc")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-6)
+        c.resistor("Rload", "out", "0", 1e9)
+        assert solve_dc(c, "out") == pytest.approx(1.0, rel=1e-5)
+
+    def test_positive_value_required(self):
+        with pytest.raises(CircuitError):
+            Capacitor("C1", "a", "b", -1e-9)
+
+
+class TestInductor:
+    def test_short_at_dc(self):
+        c = Circuit("rl")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 1e3)
+        c.inductor("L1", "out", "0", 1e-3)
+        assert solve_dc(c, "out") == pytest.approx(0.0, abs=1e-12)
+
+    def test_rl_corner(self):
+        c = Circuit("rl")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 1e3)
+        c.inductor("L1", "out", "0", 1e-3)
+        f_corner = 1e3 / (2 * np.pi * 1e-3)
+        assert abs(solve_at(c, "out", f_corner)) == pytest.approx(
+            1 / np.sqrt(2), rel=1e-6
+        )
+
+    def test_branch_current_at_dc(self):
+        c = Circuit("rl")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 1e3)
+        c.inductor("L1", "out", "0", 1e-3)
+        system = MnaSystem(c)
+        current = system.solve_s(0j).branch_current("L1")
+        assert current == pytest.approx(1e-3)  # 1 V across 1 kOhm
+
+    def test_positive_value_required(self):
+        with pytest.raises(CircuitError):
+            Inductor("L1", "a", "b", 0.0)
+
+
+class TestSources:
+    def test_voltage_source_sets_node(self):
+        c = Circuit("v")
+        c.voltage_source("V1", "a", "0", ac=2.5)
+        c.resistor("R1", "a", "0", 1e3)
+        assert solve_dc(c, "a") == pytest.approx(2.5)
+
+    def test_voltage_source_branch_current(self):
+        c = Circuit("v")
+        c.voltage_source("V1", "a")
+        c.resistor("R1", "a", "0", 500.0)
+        current = MnaSystem(c).solve_s(0j).branch_current("V1")
+        # Branch current flows from + node into the element.
+        assert current == pytest.approx(-2e-3)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit("i")
+        c.current_source("I1", "0", "a", ac=1e-3)
+        c.resistor("R1", "a", "0", 1e3)
+        # 1 mA pushed from ground into node a through the source.
+        assert solve_dc(c, "a") == pytest.approx(1.0)
+
+    def test_complex_amplitude(self):
+        c = Circuit("v")
+        c.voltage_source("V1", "a", "0", ac=1j)
+        c.resistor("R1", "a", "0", 1e3)
+        assert solve_dc(c, "a") == pytest.approx(1j)
+
+
+class TestControlledSources:
+    def test_vcvs_gain(self):
+        c = Circuit("e")
+        c.voltage_source("V1", "in")
+        c.resistor("Rin", "in", "0", 1e3)
+        c.add(VCVS("E1", "out", "0", "in", "0", gain=5.0))
+        c.resistor("Rload", "out", "0", 1e3)
+        assert solve_dc(c, "out") == pytest.approx(5.0)
+
+    def test_vccs_transconductance(self):
+        c = Circuit("g")
+        c.voltage_source("V1", "in")
+        c.resistor("Rin", "in", "0", 1e3)
+        # 1 mS * 1 V pushed from ground into out -> +1 V across 1 kOhm
+        c.add(VCCS("G1", "0", "out", "in", "0", gm=1e-3))
+        c.resistor("Rload", "out", "0", 1e3)
+        assert solve_dc(c, "out") == pytest.approx(1.0)
+
+    def test_cccs_current_gain(self):
+        c = Circuit("f")
+        c.voltage_source("V1", "in")
+        c.resistor("Rin", "in", "sense", 1e3)
+        # Sense branch from 'sense' to ground carries 1 mA.
+        c.add(CCCS("F1", "0", "out", "sense", "0", beta=2.0))
+        c.resistor("Rload", "out", "0", 1e3)
+        assert solve_dc(c, "out") == pytest.approx(2.0)
+
+    def test_ccvs_transresistance(self):
+        c = Circuit("h")
+        c.voltage_source("V1", "in")
+        c.resistor("Rin", "in", "sense", 1e3)
+        c.add(CCVS("H1", "out", "0", "sense", "0", r=5e3))
+        c.resistor("Rload", "out", "0", 1e3)
+        # ic = 1 mA, so V(out) = 5e3 * 1e-3 = 5 V
+        assert solve_dc(c, "out") == pytest.approx(5.0)
+
+
+class TestSwitch:
+    def test_closed_switch_conducts(self):
+        c = Circuit("sw")
+        c.voltage_source("V1", "in")
+        c.add(Switch("S1", "in", "out", closed=True, ron=100.0))
+        c.resistor("Rload", "out", "0", 900.0)
+        assert solve_dc(c, "out") == pytest.approx(0.9)
+
+    def test_open_switch_blocks(self):
+        c = Circuit("sw")
+        c.voltage_source("V1", "in")
+        c.add(Switch("S1", "in", "out", closed=False, roff=1e9))
+        c.resistor("Rload", "out", "0", 1e3)
+        assert abs(solve_dc(c, "out")) < 1e-5
+
+    def test_toggled(self):
+        s = Switch("S1", "a", "b", closed=True)
+        assert not s.toggled(False).closed
+        assert s.closed  # original untouched
+
+    def test_resistance_property(self):
+        s = Switch("S1", "a", "b", closed=True, ron=50.0, roff=1e8)
+        assert s.resistance == 50.0
+        assert s.toggled(False).resistance == 1e8
+
+    def test_invalid_resistances(self):
+        with pytest.raises(CircuitError):
+            Switch("S1", "a", "b", ron=-1.0)
+
+
+class TestElementBasics:
+    def test_empty_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Resistor("", "a", "b", 1.0)
+
+    def test_branch_out_of_range(self):
+        source = VoltageSource("V1", "a", "0")
+        with pytest.raises(CircuitError):
+            source.branch(1)
+
+    def test_nodes_tuple(self):
+        r = Resistor("R1", "x", "y", 1.0)
+        assert r.nodes == ("x", "y")
+        e = VCVS("E1", "a", "b", "c", "d", 1.0)
+        assert e.nodes == ("a", "b", "c", "d")

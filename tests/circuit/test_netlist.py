@@ -1,0 +1,153 @@
+"""Tests for the Circuit container."""
+
+import pytest
+
+from repro.circuit import Circuit, Follower, Resistor, VoltageSource
+from repro.errors import CircuitError
+
+
+@pytest.fixture
+def rc():
+    c = Circuit("rc", output="out")
+    c.voltage_source("V1", "in")
+    c.resistor("R1", "in", "out", 1e3)
+    c.capacitor("C1", "out", "0", 1e-6)
+    return c
+
+
+class TestContainer:
+    def test_len(self, rc):
+        assert len(rc) == 3
+
+    def test_iteration_order_is_insertion_order(self, rc):
+        assert [e.name for e in rc] == ["V1", "R1", "C1"]
+
+    def test_contains(self, rc):
+        assert "R1" in rc
+        assert "R9" not in rc
+
+    def test_getitem(self, rc):
+        assert rc["R1"].value == 1e3
+
+    def test_getitem_missing_raises(self, rc):
+        with pytest.raises(CircuitError, match="R9"):
+            rc["R9"]
+
+    def test_duplicate_name_rejected(self, rc):
+        with pytest.raises(CircuitError, match="duplicate"):
+            rc.resistor("R1", "a", "b", 1.0)
+
+    def test_repr(self, rc):
+        assert "rc" in repr(rc)
+        assert "3" in repr(rc)
+
+
+class TestMutation:
+    def test_remove(self, rc):
+        removed = rc.remove("C1")
+        assert removed.name == "C1"
+        assert "C1" not in rc
+
+    def test_remove_missing_raises(self, rc):
+        with pytest.raises(CircuitError):
+            rc.remove("nope")
+
+    def test_replace_preserves_order(self, rc):
+        rc.replace("R1", Resistor("R1", "in", "out", 2e3))
+        assert [e.name for e in rc] == ["V1", "R1", "C1"]
+        assert rc["R1"].value == 2e3
+
+    def test_replace_with_renamed_element(self, rc):
+        rc.replace("R1", Resistor("Rx", "in", "out", 2e3))
+        assert "R1" not in rc
+        assert [e.name for e in rc] == ["V1", "Rx", "C1"]
+
+    def test_replace_missing_raises(self, rc):
+        with pytest.raises(CircuitError):
+            rc.replace("R9", Resistor("R9", "a", "b", 1.0))
+
+    def test_add_all(self):
+        c = Circuit("bulk")
+        c.add_all(
+            [Resistor("R1", "a", "0", 1.0), Resistor("R2", "a", "0", 2.0)]
+        )
+        assert len(c) == 2
+
+
+class TestViews:
+    def test_nodes(self, rc):
+        assert rc.nodes() == {"in", "out", "0"}
+
+    def test_passives(self, rc):
+        assert [e.name for e in rc.passives()] == ["R1", "C1"]
+
+    def test_sources(self, rc):
+        assert [e.name for e in rc.sources()] == ["V1"]
+
+    def test_opamps_empty(self, rc):
+        assert rc.opamps() == []
+
+    def test_opamps_and_followers(self):
+        c = Circuit("amps")
+        c.opamp("OP1", "0", "a", "b")
+        c.add(Follower("B1", "b", "c"))
+        assert [a.name for a in c.opamps()] == ["OP1"]
+        assert [f.name for f in c.followers()] == ["B1"]
+
+    def test_select(self, rc):
+        big = rc.select(
+            lambda e: isinstance(e, Resistor) and e.value > 100
+        )
+        assert [e.name for e in big] == ["R1"]
+
+    def test_element_names(self, rc):
+        assert rc.element_names == ["V1", "R1", "C1"]
+
+
+class TestTransformation:
+    def test_clone_is_independent(self, rc):
+        copy = rc.clone()
+        copy.remove("C1")
+        assert "C1" in rc
+
+    def test_clone_keeps_output(self, rc):
+        assert rc.clone().output == "out"
+
+    def test_clone_with_title(self, rc):
+        assert rc.clone("other").title == "other"
+
+    def test_with_value(self, rc):
+        modified = rc.with_value("R1", 5e3)
+        assert modified["R1"].value == 5e3
+        assert rc["R1"].value == 1e3
+
+    def test_with_scaled(self, rc):
+        modified = rc.with_scaled("C1", 1.2)
+        assert modified["C1"].value == pytest.approx(1.2e-6)
+
+    def test_with_value_on_source_raises(self, rc):
+        with pytest.raises(CircuitError, match="scalar value"):
+            rc.with_value("V1", 2.0)
+
+    def test_with_replaced(self, rc):
+        modified = rc.with_replaced(
+            "R1", Resistor("R1", "in", "out", 7.0)
+        )
+        assert modified["R1"].value == 7.0
+        assert rc["R1"].value == 1e3
+
+
+class TestNetlistRendering:
+    def test_contains_title_and_elements(self, rc):
+        text = rc.netlist()
+        assert "* rc" in text
+        assert "R1 in out 1k" in text
+        assert ".end" in text
+
+    def test_probe_line(self, rc):
+        assert ".probe V(out)" in rc.netlist()
+
+    def test_no_probe_without_output(self):
+        c = Circuit("bare")
+        c.resistor("R1", "a", "0", 1.0)
+        assert ".probe" not in c.netlist()

@@ -1,0 +1,167 @@
+"""Tests for the SPICE-flavoured netlist parser and writer."""
+
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    CCCS,
+    CCVS,
+    CurrentSource,
+    Follower,
+    Inductor,
+    OpAmp,
+    Resistor,
+    Switch,
+    VCCS,
+    VCVS,
+    VoltageSource,
+    parse_netlist,
+    write_netlist,
+)
+from repro.circuit.netlist_io import roundtrip
+from repro.circuits import tow_thomas_biquad
+from repro.errors import NetlistSyntaxError
+
+
+class TestParsing:
+    def test_title_from_comment(self):
+        c = parse_netlist("* my filter\nR1 a 0 1k\n.end\n")
+        assert c.title == "my filter"
+
+    def test_explicit_title_wins(self):
+        c = parse_netlist("* ignored\nR1 a 0 1k\n", title="given")
+        assert c.title == "given"
+
+    def test_resistor(self):
+        c = parse_netlist("R1 a b 4.7k\n")
+        r = c["R1"]
+        assert isinstance(r, Resistor)
+        assert r.value == pytest.approx(4700.0)
+
+    def test_capacitor_and_inductor(self):
+        c = parse_netlist("C1 a 0 10n\nL1 a b 1m\n")
+        assert isinstance(c["C1"], Capacitor)
+        assert isinstance(c["L1"], Inductor)
+        assert c["C1"].value == pytest.approx(1e-8)
+
+    def test_voltage_source_with_amplitude(self):
+        c = parse_netlist("V1 in 0 AC 2\n")
+        v = c["V1"]
+        assert isinstance(v, VoltageSource)
+        assert v.ac == 2.0
+
+    def test_voltage_source_with_phase(self):
+        c = parse_netlist("V1 in 0 AC 1 90\n")
+        assert c["V1"].ac == pytest.approx(1j)
+
+    def test_source_defaults_to_unity(self):
+        c = parse_netlist("I1 a 0\n")
+        assert isinstance(c["I1"], CurrentSource)
+        assert c["I1"].ac == 1.0
+
+    def test_controlled_sources(self):
+        text = (
+            "E1 a 0 b 0 5\n"
+            "G1 a 0 b 0 1m\n"
+            "F1 a 0 c d 2\n"
+            "H1 a 0 c d 1k\n"
+        )
+        c = parse_netlist(text)
+        assert isinstance(c["E1"], VCVS) and c["E1"].gain == 5.0
+        assert isinstance(c["G1"], VCCS) and c["G1"].gm == pytest.approx(1e-3)
+        assert isinstance(c["F1"], CCCS) and c["F1"].beta == 2.0
+        assert isinstance(c["H1"], CCVS) and c["H1"].r == 1000.0
+
+    def test_opamp_ideal(self):
+        c = parse_netlist("OP1 0 x out ideal\n")
+        amp = c["OP1"]
+        assert isinstance(amp, OpAmp)
+        assert amp.model.is_ideal
+
+    def test_opamp_model_defaults_to_ideal(self):
+        c = parse_netlist("OP1 0 x out\n")
+        assert c["OP1"].model.is_ideal
+
+    def test_opamp_single_pole(self):
+        c = parse_netlist("OP1 0 x out single_pole a0=2e5 gbw=1meg\n")
+        model = c["OP1"].model
+        assert model.a0 == 2e5
+        assert model.gbw_hz == 1e6
+
+    def test_buffer(self):
+        c = parse_netlist("BUF1 a b follower ideal\n")
+        assert isinstance(c["BUF1"], Follower)
+
+    def test_switch(self):
+        c = parse_netlist("S1 a b ON RON=50 ROFF=1G\n")
+        s = c["S1"]
+        assert isinstance(s, Switch)
+        assert s.closed and s.ron == 50.0 and s.roff == 1e9
+
+    def test_switch_off(self):
+        c = parse_netlist("S1 a b OFF\n")
+        assert not c["S1"].closed
+
+    def test_probe_directive(self):
+        c = parse_netlist(".probe V(out)\nR1 out 0 1k\n")
+        assert c.output == "out"
+
+    def test_end_stops_parsing(self):
+        c = parse_netlist("R1 a 0 1k\n.end\nR2 a 0 1k\n")
+        assert "R2" not in c
+
+    def test_comments_and_blanks_skipped(self):
+        c = parse_netlist("\n* hi\n\nR1 a 0 1k ; inline comment\n")
+        assert len(c) == 1
+
+    def test_unknown_directive_ignored(self):
+        c = parse_netlist(".option reltol=1e-4\nR1 a 0 1k\n")
+        assert len(c) == 1
+
+
+class TestParseErrors:
+    def test_unknown_element(self):
+        with pytest.raises(NetlistSyntaxError, match="unknown element"):
+            parse_netlist("Q1 a b c model\n")
+
+    def test_short_resistor_card(self):
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist("R1 a\n")
+
+    def test_bad_switch_state(self):
+        with pytest.raises(NetlistSyntaxError, match="ON or OFF"):
+            parse_netlist("S1 a b MAYBE\n")
+
+    def test_bad_opamp_model(self):
+        with pytest.raises(NetlistSyntaxError, match="unknown opamp"):
+            parse_netlist("OP1 0 a out exotic\n")
+
+    def test_line_number_reported(self):
+        with pytest.raises(NetlistSyntaxError, match="line 3"):
+            parse_netlist("* t\nR1 a 0 1k\nR2 a\n")
+
+    def test_bad_source_tail(self):
+        with pytest.raises(NetlistSyntaxError, match="AC"):
+            parse_netlist("V1 a 0 DC 5\n")
+
+
+class TestRoundtrip:
+    def test_biquad_roundtrip_preserves_elements(self):
+        original = tow_thomas_biquad()
+        recovered = roundtrip(original)
+        assert recovered.element_names == original.element_names
+        assert recovered.output == original.output
+        for name in original.element_names:
+            assert type(recovered[name]) is type(original[name])
+
+    def test_values_preserved(self):
+        original = tow_thomas_biquad()
+        recovered = roundtrip(original)
+        for element in original.passives():
+            assert recovered[element.name].value == pytest.approx(
+                element.value, rel=1e-6
+            )
+
+    def test_write_netlist_is_circuit_netlist(self):
+        c = tow_thomas_biquad()
+        assert write_netlist(c) == c.netlist()

@@ -1,0 +1,153 @@
+"""Tests for the opamp behavioural models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mna import MnaSystem
+from repro.circuit import Circuit, Follower, OpAmp, OpAmpModel
+from repro.circuit.opamp import IDEAL, SINGLE_POLE
+from repro.errors import CircuitError
+
+
+def gain_at(circuit, node, f_hz):
+    return MnaSystem(circuit).solve_at(f_hz).voltage(node)
+
+
+def build_inverting(gain_resistor_ratio=2.0, model=None):
+    c = Circuit("inv", output="out")
+    c.voltage_source("V1", "in")
+    c.resistor("R1", "in", "x", 1e3)
+    c.resistor("R2", "x", "out", gain_resistor_ratio * 1e3)
+    if model is None:
+        c.opamp("OP1", "0", "x", "out")
+    else:
+        c.opamp("OP1", "0", "x", "out", model)
+    return c
+
+
+class TestOpAmpModel:
+    def test_ideal_default(self):
+        assert OpAmpModel().is_ideal
+
+    def test_single_pole_pole_position(self):
+        m = OpAmpModel(kind=SINGLE_POLE, a0=1e5, gbw_hz=1e6)
+        assert m.pole_rad == pytest.approx(2 * np.pi * 10.0)
+
+    def test_ideal_has_no_pole(self):
+        with pytest.raises(CircuitError):
+            OpAmpModel().pole_rad
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CircuitError):
+            OpAmpModel(kind="magic")
+
+    def test_single_pole_needs_positive_gbw(self):
+        with pytest.raises(CircuitError):
+            OpAmpModel(kind=SINGLE_POLE, a0=1e5, gbw_hz=0.0)
+
+    def test_single_pole_needs_gain(self):
+        with pytest.raises(CircuitError):
+            OpAmpModel(kind=SINGLE_POLE, a0=0.5)
+
+    def test_describe(self):
+        assert OpAmpModel().describe() == "ideal"
+        assert "single_pole" in OpAmpModel(kind=SINGLE_POLE).describe()
+
+
+class TestIdealOpAmp:
+    def test_inverting_amplifier_gain(self):
+        c = build_inverting(2.0)
+        assert gain_at(c, "out", 10.0) == pytest.approx(-2.0)
+
+    def test_virtual_ground(self):
+        c = build_inverting(2.0)
+        assert abs(gain_at(c, "x", 10.0)) < 1e-12
+
+    def test_noninverting_amplifier(self):
+        c = Circuit("ni")
+        c.voltage_source("V1", "in")
+        c.resistor("Rg", "fb", "0", 1e3)
+        c.resistor("Rf", "fb", "out", 3e3)
+        c.opamp("OP1", "in", "fb", "out")
+        assert gain_at(c, "out", 10.0) == pytest.approx(4.0)
+
+    def test_gain_flat_over_frequency(self):
+        c = build_inverting(5.0)
+        for f in (1.0, 1e3, 1e6, 1e9):
+            assert gain_at(c, "out", f) == pytest.approx(-5.0)
+
+    def test_output_cannot_be_an_input(self):
+        with pytest.raises(CircuitError):
+            OpAmp("OP1", "out", "x", "out")
+        with pytest.raises(CircuitError):
+            OpAmp("OP1", "a", "out", "out")
+
+    def test_with_model(self):
+        amp = OpAmp("OP1", "a", "b", "c")
+        finite = amp.with_model(OpAmpModel(kind=SINGLE_POLE))
+        assert finite.model.kind == SINGLE_POLE
+        assert amp.model.is_ideal
+
+
+class TestSinglePoleOpAmp:
+    def test_dc_gain_close_to_ideal(self):
+        model = OpAmpModel(kind=SINGLE_POLE, a0=1e6, gbw_hz=1e6)
+        c = build_inverting(2.0, model)
+        assert gain_at(c, "out", 0.01) == pytest.approx(-2.0, rel=1e-4)
+
+    def test_closed_loop_bandwidth(self):
+        # Inverting gain -1: noise gain 2, closed-loop corner ~ GBW/2.
+        model = OpAmpModel(kind=SINGLE_POLE, a0=1e5, gbw_hz=1e6)
+        c = build_inverting(1.0, model)
+        corner = 0.5e6
+        mag = abs(gain_at(c, "out", corner))
+        assert mag == pytest.approx(1 / np.sqrt(2), rel=0.05)
+
+    def test_rolls_off_above_gbw(self):
+        model = OpAmpModel(kind=SINGLE_POLE, a0=1e5, gbw_hz=1e6)
+        c = build_inverting(1.0, model)
+        assert abs(gain_at(c, "out", 1e8)) < 0.02
+
+    def test_open_loop_gain_at_dc(self):
+        model = OpAmpModel(kind=SINGLE_POLE, a0=1234.0, gbw_hz=1e6)
+        c = Circuit("ol")
+        c.voltage_source("V1", "in")
+        c.opamp("OP1", "in", "0", "out", model)
+        c.resistor("Rload", "out", "0", 1e6)
+        assert gain_at(c, "out", 1e-3) == pytest.approx(1234.0, rel=1e-3)
+
+
+class TestFollower:
+    def test_ideal_unity(self):
+        c = Circuit("buf")
+        c.voltage_source("V1", "in")
+        c.add(Follower("B1", "in", "out"))
+        c.resistor("Rload", "out", "0", 1e3)
+        assert gain_at(c, "out", 1e3) == pytest.approx(1.0)
+
+    def test_drives_load_without_loading_source(self):
+        c = Circuit("buf")
+        c.voltage_source("V1", "in")
+        c.resistor("Rs", "in", "hi", 1e6)  # huge source impedance
+        c.add(Follower("B1", "hi", "out"))
+        c.resistor("Rload", "out", "0", 10.0)
+        assert gain_at(c, "out", 1e3) == pytest.approx(1.0)
+
+    def test_single_pole_bandwidth(self):
+        from repro.circuit.opamp import SINGLE_POLE
+
+        model = OpAmpModel(kind=SINGLE_POLE, a0=1e5, gbw_hz=1e6)
+        c = Circuit("buf")
+        c.voltage_source("V1", "in")
+        c.add(Follower("B1", "in", "out", model))
+        c.resistor("Rload", "out", "0", 1e3)
+        assert abs(gain_at(c, "out", 1e6)) == pytest.approx(
+            1 / np.sqrt(2), rel=1e-6
+        )
+
+    def test_input_equals_output_rejected(self):
+        with pytest.raises(CircuitError):
+            Follower("B1", "x", "x")
+
+    def test_card_mentions_follower(self):
+        assert "follower" in Follower("B1", "a", "b").card()

@@ -1,0 +1,154 @@
+"""Tests for hierarchical netlists (.subckt / X instantiation)."""
+
+import pytest
+
+from repro.analysis import ac_analysis, dc_gain, decade_grid
+from repro.circuit import parse_netlist
+from repro.errors import NetlistSyntaxError
+
+INVERTER = """
+.subckt inv in out
+Rin in x 10k
+Rf  x  out 10k
+OP1 0 x out ideal
+.ends
+"""
+
+
+class TestSubcktParsing:
+    def test_instance_elements_prefixed(self):
+        circuit = parse_netlist(
+            INVERTER + "V1 a 0 AC 1\nX1 a b inv\nRload b 0 1k\n"
+        )
+        assert "X1.Rin" in circuit
+        assert "X1.OP1" in circuit
+
+    def test_internal_nodes_prefixed(self):
+        circuit = parse_netlist(
+            INVERTER + "V1 a 0 AC 1\nX1 a b inv\nRload b 0 1k\n"
+        )
+        assert "X1.x" in circuit.nodes()
+        assert "x" not in circuit.nodes()
+
+    def test_ports_map_to_outer_nodes(self):
+        circuit = parse_netlist(
+            INVERTER + "V1 a 0 AC 1\nX1 a b inv\nRload b 0 1k\n"
+        )
+        assert circuit["X1.Rin"].nodes == ("a", "X1.x")
+
+    def test_ground_never_renamed(self):
+        circuit = parse_netlist(
+            INVERTER + "V1 a 0 AC 1\nX1 a b inv\nRload b 0 1k\n"
+        )
+        opamp = circuit["X1.OP1"]
+        assert opamp.inp == "0"
+
+    def test_two_instances_are_independent(self):
+        circuit = parse_netlist(
+            INVERTER
+            + "V1 a 0 AC 1\nX1 a b inv\nX2 b c inv\nRload c 0 1k\n",
+        )
+        circuit.output = "c"
+        assert dc_gain(circuit) == pytest.approx(1.0)  # two inversions
+
+    def test_behaviour_matches_flat_equivalent(self):
+        hier = parse_netlist(
+            INVERTER + "V1 a 0 AC 1\nX1 a b inv\nRload b 0 1k\n"
+        )
+        hier.output = "b"
+        flat = parse_netlist(
+            "V1 a 0 AC 1\n"
+            "Rin a x 10k\n"
+            "Rf x b 10k\n"
+            "OP1 0 x b ideal\n"
+            "Rload b 0 1k\n"
+        )
+        flat.output = "b"
+        grid = decade_grid(1e3, 1, 1, points_per_decade=6)
+        import numpy as np
+
+        assert np.allclose(
+            ac_analysis(hier, grid).values,
+            ac_analysis(flat, grid).values,
+        )
+
+    def test_nested_instantiation(self):
+        text = (
+            INVERTER
+            + """
+.subckt double in out
+X1 in mid inv
+X2 mid out inv
+.ends
+V1 a 0 AC 1
+Xd a b double
+Rload b 0 1k
+"""
+        )
+        circuit = parse_netlist(text)
+        assert "Xd.X1.Rin" in circuit
+        assert "Xd.X1.mid" not in circuit.nodes()
+        assert "Xd.mid" in circuit.nodes()
+        circuit.output = "b"
+        assert dc_gain(circuit) == pytest.approx(1.0)
+
+    def test_subckt_name_case_insensitive(self):
+        circuit = parse_netlist(
+            INVERTER.replace("inv", "INV")
+            + "V1 a 0 AC 1\nX1 a b inv\nRload b 0 1k\n"
+        )
+        assert "X1.Rin" in circuit
+
+
+class TestSubcktErrors:
+    def test_unknown_subckt(self):
+        with pytest.raises(NetlistSyntaxError, match="unknown subcircuit"):
+            parse_netlist("X1 a b ghost\n")
+
+    def test_port_count_mismatch(self):
+        with pytest.raises(NetlistSyntaxError, match="port"):
+            parse_netlist(INVERTER + "X1 a b c inv\n")
+
+    def test_unclosed_subckt(self):
+        with pytest.raises(NetlistSyntaxError, match="never closed"):
+            parse_netlist(".subckt broken a b\nR1 a b 1k\n")
+
+    def test_ends_without_subckt(self):
+        with pytest.raises(NetlistSyntaxError, match="without"):
+            parse_netlist(".ends\n")
+
+    def test_nested_definition_rejected(self):
+        with pytest.raises(NetlistSyntaxError, match="nested"):
+            parse_netlist(
+                ".subckt outer a b\n.subckt inner c d\n.ends\n.ends\n"
+            )
+
+    def test_directive_inside_subckt_rejected(self):
+        with pytest.raises(NetlistSyntaxError, match="directives"):
+            parse_netlist(
+                ".subckt s a b\n.probe V(a)\n.ends\n"
+            )
+
+    def test_subckt_needs_ports(self):
+        with pytest.raises(NetlistSyntaxError, match="port"):
+            parse_netlist(".subckt lonely\n.ends\n")
+
+    def test_recursion_bounded(self):
+        text = """
+.subckt loop a b
+X1 a b loop
+.ends
+X0 p q loop
+"""
+        with pytest.raises(NetlistSyntaxError, match="nesting"):
+            parse_netlist(text)
+
+    def test_bad_card_inside_subckt(self):
+        text = """
+.subckt s a b
+Q1 a b weird
+.ends
+X1 p q s
+"""
+        with pytest.raises(NetlistSyntaxError, match="bad card"):
+            parse_netlist(text)

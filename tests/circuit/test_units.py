@@ -1,0 +1,107 @@
+"""Tests for SPICE-style value parsing and formatting."""
+
+import math
+
+import pytest
+
+from repro.circuit.units import format_value, parse_value, same_value
+from repro.errors import CircuitError
+
+
+class TestParseValue:
+    def test_plain_number(self):
+        assert parse_value("100") == 100.0
+
+    def test_decimal(self):
+        assert parse_value("4.7") == 4.7
+
+    def test_scientific_notation(self):
+        assert parse_value("1e3") == 1000.0
+
+    def test_negative_exponent(self):
+        assert parse_value("2.2e-6") == pytest.approx(2.2e-6)
+
+    def test_kilo(self):
+        assert parse_value("10k") == 10_000.0
+
+    def test_mega_is_meg_not_m(self):
+        assert parse_value("2meg") == 2e6
+        assert parse_value("2m") == 2e-3
+
+    def test_case_insensitive(self):
+        assert parse_value("10K") == 10_000.0
+        assert parse_value("2MEG") == 2e6
+
+    def test_micro_nano_pico_femto(self):
+        assert parse_value("3u") == pytest.approx(3e-6)
+        assert parse_value("3n") == pytest.approx(3e-9)
+        assert parse_value("3p") == pytest.approx(3e-12)
+        assert parse_value("3f") == pytest.approx(3e-15)
+
+    def test_giga_tera(self):
+        assert parse_value("1g") == 1e9
+        assert parse_value("1t") == 1e12
+
+    def test_trailing_unit_letters_ignored(self):
+        assert parse_value("10kohm") == 10_000.0
+        assert parse_value("5nF") == pytest.approx(5e-9)
+
+    def test_bare_unit_word_after_number(self):
+        assert parse_value("10ohm") == 10.0
+
+    def test_numeric_passthrough(self):
+        assert parse_value(42) == 42.0
+        assert parse_value(4.5) == 4.5
+
+    def test_negative_value(self):
+        assert parse_value("-3k") == -3000.0
+
+    def test_leading_dot(self):
+        assert parse_value(".5u") == pytest.approx(0.5e-6)
+
+    def test_garbage_raises(self):
+        with pytest.raises(CircuitError):
+            parse_value("abc")
+
+    def test_empty_raises(self):
+        with pytest.raises(CircuitError):
+            parse_value("")
+
+
+class TestFormatValue:
+    def test_kilo(self):
+        assert format_value(10_000.0) == "10k"
+
+    def test_nano_with_unit(self):
+        assert format_value(4.7e-9, "F") == "4.7nF"
+
+    def test_unity(self):
+        assert format_value(5.0) == "5"
+
+    def test_zero(self):
+        assert format_value(0.0, "H") == "0H"
+
+    def test_mega(self):
+        assert format_value(2.2e6) == "2.2Meg"
+
+    def test_negative(self):
+        assert format_value(-10_000.0) == "-10k"
+
+    def test_roundtrip_through_parse(self):
+        for value in (1.0, 12.0, 4.7e-9, 10e3, 2.2e6, 3.3e-12):
+            assert parse_value(format_value(value)) == pytest.approx(value)
+
+
+class TestSameValue:
+    def test_equal(self):
+        assert same_value(1.0, 1.0)
+
+    def test_within_tolerance(self):
+        assert same_value(1.0, 1.0 + 1e-12)
+
+    def test_outside_tolerance(self):
+        assert not same_value(1.0, 1.001)
+
+    def test_not_close_to_zero(self):
+        assert not same_value(0.0, 1e-30)
+        assert same_value(0.0, 0.0) or math.isclose(0.0, 0.0)

@@ -1,0 +1,116 @@
+"""Tests for structural circuit validation."""
+
+import pytest
+
+from repro.circuit import Circuit, validate_circuit
+from repro.circuit.validate import connectivity_graph
+from repro.errors import CircuitError
+
+
+def valid_rc():
+    c = Circuit("rc", output="out")
+    c.voltage_source("V1", "in")
+    c.resistor("R1", "in", "out", 1e3)
+    c.capacitor("C1", "out", "0", 1e-6)
+    return c
+
+
+class TestValidateCircuit:
+    def test_valid_circuit_passes(self):
+        warnings = validate_circuit(valid_rc())
+        assert warnings == []
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError, match="no elements"):
+            validate_circuit(Circuit("empty"))
+
+    def test_missing_ground_rejected(self):
+        c = Circuit("nog")
+        c.voltage_source("V1", "a", "b")
+        c.resistor("R1", "a", "b", 1.0)
+        with pytest.raises(CircuitError, match="ground"):
+            validate_circuit(c)
+
+    def test_floating_island_rejected(self):
+        c = valid_rc()
+        c.resistor("Rx", "island1", "island2", 1.0)
+        c.resistor("Ry", "island1", "island2", 2.0)
+        with pytest.raises(CircuitError, match="island"):
+            validate_circuit(c)
+
+    def test_bad_output_node_rejected(self):
+        c = valid_rc()
+        c.output = "nonexistent"
+        with pytest.raises(CircuitError, match="nonexistent"):
+            validate_circuit(c)
+
+    def test_parallel_voltage_sources_rejected(self):
+        c = valid_rc()
+        c.voltage_source("V2", "in")
+        with pytest.raises(CircuitError, match="parallel"):
+            validate_circuit(c)
+
+    def test_opamp_without_feedback_rejected(self):
+        c = Circuit("nofb")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "x", 1e3)
+        c.opamp("OP1", "0", "x", "out")
+        c.resistor("Rload", "out", "0", 1e3)
+        # x has 2 connections (R1 and the opamp input) - that is fine;
+        # build a genuinely dangling inverting input instead.
+        c2 = Circuit("nofb2")
+        c2.voltage_source("V1", "in")
+        c2.opamp("OP1", "in", "dangling", "out")
+        c2.resistor("Rload", "out", "0", 1e3)
+        with pytest.raises(CircuitError, match="feedback"):
+            validate_circuit(c2)
+
+    def test_dangling_node_is_warning_not_error(self):
+        c = valid_rc()
+        c.resistor("Rdang", "out", "nowhere", 1e3)
+        warnings = validate_circuit(c)
+        assert any("nowhere" in w for w in warnings)
+
+    def test_no_source_is_warning(self):
+        c = Circuit("passive")
+        c.resistor("R1", "a", "0", 1.0)
+        c.resistor("R2", "a", "0", 1.0)
+        warnings = validate_circuit(c)
+        assert any("source" in w for w in warnings)
+
+    def test_non_strict_returns_problems(self):
+        c = Circuit("nog")
+        c.voltage_source("V1", "a", "b")
+        c.resistor("R1", "a", "b", 1.0)
+        problems = validate_circuit(c, strict=False)
+        assert any("ground" in p for p in problems)
+
+    def test_biquad_is_valid(self):
+        from repro.circuits import tow_thomas_biquad
+
+        assert validate_circuit(tow_thomas_biquad()) == []
+
+    def test_all_catalog_circuits_valid(self):
+        from repro.circuits import build_all
+
+        for bench in build_all():
+            assert validate_circuit(bench.circuit) == []
+
+
+class TestConnectivityGraph:
+    def test_nodes_present(self):
+        graph = connectivity_graph(valid_rc())
+        assert {"in", "out", "0"} <= set(graph.nodes)
+
+    def test_opamp_output_connected_to_ground(self):
+        c = Circuit("amp")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "x", 1e3)
+        c.resistor("R2", "x", "out", 1e3)
+        c.opamp("OP1", "0", "x", "out")
+        graph = connectivity_graph(c)
+        assert graph.has_edge("out", "0")
+
+    def test_element_annotation(self):
+        graph = connectivity_graph(valid_rc())
+        assert graph.edges["in", "out"]["element"] == "R1"

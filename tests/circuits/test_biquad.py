@@ -1,0 +1,97 @@
+"""Tests for the paper's Tow-Thomas biquad."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ac_analysis,
+    biquad_parameters,
+    dc_gain,
+    decade_grid,
+)
+from repro.circuits import BiquadDesign, bandpass_output_biquad, tow_thomas_biquad
+from repro.errors import CircuitError
+
+
+class TestDesign:
+    def test_f0(self):
+        design = BiquadDesign(r_ohm=10e3, c_farad=10e-9)
+        assert design.f0_hz == pytest.approx(1591.55, rel=1e-4)
+
+    def test_positive_parameters(self):
+        with pytest.raises(CircuitError):
+            BiquadDesign(q=-1.0)
+        with pytest.raises(CircuitError):
+            BiquadDesign(r_ohm=0.0)
+
+
+class TestTowThomas:
+    def test_component_list_matches_paper(self):
+        circuit = tow_thomas_biquad()
+        passives = {e.name for e in circuit.passives()}
+        assert passives == {
+            "R1", "R2", "R3", "R4", "R5", "R6", "C1", "C2",
+        }
+        assert [a.name for a in circuit.opamps()] == [
+            "OP1", "OP2", "OP3",
+        ]
+
+    def test_dc_gain_is_r4_over_r1(self):
+        circuit = tow_thomas_biquad(BiquadDesign(dc_gain=2.5))
+        assert dc_gain(circuit) == pytest.approx(-2.5)
+
+    def test_unity_dc_gain_default(self):
+        assert dc_gain(tow_thomas_biquad()) == pytest.approx(-1.0)
+
+    def test_pole_parameters_match_design(self):
+        design = BiquadDesign(q=0.8)
+        params = biquad_parameters(tow_thomas_biquad(design))
+        assert params.f0_hz == pytest.approx(design.f0_hz, rel=1e-6)
+        assert params.q == pytest.approx(0.8, rel=1e-6)
+
+    def test_lowpass_rolloff_40db_per_decade(self):
+        design = BiquadDesign()
+        circuit = tow_thomas_biquad(design)
+        grid = decade_grid(design.f0_hz, 0, 3, points_per_decade=10)
+        response = ac_analysis(circuit, grid)
+        db = response.magnitude_db
+        # Between 1 and 2 decades above f0 the slope is ~ -40 dB/dec.
+        slope = db[-1] - db[-11]
+        assert slope == pytest.approx(-40.0, abs=1.0)
+
+    def test_analytic_transfer_function(self):
+        """Compare the MNA result with the closed-form T(s) at v3."""
+        design = BiquadDesign(q=0.6, dc_gain=1.5)
+        circuit = tow_thomas_biquad(design)
+        r = design.r_ohm
+        r1 = r / 1.5
+        r2 = 0.6 * r
+        c = design.c_farad
+        grid = decade_grid(design.f0_hz, 1, 1, points_per_decade=8)
+        response = ac_analysis(circuit, grid)
+        s = 2j * np.pi * grid.frequencies_hz
+        num = -1.0 / (r1 * r * c * c)
+        den = s ** 2 + s / (r2 * c) + 1.0 / (r * r * c * c)
+        analytic = num / den
+        assert np.allclose(response.values, analytic, rtol=1e-9)
+
+    def test_q_set_by_r2(self):
+        circuit = tow_thomas_biquad(BiquadDesign(q=0.75))
+        assert circuit["R2"].value == pytest.approx(7.5e3)
+
+
+class TestBandpassVariant:
+    def test_output_is_v1(self):
+        circuit = bandpass_output_biquad()
+        assert circuit.output == "v1"
+
+    def test_bandpass_shape(self):
+        design = BiquadDesign()
+        circuit = bandpass_output_biquad(design)
+        grid = decade_grid(design.f0_hz, 2, 2, points_per_decade=15)
+        response = ac_analysis(circuit, grid)
+        f_peak, _ = response.peak()
+        assert f_peak == pytest.approx(design.f0_hz, rel=0.15)
+        # Gain falls on both sides of the peak.
+        assert response.magnitude[0] < 0.2 * max(response.magnitude)
+        assert response.magnitude[-1] < 0.2 * max(response.magnitude)

@@ -1,0 +1,77 @@
+"""Tests for the benchmark-circuit catalog."""
+
+import pytest
+
+from repro.circuits import BenchmarkCircuit, build, build_all, catalog
+from repro.circuits.catalog import register
+from repro.errors import CircuitError
+
+
+class TestCatalog:
+    def test_expected_entries(self):
+        assert set(catalog()) == {
+            "akerberg_mossberg",
+            "bandpass_mfb",
+            "cascade",
+            "biquad",
+            "leapfrog",
+            "multistage",
+            "sallen_key",
+            "state_variable",
+        }
+
+    def test_build_by_name(self):
+        bench = build("biquad")
+        assert isinstance(bench, BenchmarkCircuit)
+        assert bench.n_opamps == 3
+
+    def test_build_unknown(self):
+        with pytest.raises(CircuitError, match="available"):
+            build("ghost")
+
+    def test_build_all_sorted(self):
+        names = [b.name for b in build_all()]
+        assert len(names) == 8
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(CircuitError, match="duplicate"):
+
+            @register("biquad")
+            def clash():  # pragma: no cover
+                raise AssertionError
+
+    def test_builders_return_fresh_instances(self):
+        a = build("biquad")
+        b = build("biquad")
+        assert a.circuit is not b.circuit
+
+
+class TestBenchmarkCircuit:
+    @pytest.mark.parametrize("name", [
+        "akerberg_mossberg", "bandpass_mfb", "biquad", "cascade",
+        "leapfrog", "multistage", "sallen_key", "state_variable",
+    ])
+    def test_metadata_consistent(self, name):
+        bench = build(name)
+        assert bench.f0_hz > 0
+        assert bench.input_node in bench.circuit.nodes()
+        assert bench.circuit.output in bench.circuit.nodes()
+        for opamp_name in bench.chain:
+            assert opamp_name in bench.circuit
+        assert bench.description
+
+    @pytest.mark.parametrize("name", [
+        "akerberg_mossberg", "bandpass_mfb", "biquad", "cascade",
+        "leapfrog", "multistage", "sallen_key", "state_variable",
+    ])
+    def test_dft_instrumentation(self, name):
+        bench = build(name)
+        mcc = bench.dft()
+        assert mcc.n_opamps == bench.n_opamps
+        assert mcc.n_configurations == 2 ** bench.n_opamps
+
+    def test_chain_order_matches_opamps(self):
+        bench = build("biquad")
+        assert bench.chain == tuple(
+            a.name for a in bench.circuit.opamps()
+        )

@@ -1,0 +1,294 @@
+"""Behavioural tests of the non-biquad library circuits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ac_analysis,
+    circuit_poles,
+    dc_gain,
+    decade_grid,
+    is_stable,
+)
+from repro.circuits import (
+    LeapfrogDesign,
+    MfbBandpassDesign,
+    MultistageDesign,
+    SallenKeyDesign,
+    StateVariableDesign,
+    flf_filter,
+    khn_filter,
+    mfb_bandpass_cascade,
+    multistage_amplifier,
+    sallen_key_cascade,
+)
+from repro.errors import CircuitError
+
+
+class TestSallenKey:
+    def test_dc_gain_is_k_squared(self):
+        design = SallenKeyDesign(gain=1.5)
+        circuit = sallen_key_cascade(design)
+        assert abs(dc_gain(circuit)) == pytest.approx(2.25, rel=1e-6)
+
+    def test_fourth_order_rolloff(self):
+        design = SallenKeyDesign()
+        circuit = sallen_key_cascade(design)
+        grid = decade_grid(design.f0_hz, 0, 3, points_per_decade=10)
+        response = ac_analysis(circuit, grid)
+        slope = response.magnitude_db[-1] - response.magnitude_db[-11]
+        assert slope == pytest.approx(-80.0, abs=2.0)
+
+    def test_q_from_gain(self):
+        assert SallenKeyDesign(gain=2.0).q == pytest.approx(1.0)
+
+    def test_gain_stability_bound(self):
+        with pytest.raises(CircuitError, match="K < 3"):
+            SallenKeyDesign(gain=3.0)
+
+    def test_two_opamps(self):
+        circuit = sallen_key_cascade()
+        assert len(circuit.opamps()) == 2
+
+
+class TestStateVariable:
+    def test_lowpass_dc_gain(self):
+        circuit = khn_filter()
+        assert abs(dc_gain(circuit)) == pytest.approx(1.0, rel=0.01)
+
+    def test_stable(self):
+        assert is_stable(khn_filter())
+
+    def test_bandpass_node_peaks_at_f0(self):
+        design = StateVariableDesign()
+        circuit = khn_filter(design)
+        circuit.output = "vbp"
+        grid = decade_grid(design.f0_hz, 2, 2, points_per_decade=20)
+        response = ac_analysis(circuit, grid)
+        f_peak, _ = response.peak()
+        assert f_peak == pytest.approx(design.f0_hz, rel=0.2)
+
+    def test_highpass_node_flat_at_high_f(self):
+        design = StateVariableDesign()
+        circuit = khn_filter(design)
+        circuit.output = "vhp"
+        grid = decade_grid(design.f0_hz, 2, 2, points_per_decade=10)
+        response = ac_analysis(circuit, grid)
+        assert response.magnitude[0] < 0.1 * response.magnitude[-1]
+
+    def test_three_outputs_distinct(self):
+        design = StateVariableDesign()
+        grid = decade_grid(design.f0_hz, 1, 1, points_per_decade=8)
+        magnitudes = {}
+        for node in ("vhp", "vbp", "vlp"):
+            circuit = khn_filter(design)
+            circuit.output = node
+            magnitudes[node] = ac_analysis(circuit, grid).magnitude
+        assert not np.allclose(magnitudes["vhp"], magnitudes["vlp"])
+        assert not np.allclose(magnitudes["vbp"], magnitudes["vlp"])
+
+
+class TestLeapfrog:
+    def test_stable(self):
+        assert is_stable(flf_filter())
+
+    def test_five_opamps(self):
+        assert len(flf_filter().opamps()) == 5
+
+    def test_dc_gain_with_global_feedback(self):
+        # Forward DC gain -1 through 5 inverting unity stages; the two
+        # feedback taps halve it: v5/vin = -1/2 with ratio 2.
+        circuit = flf_filter(LeapfrogDesign(feedback_ratio=2.0))
+        assert dc_gain(circuit) == pytest.approx(-0.5, rel=1e-6)
+
+    def test_feedback_ratio_changes_gain(self):
+        weak = flf_filter(LeapfrogDesign(feedback_ratio=10.0))
+        strong = flf_filter(LeapfrogDesign(feedback_ratio=1.0))
+        assert abs(dc_gain(weak)) > abs(dc_gain(strong))
+
+    def test_rolls_off_fast(self):
+        design = LeapfrogDesign()
+        grid = decade_grid(design.f0_hz, 0, 2, points_per_decade=10)
+        response = ac_analysis(flf_filter(design), grid)
+        # 5 cascaded poles: at 2 decades above, far below DC level.
+        assert response.magnitude[-1] < 1e-4 * response.magnitude[0]
+
+
+class TestMultistage:
+    def test_stable(self):
+        assert is_stable(multistage_amplifier())
+
+    def test_dc_gain_with_overall_feedback(self):
+        design = MultistageDesign(
+            stage_gain=2.0, overall_feedback_ratio=20.0
+        )
+        circuit = multistage_amplifier(design)
+        # Forward path: 4 inverting x(-2) stages -> +16; the v3 tap
+        # closes a negative loop that reduces the magnitude below 16.
+        gain = dc_gain(circuit)
+        assert abs(gain.imag) < 1e-9
+        assert 1.0 < abs(gain) < 16.0
+
+    def test_gain_less_than_open_loop(self):
+        open_loop = MultistageDesign(overall_feedback_ratio=1e9)
+        closed = MultistageDesign(overall_feedback_ratio=5.0)
+        assert abs(dc_gain(multistage_amplifier(closed))) < abs(
+            dc_gain(multistage_amplifier(open_loop))
+        )
+
+    def test_bandwidth_limited_by_stage_caps(self):
+        design = MultistageDesign()
+        grid = decade_grid(design.f0_hz, 0, 2, points_per_decade=10)
+        response = ac_analysis(multistage_amplifier(design), grid)
+        assert response.magnitude[-1] < 0.05 * response.magnitude[0]
+
+
+class TestMfbBandpass:
+    def test_stable(self):
+        assert is_stable(mfb_bandpass_cascade())
+
+    def test_blocks_dc(self):
+        assert abs(dc_gain(mfb_bandpass_cascade())) < 1e-9
+
+    def test_peak_near_design_frequency(self):
+        design = MfbBandpassDesign()
+        grid = decade_grid(design.f0_hz, 2, 2, points_per_decade=20)
+        response = ac_analysis(mfb_bandpass_cascade(design), grid)
+        f_peak, _ = response.peak()
+        assert f_peak == pytest.approx(design.f0_hz, rel=0.3)
+
+    def test_stagger_bounds(self):
+        with pytest.raises(CircuitError):
+            MfbBandpassDesign(stagger=0.6)
+
+    def test_band_edges_attenuate(self):
+        design = MfbBandpassDesign()
+        grid = decade_grid(design.f0_hz, 2, 2, points_per_decade=15)
+        response = ac_analysis(mfb_bandpass_cascade(design), grid)
+        peak = max(response.magnitude)
+        assert response.magnitude[0] < 0.01 * peak
+        assert response.magnitude[-1] < 0.01 * peak
+
+
+class TestAkerbergMossberg:
+    def test_stable(self):
+        from repro.circuits import akerberg_mossberg_biquad
+
+        assert is_stable(akerberg_mossberg_biquad())
+
+    def test_pole_parameters_match_design(self):
+        from repro.analysis import biquad_parameters
+        from repro.circuits import (
+            AkerbergMossbergDesign,
+            akerberg_mossberg_biquad,
+        )
+
+        design = AkerbergMossbergDesign(q=0.7)
+        params = biquad_parameters(akerberg_mossberg_biquad(design))
+        assert params.f0_hz == pytest.approx(design.f0_hz, rel=1e-6)
+        assert params.q == pytest.approx(0.7, rel=1e-6)
+
+    def test_dc_gain(self):
+        from repro.circuits import (
+            AkerbergMossbergDesign,
+            akerberg_mossberg_biquad,
+        )
+
+        circuit = akerberg_mossberg_biquad(
+            AkerbergMossbergDesign(dc_gain=2.0)
+        )
+        assert dc_gain(circuit) == pytest.approx(-2.0)
+
+    def test_noninverting_integrator_sign(self):
+        """vlp/vbp must be a NON-inverting integration (the AM trick):
+        at f0 the lowpass output lags the bandpass node by -90 deg."""
+        import numpy as np
+
+        from repro.analysis import transfer_at
+        from repro.circuits import (
+            AkerbergMossbergDesign,
+            akerberg_mossberg_biquad,
+        )
+
+        design = AkerbergMossbergDesign()
+        circuit = akerberg_mossberg_biquad(design)
+        vbp = transfer_at(circuit, design.f0_hz, output="vbp")
+        vlp = transfer_at(circuit, design.f0_hz, output="vlp")
+        ratio = vlp / vbp
+        # +1/(j w R C) at w0: magnitude 1, phase -90 degrees.
+        assert abs(ratio) == pytest.approx(1.0, rel=1e-6)
+        assert np.degrees(np.angle(ratio)) == pytest.approx(-90.0, abs=1e-6)
+
+    def test_matches_tow_thomas_response_shape(self):
+        """Same (f0, Q) as a Tow-Thomas gives the same |T| curve."""
+        import numpy as np
+
+        from repro.circuits import (
+            AkerbergMossbergDesign,
+            BiquadDesign,
+            akerberg_mossberg_biquad,
+            tow_thomas_biquad,
+        )
+
+        q = 0.8
+        am = akerberg_mossberg_biquad(AkerbergMossbergDesign(q=q))
+        tt = tow_thomas_biquad(BiquadDesign(q=q))
+        grid = decade_grid(1591.5, 2, 2, points_per_decade=10)
+        am_mag = ac_analysis(am, grid).magnitude
+        tt_mag = ac_analysis(tt, grid).magnitude
+        assert np.allclose(am_mag, tt_mag, rtol=1e-9)
+
+    def test_detectability_structure_differs_from_tow_thomas(self):
+        """Same transfer function, different internal structure: the
+        DFT configurations expose the two topologies differently."""
+        import numpy as np
+
+        from repro.circuits import build
+        from repro.experiments.exp_scaling import analyze_circuit
+
+        am = analyze_circuit(
+            build("akerberg_mossberg"), points_per_decade=10
+        )
+        tt = analyze_circuit(build("biquad"), points_per_decade=10)
+        assert not np.array_equal(
+            am["matrix"].data, tt["matrix"].data
+        )
+
+
+class TestCascade:
+    def test_stable_and_unity_dc(self):
+        from repro.circuits import biquad_cascade
+
+        circuit = biquad_cascade()
+        assert is_stable(circuit)
+        assert dc_gain(circuit) == pytest.approx(1.0)
+
+    def test_fourth_order_butterworth(self):
+        from repro.circuits import CascadeDesign, biquad_cascade
+
+        design = CascadeDesign()
+        circuit = biquad_cascade(design)
+        grid = decade_grid(design.f0_hz, 0, 3, points_per_decade=10)
+        response = ac_analysis(circuit, grid)
+        slope = response.magnitude_db[-1] - response.magnitude_db[-11]
+        assert slope == pytest.approx(-80.0, abs=2.0)
+        # Butterworth: -3 dB exactly at f0.
+        assert abs(response.at(design.f0_hz)) == pytest.approx(
+            2 ** -0.5, rel=0.01
+        )
+
+    def test_six_opamps_64_configurations(self):
+        from repro.circuits import build
+
+        bench = build("cascade")
+        assert bench.n_opamps == 6
+        assert bench.dft().n_configurations == 64
+
+    def test_section_fault_universes_disjoint(self):
+        from repro.circuits import biquad_cascade
+        from repro.faults import deviation_faults
+
+        faults = deviation_faults(biquad_cascade())
+        names = {f.component for f in faults}
+        assert len(names) == 16
+        assert {"R1A", "C2B"} <= names

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (the full biquad fault-simulation campaign) are
+session-scoped; everything else is rebuilt per test for isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import decade_grid
+from repro.circuits import benchmark_biquad
+from repro.experiments.paper import PaperScenario
+from repro.faults import SimulationSetup, deviation_faults, simulate_faults
+
+
+@pytest.fixture
+def biquad_bench():
+    """A fresh biquad benchmark circuit (paper Fig. 1)."""
+    return benchmark_biquad()
+
+
+@pytest.fixture
+def biquad(biquad_bench):
+    """The bare biquad circuit."""
+    return biquad_bench.circuit
+
+
+@pytest.fixture
+def biquad_grid(biquad_bench):
+    """A light Ω_reference grid around the biquad's f0 (fast tests)."""
+    return decade_grid(biquad_bench.f0_hz, 2, 2, points_per_decade=30)
+
+
+@pytest.fixture(scope="session")
+def paper_scenario():
+    """A moderately sampled paper scenario shared across the session."""
+    return PaperScenario(points_per_decade=60)
+
+
+@pytest.fixture(scope="session")
+def paper_dataset(paper_scenario):
+    """The full C0…C6 fault campaign on the biquad (session-cached)."""
+    return paper_scenario.dataset()
+
+
+@pytest.fixture(scope="session")
+def simulated_matrix(paper_dataset):
+    return paper_dataset.detectability_matrix()
+
+
+@pytest.fixture(scope="session")
+def simulated_table(paper_dataset):
+    return paper_dataset.omega_table()
+
+
+@pytest.fixture(scope="session")
+def mini_dataset():
+    """A small, fast campaign (coarse grid) for schedule/maskd tests."""
+    bench = benchmark_biquad()
+    mcc = bench.dft()
+    faults = deviation_faults(bench.circuit, 0.20)
+    grid = decade_grid(bench.f0_hz, 2, 2, points_per_decade=15)
+    setup = SimulationSetup(grid=grid, epsilon=0.10)
+    return simulate_faults(mcc, faults, setup)

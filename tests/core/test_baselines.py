@@ -1,0 +1,106 @@
+"""Tests for the baseline configuration-selection strategies."""
+
+import pytest
+
+from repro.core import (
+    brute_force_strategy,
+    exact_minimum_strategy,
+    greedy_strategy,
+    random_strategy,
+)
+from repro.data import paper1998
+
+
+@pytest.fixture
+def matrix():
+    return paper1998.detectability_matrix()
+
+
+@pytest.fixture
+def table():
+    return paper1998.omega_table()
+
+
+class TestBruteForce:
+    def test_uses_everything(self, matrix, table):
+        outcome = brute_force_strategy(matrix, 3, table)
+        assert outcome.configs == frozenset(range(7))
+        assert outcome.n_configurations == 7
+        assert outcome.n_configurable_opamps == 3
+
+    def test_paper_numbers(self, matrix, table):
+        outcome = brute_force_strategy(matrix, 3, table)
+        assert outcome.fault_coverage == pytest.approx(1.0)
+        assert outcome.average_omega_detectability == pytest.approx(
+            0.6825
+        )
+
+    def test_render(self, matrix, table):
+        text = brute_force_strategy(matrix, 3, table).render()
+        assert "brute force" in text and "FC=100.0%" in text
+
+
+class TestGreedy:
+    def test_covers(self, matrix, table):
+        outcome = greedy_strategy(matrix, 3, table)
+        assert outcome.fault_coverage == pytest.approx(1.0)
+
+    def test_small_on_paper_matrix(self, matrix, table):
+        outcome = greedy_strategy(matrix, 3, table)
+        assert outcome.n_configurations <= 3
+
+
+class TestExactMinimum:
+    def test_matches_paper_minimum(self, matrix, table):
+        outcome = exact_minimum_strategy(matrix, 3, table)
+        assert outcome.n_configurations == 2
+        assert outcome.configs in set(paper1998.EXPECTED_MINIMAL_COVERS)
+        assert outcome.fault_coverage == pytest.approx(1.0)
+
+
+class TestRandom:
+    def test_covers(self, matrix, table):
+        outcome = random_strategy(matrix, 3, table, seed=5)
+        assert outcome.fault_coverage == pytest.approx(1.0)
+
+    def test_deterministic_per_seed(self, matrix, table):
+        a = random_strategy(matrix, 3, table, seed=11)
+        b = random_strategy(matrix, 3, table, seed=11)
+        assert a.configs == b.configs
+
+    def test_never_smaller_than_exact(self, matrix, table):
+        exact = exact_minimum_strategy(matrix, 3, table)
+        for seed in range(5):
+            random_outcome = random_strategy(matrix, 3, table, seed=seed)
+            assert (
+                random_outcome.n_configurations
+                >= exact.n_configurations
+            )
+
+    def test_strategy_name_mentions_seed(self, matrix, table):
+        outcome = random_strategy(matrix, 3, table, seed=9)
+        assert "seed=9" in outcome.strategy
+
+
+class TestOrdering:
+    def test_strategy_quality_ordering(self, matrix, table):
+        """exact <= greedy <= brute force in configuration count, and
+        all reach maximum coverage on the paper matrix."""
+        exact = exact_minimum_strategy(matrix, 3, table)
+        greedy = greedy_strategy(matrix, 3, table)
+        brute = brute_force_strategy(matrix, 3, table)
+        assert (
+            exact.n_configurations
+            <= greedy.n_configurations
+            <= brute.n_configurations
+        )
+        for outcome in (exact, greedy, brute):
+            assert outcome.fault_coverage == pytest.approx(1.0)
+
+    def test_brute_force_has_best_omega(self, matrix, table):
+        exact = exact_minimum_strategy(matrix, 3, table)
+        brute = brute_force_strategy(matrix, 3, table)
+        assert (
+            brute.average_omega_detectability
+            >= exact.average_omega_detectability
+        )

@@ -1,0 +1,150 @@
+"""Tests for the user-defined cost functions."""
+
+import pytest
+
+from repro.analysis import decade_grid
+from repro.circuits import benchmark_biquad
+from repro.core import (
+    AverageOmegaDetectability,
+    ConfigurableOpampCount,
+    ConfigurationCount,
+    PerformanceDegradation,
+    SiliconOverhead,
+    TestTime,
+    performance_degradation_evaluator,
+)
+from repro.data import paper1998
+from repro.dft import SwitchParasitics
+from repro.errors import OptimizationError
+
+
+class TestConfigurationCount:
+    def test_value(self):
+        assert ConfigurationCount().evaluate(frozenset({2, 5})) == 2.0
+
+    def test_direction(self):
+        cost = ConfigurationCount()
+        assert cost.better(1.0, 2.0)
+        assert not cost.better(2.0, 1.0)
+
+
+class TestConfigurableOpampCount:
+    def test_paper_422_candidates(self):
+        cost = ConfigurableOpampCount(n_opamps=3)
+        # {C1, C2} -> OP1, OP2; {C2, C5} -> OP1, OP2, OP3.
+        assert cost.evaluate(frozenset({1, 2})) == 2.0
+        assert cost.evaluate(frozenset({2, 5})) == 3.0
+
+    def test_c0_costs_nothing(self):
+        cost = ConfigurableOpampCount(n_opamps=3)
+        assert cost.evaluate(frozenset({0})) == 0.0
+
+    def test_needs_chain_length(self):
+        with pytest.raises(OptimizationError):
+            ConfigurableOpampCount()
+
+
+class TestAverageOmegaDetectability:
+    def test_paper_values(self):
+        cost = AverageOmegaDetectability(table=paper1998.omega_table())
+        assert cost.evaluate(frozenset({2, 5})) == pytest.approx(0.325)
+        assert cost.evaluate(frozenset({1, 2})) == pytest.approx(0.30)
+
+    def test_maximize_direction(self):
+        cost = AverageOmegaDetectability(table=paper1998.omega_table())
+        assert cost.better(0.5, 0.3)
+
+    def test_requires_table(self):
+        with pytest.raises(OptimizationError):
+            AverageOmegaDetectability()
+
+    def test_describe_percent(self):
+        cost = AverageOmegaDetectability(table=paper1998.omega_table())
+        assert "32.5%" in cost.describe(0.325)
+
+
+class TestTestTime:
+    def test_linear_in_configs(self):
+        cost = TestTime(
+            t_reconfigure_s=1.0, t_measure_s=0.1, n_frequencies=5
+        )
+        assert cost.evaluate(frozenset({1})) == pytest.approx(1.5)
+        assert cost.evaluate(frozenset({1, 2})) == pytest.approx(3.0)
+
+    def test_per_config_frequencies(self):
+        cost = TestTime(
+            t_reconfigure_s=0.0,
+            t_measure_s=1.0,
+            frequencies_per_config=lambda c: c,
+        )
+        assert cost.evaluate(frozenset({2, 3})) == pytest.approx(5.0)
+
+    def test_orders_like_configuration_count(self):
+        time_cost = TestTime()
+        count_cost = ConfigurationCount()
+        small, large = frozenset({1}), frozenset({1, 2, 3})
+        assert time_cost.better(
+            time_cost.evaluate(small), time_cost.evaluate(large)
+        ) == count_cost.better(
+            count_cost.evaluate(small), count_cost.evaluate(large)
+        )
+
+
+class TestSiliconOverhead:
+    def test_proportional_to_opamps(self):
+        cost = SiliconOverhead(
+            n_opamps=3, switches_per_opamp=3, routing_per_opamp=1.0
+        )
+        assert cost.evaluate(frozenset({1, 2})) == pytest.approx(8.0)
+        assert cost.evaluate(frozenset({2, 5})) == pytest.approx(12.0)
+
+    def test_area_per_switch(self):
+        cost = SiliconOverhead(
+            n_opamps=3,
+            switches_per_opamp=2,
+            routing_per_opamp=0.0,
+            area_per_switch=50.0,
+        )
+        assert cost.evaluate(frozenset({1}))  == pytest.approx(100.0)
+
+    def test_needs_chain_length(self):
+        with pytest.raises(OptimizationError):
+            SiliconOverhead()
+
+
+class TestPerformanceDegradation:
+    @pytest.fixture(scope="class")
+    def evaluator(self):
+        bench = benchmark_biquad()
+        mcc = bench.dft(parasitics=SwitchParasitics(ron=100.0, roff=1e9))
+        grid = decade_grid(bench.f0_hz, 1, 1, points_per_decade=8)
+        return performance_degradation_evaluator(mcc, grid)
+
+    def test_no_opamps_no_degradation(self, evaluator):
+        assert evaluator(frozenset()) == 0.0
+
+    def test_more_opamps_more_degradation(self, evaluator):
+        one = evaluator(frozenset({1}))
+        three = evaluator(frozenset({1, 2, 3}))
+        assert 0.0 < one <= three
+
+    def test_cost_function_caches(self, evaluator):
+        calls = []
+
+        def counting(subset):
+            calls.append(subset)
+            return evaluator(subset)
+
+        cost = PerformanceDegradation(n_opamps=3, evaluator=counting)
+        cost.evaluate(frozenset({1, 2}))  # {OP1, OP2}: evaluated
+        cost.evaluate(frozenset({3}))  # C3 -> same {OP1, OP2}: cached
+        cost.evaluate(frozenset({4}))  # C4 -> {OP3}: evaluated
+        assert len(calls) == 2
+
+    def test_requires_evaluator(self):
+        with pytest.raises(OptimizationError):
+            PerformanceDegradation(n_opamps=3)
+
+    def test_describe_percent(self, evaluator):
+        cost = PerformanceDegradation(n_opamps=3, evaluator=evaluator)
+        assert "%" in cost.describe(0.01)

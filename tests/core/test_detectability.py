@@ -1,0 +1,199 @@
+"""Tests for Definitions 1 and 2 (detectability, ω-detectability)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import FrequencyGrid, ac_analysis
+from repro.analysis.ac import FrequencyResponse
+from repro.circuit import Circuit
+from repro.core import (
+    detection_intervals,
+    detection_mask,
+    deviation_profile,
+    evaluate_detectability,
+    is_detectable,
+    omega_detectability,
+)
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def grid():
+    return FrequencyGrid(10.0, 100_000.0, points_per_decade=25)
+
+
+def flat_response(grid, level=1.0):
+    return FrequencyResponse(
+        grid=grid, values=np.full(grid.n_points, level, dtype=complex)
+    )
+
+
+def step_response(grid, low_level, high_level, split_hz):
+    values = np.where(
+        grid.frequencies_hz < split_hz, low_level, high_level
+    ).astype(complex)
+    return FrequencyResponse(grid=grid, values=values)
+
+
+class TestDeviationProfile:
+    def test_band_profile_flat_gain_change(self, grid):
+        nominal = flat_response(grid, 1.0)
+        faulty = flat_response(grid, 1.15)
+        profile = deviation_profile(nominal, faulty, "band")
+        assert np.allclose(profile, 0.15)
+
+    def test_relative_profile_flat_gain_change(self, grid):
+        nominal = flat_response(grid, 2.0)
+        faulty = flat_response(grid, 2.3)
+        profile = deviation_profile(nominal, faulty, "relative")
+        assert np.allclose(profile, 0.15)
+
+    def test_band_normalises_by_peak(self, grid):
+        nominal = step_response(grid, 1.0, 0.01, 1000.0)
+        faulty = step_response(grid, 1.0, 0.02, 1000.0)
+        band = deviation_profile(nominal, faulty, "band")
+        relative = deviation_profile(nominal, faulty, "relative")
+        # Stopband doubling: relative sees 100%, band sees only 1%.
+        assert relative[-1] == pytest.approx(1.0)
+        assert band[-1] == pytest.approx(0.01)
+
+    def test_unknown_criterion(self, grid):
+        nominal = flat_response(grid)
+        with pytest.raises(AnalysisError, match="criterion"):
+            deviation_profile(nominal, nominal, "fancy")
+
+
+class TestDefinition1:
+    def test_identical_not_detectable(self, grid):
+        nominal = flat_response(grid)
+        assert not is_detectable(nominal, nominal, 0.10)
+
+    def test_large_change_detectable(self, grid):
+        nominal = flat_response(grid, 1.0)
+        faulty = flat_response(grid, 1.5)
+        assert is_detectable(nominal, faulty, 0.10)
+
+    def test_threshold_is_strict(self, grid):
+        # 1.0625 is exactly representable: deviation is exactly 0.0625.
+        nominal = flat_response(grid, 1.0)
+        faulty = flat_response(grid, 1.0625)
+        # deviation exactly equal to epsilon is NOT a detection
+        assert not is_detectable(nominal, faulty, 0.0625)
+        assert is_detectable(nominal, faulty, 0.06)
+
+    def test_single_frequency_suffices(self, grid):
+        nominal = flat_response(grid, 1.0)
+        values = np.ones(grid.n_points, dtype=complex)
+        values[grid.n_points // 2] = 1.5
+        faulty = FrequencyResponse(grid=grid, values=values)
+        assert is_detectable(nominal, faulty, 0.10)
+
+    def test_epsilon_must_be_positive(self, grid):
+        nominal = flat_response(grid)
+        with pytest.raises(AnalysisError):
+            is_detectable(nominal, nominal, 0.0)
+
+
+class TestDefinition2:
+    def test_full_region(self, grid):
+        nominal = flat_response(grid, 1.0)
+        faulty = flat_response(grid, 2.0)
+        assert omega_detectability(nominal, faulty, 0.10) == pytest.approx(
+            1.0
+        )
+
+    def test_zero_region(self, grid):
+        nominal = flat_response(grid)
+        assert omega_detectability(nominal, nominal, 0.10) == 0.0
+
+    def test_partial_region(self, grid):
+        nominal = step_response(grid, 1.0, 0.9, 1000.0)
+        faulty = step_response(grid, 1.5, 0.9, 1000.0)
+        # Deviation only below 1 kHz: half of the 4-decade grid.
+        value = omega_detectability(nominal, faulty, 0.10)
+        assert value == pytest.approx(0.5, abs=0.02)
+
+    def test_region_grows_with_smaller_epsilon(self, grid):
+        c = Circuit("rc", output="out")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-7)
+        nominal = ac_analysis(c, grid)
+        faulty = ac_analysis(c.with_scaled("R1", 1.5), grid)
+        loose = omega_detectability(nominal, faulty, 0.20)
+        tight = omega_detectability(nominal, faulty, 0.05)
+        assert tight > loose
+
+    def test_interpretation_as_probability(self, grid):
+        """ω-det is the chance a random log-uniform frequency detects."""
+        nominal = step_response(grid, 1.0, 0.9, 1000.0)
+        faulty = step_response(grid, 1.5, 0.9, 1000.0)
+        value = omega_detectability(nominal, faulty, 0.10)
+        rng = np.random.default_rng(42)
+        samples = 10 ** rng.uniform(1.0, 5.0, size=4000)
+        hits = np.mean(samples < 1000.0)
+        assert value == pytest.approx(hits, abs=0.05)
+
+
+class TestEvaluateDetectability:
+    def test_fields(self, grid):
+        nominal = step_response(grid, 1.0, 0.9, 1000.0)
+        faulty = step_response(grid, 1.3, 0.9, 1000.0)
+        result = evaluate_detectability(nominal, faulty, 0.10)
+        assert result.detectable
+        assert result.omega_detectability == pytest.approx(0.5, abs=0.02)
+        assert result.max_deviation == pytest.approx(0.3)
+        assert result.f_max_deviation_hz < 1000.0
+        assert result.mask.shape == (grid.n_points,)
+
+    def test_percent_property(self, grid):
+        nominal = flat_response(grid, 1.0)
+        faulty = flat_response(grid, 2.0)
+        result = evaluate_detectability(nominal, faulty, 0.10)
+        assert result.omega_detectability_percent == pytest.approx(100.0)
+
+    def test_epsilon_validated(self, grid):
+        nominal = flat_response(grid)
+        with pytest.raises(AnalysisError):
+            evaluate_detectability(nominal, nominal, -1.0)
+
+
+class TestDetectionIntervals:
+    def test_single_interval(self, grid):
+        nominal = step_response(grid, 1.0, 0.9, 1000.0)
+        faulty = step_response(grid, 1.3, 0.9, 1000.0)
+        intervals = detection_intervals(nominal, faulty, 0.10)
+        assert len(intervals) == 1
+        lo, hi = intervals[0]
+        assert lo == pytest.approx(grid.f_start)
+        assert hi < 1000.0
+
+    def test_no_intervals(self, grid):
+        nominal = flat_response(grid)
+        assert detection_intervals(nominal, nominal, 0.10) == []
+
+    def test_two_intervals(self, grid):
+        nominal = flat_response(grid, 1.0)
+        values = np.ones(grid.n_points, dtype=complex)
+        values[:5] = 1.5
+        values[-5:] = 1.5
+        faulty = FrequencyResponse(grid=grid, values=values)
+        intervals = detection_intervals(nominal, faulty, 0.10)
+        assert len(intervals) == 2
+
+    def test_interval_reaching_grid_end(self, grid):
+        nominal = flat_response(grid, 1.0)
+        values = np.ones(grid.n_points, dtype=complex)
+        values[-8:] = 2.0
+        faulty = FrequencyResponse(grid=grid, values=values)
+        intervals = detection_intervals(nominal, faulty, 0.10)
+        assert intervals[-1][1] == pytest.approx(grid.f_stop)
+
+
+class TestDetectionMask:
+    def test_mask_matches_profile(self, grid):
+        nominal = step_response(grid, 1.0, 0.9, 1000.0)
+        faulty = step_response(grid, 1.3, 0.9, 1000.0)
+        mask = detection_mask(nominal, faulty, 0.10)
+        profile = deviation_profile(nominal, faulty)
+        assert np.array_equal(mask, profile > 0.10)

@@ -1,0 +1,174 @@
+"""Tests for the fault-diagnosis layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FaultDetectabilityMatrix,
+    analyze_diagnosis,
+    diagnosability_problem,
+    diagnose,
+    fault_signatures,
+    optimize_for_diagnosis,
+    quantized_signatures,
+)
+from repro.data import paper1998
+from repro.errors import OptimizationError
+
+
+@pytest.fixture
+def matrix():
+    return paper1998.detectability_matrix()
+
+
+@pytest.fixture
+def table():
+    return paper1998.omega_table()
+
+
+class TestFaultSignatures:
+    def test_full_signature_length(self, matrix):
+        signatures = fault_signatures(matrix)
+        assert all(len(s) == 7 for s in signatures.values())
+
+    def test_signature_content(self, matrix):
+        signatures = fault_signatures(matrix)
+        # fR1 column of Fig. 5: detected in C0, C2, C4, C6.
+        assert signatures["fR1"] == (1, 0, 1, 0, 1, 0, 1)
+
+    def test_subset_signature(self, matrix):
+        signatures = fault_signatures(matrix, configs=[2, 5])
+        assert signatures["fC1"] == (1, 0)
+        assert signatures["fC2"] == (0, 1)
+
+    def test_quantized_reduces_to_boolean_at_two_levels(self, matrix, table):
+        boolean = fault_signatures(matrix)
+        quantized = quantized_signatures(table, levels=2)
+        for fault in boolean:
+            assert tuple(
+                int(v > 0) for v in quantized[fault]
+            ) == boolean[fault]
+
+    def test_quantized_levels_validated(self, table):
+        with pytest.raises(OptimizationError):
+            quantized_signatures(table, levels=1)
+
+    def test_more_levels_never_merge_faults(self, matrix, table):
+        coarse = analyze_diagnosis(matrix)
+        fine = analyze_diagnosis(matrix, table=table, levels=4)
+        assert fine.n_groups >= coarse.n_groups
+
+
+class TestAnalyzeDiagnosis:
+    def test_paper_matrix_near_full_resolution(self, matrix):
+        """Over all 7 configurations, only fR1/fR4 share a boolean
+        signature (identical Fig. 5 columns — both are gain faults)."""
+        report = analyze_diagnosis(matrix)
+        assert report.n_groups == 7
+        assert report.diagnostic_resolution == pytest.approx(6 / 8)
+        assert report.distinguishability == pytest.approx(27 / 28)
+        assert report.group_of("fR1") == frozenset({"fR1", "fR4"})
+
+    def test_quantized_signatures_separate_fr1_fr4(self, matrix, table):
+        """ω-detectability magnitudes (54% vs 46%, 66% vs 40%) split
+        the boolean-ambiguous pair at 8 quantization levels."""
+        report = analyze_diagnosis(matrix, table=table, levels=8)
+        assert report.group_of("fR1") == frozenset({"fR1"})
+        assert report.diagnostic_resolution == 1.0
+
+    def test_detection_optimum_loses_resolution(self, matrix):
+        """{C2, C5} detects everything but cannot locate most faults."""
+        report = analyze_diagnosis(matrix, configs=[2, 5])
+        assert report.diagnostic_resolution < 1.0
+        # fR1, fR2, fR4 and fR5/fR6/fC1 collapse into groups.
+        group = report.group_of("fR1")
+        assert len(group) > 1
+
+    def test_undetected_group(self):
+        data = np.array([[1, 0], [1, 0]], dtype=bool)
+        m = FaultDetectabilityMatrix(("C0", "C1"), ("fa", "fb"), data)
+        report = analyze_diagnosis(m)
+        assert report.undetected_group == frozenset({"fb"})
+
+    def test_group_of_unknown_fault(self, matrix):
+        report = analyze_diagnosis(matrix)
+        with pytest.raises(OptimizationError):
+            report.group_of("fZZ")
+
+    def test_render(self, matrix):
+        text = analyze_diagnosis(matrix, configs=[2, 5]).render()
+        assert "ambiguity" in text
+        assert "resolution" in text
+
+
+class TestDiagnosabilityOptimization:
+    def test_exact_set_reaches_max_distinguishability(self, matrix):
+        selected = optimize_for_diagnosis(matrix, method="exact")
+        report = analyze_diagnosis(matrix, configs=sorted(selected))
+        ceiling = analyze_diagnosis(matrix).distinguishability
+        assert report.distinguishability == pytest.approx(ceiling)
+        # and detection is preserved
+        assert matrix.covers_all(sorted(selected))
+
+    def test_diagnosis_needs_at_least_detection_set_size(self, matrix):
+        from repro.core import branch_and_bound_cover, build_coverage_problem
+
+        detect = branch_and_bound_cover(build_coverage_problem(matrix))
+        diag = optimize_for_diagnosis(matrix, method="exact")
+        assert len(diag) >= len(detect)
+
+    def test_greedy_also_reaches_max_distinguishability(self, matrix):
+        selected = optimize_for_diagnosis(matrix, method="greedy")
+        report = analyze_diagnosis(matrix, configs=sorted(selected))
+        ceiling = analyze_diagnosis(matrix).distinguishability
+        assert report.distinguishability == pytest.approx(ceiling)
+
+    def test_unknown_method(self, matrix):
+        with pytest.raises(OptimizationError):
+            optimize_for_diagnosis(matrix, method="oracle")
+
+    def test_identical_columns_reported_impossible(self):
+        data = np.array([[1, 1], [0, 0], [1, 1]], dtype=bool)
+        m = FaultDetectabilityMatrix(
+            ("C0", "C1", "C2"), ("fa", "fb"), data
+        )
+        problem = diagnosability_problem(m)
+        assert "fa|fb" in problem.undetectable
+
+    def test_without_detection_requirement(self, matrix):
+        problem = diagnosability_problem(matrix, require_detection=False)
+        # 8 faults -> 28 pairs; fR1|fR4 is structurally impossible.
+        assert problem.n_clauses == 27
+        assert problem.undetectable == ("fR1|fR4",)
+
+
+class TestDiagnose:
+    def test_fault_free_signature(self, matrix):
+        report = analyze_diagnosis(matrix, configs=[2, 5])
+        verdict = diagnose([0, 0], report)
+        assert verdict.fault_free
+        assert verdict.render().startswith("signature matches")
+
+    def test_unique_candidate(self, matrix):
+        report = analyze_diagnosis(matrix)
+        signature = report.signatures["fC1"]
+        verdict = diagnose(signature, report)
+        assert verdict.candidates == frozenset({"fC1"})
+
+    def test_ambiguous_candidates(self, matrix):
+        report = analyze_diagnosis(matrix, configs=[2, 5])
+        verdict = diagnose([1, 0], report)
+        assert len(verdict.candidates) > 1
+        assert "fC1" in verdict.candidates
+
+    def test_unknown_signature(self, matrix):
+        report = analyze_diagnosis(matrix, configs=[2, 5])
+        verdict = diagnose([1, 1], report)
+        # No modelled fault is detected by both C2 and C5.
+        assert not verdict.known
+        assert "outside" in verdict.render()
+
+    def test_length_mismatch(self, matrix):
+        report = analyze_diagnosis(matrix, configs=[2, 5])
+        with pytest.raises(OptimizationError):
+            diagnose([1, 0, 0], report)

@@ -1,0 +1,126 @@
+"""Tests for test-frequency selection (measurement scheduling)."""
+
+import pytest
+
+from repro.core import (
+    frequencies_per_configuration,
+    select_test_frequencies,
+)
+from repro.errors import OptimizationError
+
+
+class TestSelectTestFrequencies:
+    def test_greedy_covers_all_detectable(self, mini_dataset):
+        schedule = select_test_frequencies(mini_dataset)
+        matrix = mini_dataset.detectability_matrix()
+        detectable = {
+            f
+            for f in mini_dataset.fault_labels
+            if f not in matrix.undetectable_faults()
+        }
+        assert set(schedule.covered_faults) == detectable
+
+    def test_schedule_actually_detects(self, mini_dataset):
+        """Each covered fault has a measurement inside its region."""
+        schedule = select_test_frequencies(mini_dataset)
+        grid = mini_dataset.setup.grid
+        config_by_index = {
+            c.index: c for c in mini_dataset.configs
+        }
+        import numpy as np
+
+        for fault in schedule.covered_faults:
+            hit = False
+            for m in schedule.measurements:
+                config = config_by_index[m.config_index]
+                mask = mini_dataset.detection_mask(config, fault)
+                idx = int(
+                    np.argmin(
+                        np.abs(grid.frequencies_hz - m.frequency_hz)
+                    )
+                )
+                if mask[idx]:
+                    hit = True
+                    break
+            assert hit, fault
+
+    def test_exact_not_larger_than_greedy(self, mini_dataset):
+        greedy = select_test_frequencies(
+            mini_dataset, method="greedy", candidate_stride=4
+        )
+        exact = select_test_frequencies(
+            mini_dataset, method="exact", candidate_stride=4
+        )
+        assert exact.n_measurements <= greedy.n_measurements
+
+    def test_uncoverable_faults_reported(self, mini_dataset):
+        matrix = mini_dataset.detectability_matrix()
+        schedule = select_test_frequencies(mini_dataset)
+        assert set(schedule.uncoverable_faults) == set(
+            matrix.undetectable_faults()
+        )
+
+    def test_restricted_configs(self, mini_dataset):
+        configs = list(mini_dataset.configs[:3])
+        schedule = select_test_frequencies(mini_dataset, configs=configs)
+        allowed = {c.index for c in configs}
+        assert all(
+            m.config_index in allowed for m in schedule.measurements
+        )
+
+    def test_unknown_method(self, mini_dataset):
+        with pytest.raises(OptimizationError):
+            select_test_frequencies(mini_dataset, method="magic")
+
+    def test_bad_stride(self, mini_dataset):
+        with pytest.raises(OptimizationError):
+            select_test_frequencies(mini_dataset, candidate_stride=0)
+
+    def test_measurements_sorted(self, mini_dataset):
+        schedule = select_test_frequencies(mini_dataset)
+        keys = [
+            (m.config_index, m.frequency_hz)
+            for m in schedule.measurements
+        ]
+        assert keys == sorted(keys)
+
+
+class TestTestSchedule:
+    def test_test_time_model(self, mini_dataset):
+        schedule = select_test_frequencies(mini_dataset)
+        time = schedule.test_time_s(
+            t_reconfigure_s=1.0, t_measure_s=0.1
+        )
+        expected = (
+            schedule.n_configurations * 1.0
+            + schedule.n_measurements * 0.1
+        )
+        assert time == pytest.approx(expected)
+
+    def test_frequencies_for(self, mini_dataset):
+        schedule = select_test_frequencies(mini_dataset)
+        for index in {m.config_index for m in schedule.measurements}:
+            frequencies = schedule.frequencies_for(index)
+            assert frequencies == sorted(frequencies)
+            assert len(frequencies) >= 1
+
+    def test_per_configuration_map(self, mini_dataset):
+        schedule = select_test_frequencies(mini_dataset)
+        mapping = frequencies_per_configuration(schedule)
+        total = sum(len(v) for v in mapping.values())
+        assert total == schedule.n_measurements
+
+    def test_render(self, mini_dataset):
+        schedule = select_test_frequencies(mini_dataset)
+        text = schedule.render()
+        assert "measurement" in text
+        assert "Hz" in text
+
+    def test_fewer_measurements_than_pairs(self, mini_dataset):
+        """The schedule exploits sharing: far fewer measurements than
+        one per (config, fault) pair."""
+        schedule = select_test_frequencies(mini_dataset)
+        n_pairs = len(mini_dataset.configs) * len(
+            mini_dataset.fault_labels
+        )
+        assert schedule.n_measurements < n_pairs / 3

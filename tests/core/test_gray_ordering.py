@@ -1,0 +1,72 @@
+"""Tests for Gray-ordered configuration sequencing (BIST walks)."""
+
+import itertools
+
+import pytest
+
+from repro.core import gray_path_cost, order_configurations_gray
+from repro.dft import Configuration
+
+
+def configs(*indices, n=3):
+    return [Configuration(i, n) for i in indices]
+
+
+class TestGrayOrdering:
+    def test_empty_and_singleton(self):
+        assert order_configurations_gray([]) == ()
+        only = configs(5)
+        assert order_configurations_gray(only) == tuple(only)
+
+    def test_preserves_membership(self):
+        original = configs(0, 3, 5, 6)
+        ordered = order_configurations_gray(original)
+        assert sorted(c.index for c in ordered) == [0, 3, 5, 6]
+
+    def test_starts_from_functional_when_present(self):
+        ordered = order_configurations_gray(configs(6, 0, 3))
+        assert ordered[0].is_functional
+
+    def test_exact_small_instance_optimal(self):
+        """Brute-force over permutations confirms minimality."""
+        pool = configs(0, 1, 2, 4, 7)
+        ordered = order_configurations_gray(pool)
+        best = min(
+            gray_path_cost(list(p))
+            for p in itertools.permutations(pool)
+            if p[0].is_functional
+        )
+        assert gray_path_cost(ordered) == best
+
+    def test_gray_sequence_cost_is_count_minus_one(self):
+        """An actual Gray-code subset walks with unit steps."""
+        gray = configs(0, 1, 3, 2, 6, 7, 5, 4)
+        ordered = order_configurations_gray(gray)
+        assert gray_path_cost(ordered) == len(gray) - 1
+
+    def test_never_worse_than_index_order(self):
+        pool = configs(0, 5, 2, 7, 1, 6)
+        ordered = order_configurations_gray(pool)
+        assert gray_path_cost(ordered) <= gray_path_cost(
+            sorted(pool, key=lambda c: c.index)
+        )
+
+    def test_large_set_nearest_neighbour(self):
+        pool = [Configuration(i, 5) for i in range(0, 24, 2)]
+        ordered = order_configurations_gray(pool)
+        assert len(ordered) == len(pool)
+        assert gray_path_cost(ordered) <= gray_path_cost(tuple(pool))
+
+
+class TestGrayPathCost:
+    def test_adjacent_codes(self):
+        assert gray_path_cost(configs(0, 1)) == 1
+        assert gray_path_cost(configs(0, 7)) == 3
+
+    def test_empty_path(self):
+        assert gray_path_cost([]) == 0
+        assert gray_path_cost(configs(3)) == 0
+
+    def test_additive(self):
+        path = configs(0, 1, 3, 7)
+        assert gray_path_cost(path) == 3

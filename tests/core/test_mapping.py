@@ -1,0 +1,79 @@
+"""Tests for the configuration → opamp mapping (Table 3, ξ*)."""
+
+import pytest
+
+from repro.core import (
+    SumOfProducts,
+    follower_positions_of,
+    mapping_table,
+    opamps_used_by,
+    substitute_opamps,
+)
+from repro.data import paper1998
+from repro.errors import OptimizationError
+
+
+class TestFollowerPositions:
+    def test_c0_empty(self):
+        assert follower_positions_of(0, 3) == frozenset()
+
+    def test_paper_table3_rows(self):
+        expected = {
+            1: {1},
+            2: {2},
+            3: {1, 2},
+            4: {3},
+            5: {1, 3},
+            6: {2, 3},
+        }
+        for index, positions in expected.items():
+            assert follower_positions_of(index, 3) == frozenset(positions)
+
+
+class TestMappingTable:
+    def test_matches_published_table3(self):
+        generated = mapping_table(3)
+        assert [tuple(r) for r in generated] == [
+            tuple(r) for r in paper1998.MAPPING_TABLE
+        ]
+
+    def test_custom_names(self):
+        table = mapping_table(2, opamp_names=("A1", "A2"))
+        assert table == [("C0", "-"), ("C1", "A1"), ("C2", "A2")]
+
+    def test_name_count_checked(self):
+        with pytest.raises(OptimizationError):
+            mapping_table(3, opamp_names=("A1",))
+
+
+class TestSubstituteOpamps:
+    def test_paper_xi_star(self):
+        """xi = C1.C2 + C2.C5 maps to xi* = OP1.OP2 (absorption)."""
+        xi = SumOfProducts.of_terms([{1, 2}, {2, 5}])
+        xi_star = substitute_opamps(xi, 3)
+        assert xi_star.render("OP") == "OP1.OP2"
+
+    def test_unabsorbed_expansion_also_reduces(self):
+        """Even the paper's 5-term unabsorbed xi collapses to OP1.OP2."""
+        xi = SumOfProducts.of_terms(
+            [{1, 2}, {1, 2, 5}, {1, 2, 4}, {2, 4, 5}, {2, 5}]
+        )
+        xi_star = substitute_opamps(xi, 3)
+        assert xi_star.render("OP") == "OP1.OP2"
+
+    def test_c0_maps_to_nothing(self):
+        xi = SumOfProducts.of_terms([{0}])
+        xi_star = substitute_opamps(xi, 3)
+        assert xi_star.is_true  # empty product: no opamp needed
+
+
+class TestOpampsUsedBy:
+    def test_union(self):
+        assert opamps_used_by([2, 5], 3) == frozenset({1, 2, 3})
+        assert opamps_used_by([1, 2], 3) == frozenset({1, 2})
+
+    def test_functional_only(self):
+        assert opamps_used_by([0], 3) == frozenset()
+
+    def test_empty(self):
+        assert opamps_used_by([], 3) == frozenset()

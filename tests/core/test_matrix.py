@@ -1,0 +1,167 @@
+"""Tests for the detectability matrix and ω-detectability table."""
+
+import numpy as np
+import pytest
+
+from repro.core import FaultDetectabilityMatrix, OmegaDetectabilityTable
+from repro.data import paper1998
+from repro.errors import OptimizationError
+
+
+@pytest.fixture
+def matrix():
+    return paper1998.detectability_matrix()
+
+
+@pytest.fixture
+def table():
+    return paper1998.omega_table()
+
+
+class TestFaultDetectabilityMatrix:
+    def test_shape_validated(self):
+        with pytest.raises(OptimizationError):
+            FaultDetectabilityMatrix(
+                config_labels=("C0",),
+                fault_names=("f1", "f2"),
+                data=np.zeros((2, 2), dtype=bool),
+            )
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(OptimizationError, match="duplicate"):
+            FaultDetectabilityMatrix(
+                config_labels=("C0", "C0"),
+                fault_names=("f1",),
+                data=np.zeros((2, 1), dtype=bool),
+            )
+
+    def test_config_indices_parsed_from_labels(self, matrix):
+        assert matrix.config_indices == (0, 1, 2, 3, 4, 5, 6)
+
+    def test_entry_by_label_and_index(self, matrix):
+        assert matrix.entry("C0", "fR1") is True
+        assert matrix.entry(0, "fR2") is False
+
+    def test_row_of_unknown_raises(self, matrix):
+        with pytest.raises(OptimizationError):
+            matrix.row_of("C99")
+        with pytest.raises(OptimizationError):
+            matrix.column_of("fX")
+
+    def test_covering_configs_fc1(self, matrix):
+        """fC1 is covered only by C2 — the essential configuration."""
+        assert matrix.covering_configs("fC1") == frozenset({2})
+
+    def test_covering_configs_fr1(self, matrix):
+        assert matrix.covering_configs("fR1") == frozenset({0, 2, 4, 6})
+
+    def test_faults_detected_by(self, matrix):
+        assert matrix.faults_detected_by("C0") == ("fR1", "fR4")
+
+    def test_no_undetectable_faults_in_paper_matrix(self, matrix):
+        assert matrix.undetectable_faults() == ()
+
+    def test_fault_coverage_c0(self, matrix):
+        assert matrix.fault_coverage(["C0"]) == pytest.approx(0.25)
+
+    def test_fault_coverage_all(self, matrix):
+        assert matrix.fault_coverage() == pytest.approx(1.0)
+
+    def test_fault_coverage_of_cover(self, matrix):
+        assert matrix.fault_coverage([2, 5]) == pytest.approx(1.0)
+        assert matrix.fault_coverage([1, 2]) == pytest.approx(1.0)
+
+    def test_fault_coverage_empty(self, matrix):
+        assert matrix.fault_coverage([]) == 0.0
+
+    def test_covers_all(self, matrix):
+        assert matrix.covers_all([2, 5])
+        assert not matrix.covers_all([0, 3])
+
+    def test_covers_all_with_undetectable_fault(self):
+        data = np.array([[1, 0], [1, 0]], dtype=bool)
+        m = FaultDetectabilityMatrix(("C0", "C1"), ("fa", "fb"), data)
+        # fb is detectable nowhere, so max coverage is reached by C0.
+        assert m.undetectable_faults() == ("fb",)
+        assert m.covers_all(["C0"])
+
+    def test_reduced_drops_covered_faults(self, matrix):
+        reduced = matrix.reduced([2])  # the essential configuration
+        assert set(reduced.fault_names) == {"fR3", "fC2"}
+        assert reduced.n_configurations == matrix.n_configurations
+
+    def test_restricted_keeps_rows(self, matrix):
+        sub = matrix.restricted(["C1", "C2"])
+        assert sub.config_labels == ("C1", "C2")
+        assert sub.config_indices == (1, 2)
+        assert sub.n_faults == 8
+
+    def test_as_dict(self, matrix):
+        d = matrix.as_dict()
+        assert d["C0"]["fR1"] is True
+        assert d["C3"]["fR1"] is False
+
+
+class TestOmegaDetectabilityTable:
+    def test_values_range_checked(self):
+        with pytest.raises(OptimizationError, match="0, 1"):
+            OmegaDetectabilityTable(
+                config_labels=("C0",),
+                fault_names=("f1",),
+                data=np.array([[1.5]]),
+            )
+
+    def test_value(self, table):
+        assert table.value("C0", "fR1") == pytest.approx(0.54)
+        assert table.value(3, "fR5") == pytest.approx(1.0)
+
+    def test_best_case_all(self, table):
+        best = table.best_case()
+        assert best["fR1"] == pytest.approx(0.66)  # C6
+        assert best["fR5"] == pytest.approx(1.0)   # C3
+        assert best["fC1"] == pytest.approx(0.30)  # C2
+
+    def test_best_case_subset(self, table):
+        best = table.best_case([1, 2])
+        assert all(v == pytest.approx(0.30) for v in best.values())
+
+    def test_best_case_empty(self, table):
+        best = table.best_case([])
+        assert all(v == 0.0 for v in best.values())
+
+    def test_average_rate_initial(self, table):
+        assert table.average_rate([0]) == pytest.approx(0.125)
+
+    def test_average_rate_brute_force(self, table):
+        assert table.average_rate() == pytest.approx(0.6825)
+
+    def test_average_rate_paper_422(self, table):
+        """The §4.2 comparison: {C1,C2} at 30%, {C2,C5} at 32.5%."""
+        assert table.average_rate([1, 2]) == pytest.approx(0.30)
+        assert table.average_rate([2, 5]) == pytest.approx(0.325)
+
+    def test_best_configuration_for(self, table):
+        label, value = table.best_configuration_for("fR1")
+        assert label == "C6"
+        assert value == pytest.approx(0.66)
+
+    def test_to_detectability_matrix(self, table):
+        matrix = table.to_detectability_matrix()
+        published = paper1998.detectability_matrix()
+        assert np.array_equal(matrix.data, published.data)
+
+    def test_restricted(self, table):
+        sub = table.restricted([0, 1, 2, 3])
+        assert sub.config_labels == ("C0", "C1", "C2", "C3")
+        assert np.allclose(
+            sub.data, paper1998.partial_omega_table().data
+        )
+
+    def test_as_percent(self, table):
+        assert table.as_percent()[0, 0] == pytest.approx(54.0)
+
+    def test_unknown_lookup(self, table):
+        with pytest.raises(OptimizationError):
+            table.value("C42", "fR1")
+        with pytest.raises(OptimizationError):
+            table.value("C0", "fZZ")

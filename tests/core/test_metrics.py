@@ -1,0 +1,82 @@
+"""Tests for circuit-level testability metrics and comparisons."""
+
+import pytest
+
+from repro.core import average_omega_detectability, compare, fault_coverage
+from repro.core import testability_report as build_report
+from repro.data import paper1998
+
+
+@pytest.fixture
+def matrix():
+    return paper1998.detectability_matrix()
+
+
+@pytest.fixture
+def table():
+    return paper1998.omega_table()
+
+
+class TestScalarMetrics:
+    def test_fault_coverage_wrapper(self, matrix):
+        assert fault_coverage(matrix, ["C0"]) == pytest.approx(0.25)
+        assert fault_coverage(matrix) == pytest.approx(1.0)
+
+    def test_average_omega_wrapper(self, table):
+        assert average_omega_detectability(table, ["C0"]) == pytest.approx(
+            0.125
+        )
+        assert average_omega_detectability(table) == pytest.approx(
+            0.6825
+        )
+
+
+class TestTestabilityReport:
+    def test_fields(self, matrix, table):
+        report = build_report("initial", matrix, table, ["C0"])
+        assert report.fault_coverage == pytest.approx(0.25)
+        assert report.average_omega_detectability == pytest.approx(0.125)
+        assert report.n_configurations == 1
+        assert report.per_fault_omega["fR1"] == pytest.approx(0.54)
+
+    def test_defaults_to_all_configs(self, matrix, table):
+        report = build_report("dft", matrix, table)
+        assert report.n_configurations == 7
+        assert report.fault_coverage == 1.0
+
+    def test_render(self, matrix, table):
+        report = build_report("initial", matrix, table, ["C0"])
+        text = report.render()
+        assert "FC=25.0%" in text and "12.5%" in text
+
+
+class TestImprovementSummary:
+    def test_paper_improvement(self, matrix, table):
+        before = build_report("initial", matrix, table, ["C0"])
+        after = build_report("dft", matrix, table)
+        summary = compare(before, after)
+        assert summary.coverage_gain == pytest.approx(0.75)
+        assert summary.omega_gain == pytest.approx(0.5575)
+
+    def test_per_fault_comparison(self, matrix, table):
+        before = build_report("initial", matrix, table, ["C0"])
+        after = build_report("dft", matrix, table)
+        rows = compare(before, after).per_fault_comparison()
+        as_dict = {fault: (b, a) for fault, b, a in rows}
+        assert as_dict["fR1"] == (
+            pytest.approx(0.54),
+            pytest.approx(0.66),
+        )
+        assert as_dict["fC1"] == (0.0, pytest.approx(0.30))
+
+    def test_improvement_never_negative_for_superset(self, matrix, table):
+        before = build_report("initial", matrix, table, ["C0"])
+        after = build_report("dft", matrix, table)
+        for _, b, a in compare(before, after).per_fault_comparison():
+            assert a >= b
+
+    def test_render(self, matrix, table):
+        before = build_report("initial", matrix, table, ["C0"])
+        after = build_report("dft", matrix, table)
+        text = compare(before, after).render()
+        assert "improvement" in text

@@ -1,0 +1,128 @@
+"""Tests for the ordered-requirement optimization pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AverageOmegaDetectability,
+    ConfigurableOpampCount,
+    ConfigurationCount,
+    DftOptimizer,
+    FaultDetectabilityMatrix,
+)
+from repro.data import paper1998
+from repro.errors import OptimizationError
+
+
+@pytest.fixture
+def optimizer():
+    return DftOptimizer(
+        paper1998.detectability_matrix(), paper1998.omega_table()
+    )
+
+
+class TestCandidates:
+    def test_candidates_are_irredundant_covers(self, optimizer):
+        candidates = set(optimizer.candidates())
+        assert candidates == {frozenset({1, 2}), frozenset({2, 5})}
+
+    def test_covering_cached(self, optimizer):
+        assert optimizer.covering is optimizer.covering
+
+
+class TestOptimize:
+    def test_paper_42_pipeline(self, optimizer):
+        """2nd-order: #configs; 3rd-order: <w-det> -> {C2, C5}."""
+        result = optimizer.optimize(
+            [
+                ConfigurationCount(),
+                AverageOmegaDetectability(
+                    table=paper1998.omega_table()
+                ),
+            ]
+        )
+        assert result.selected == frozenset({2, 5})
+        assert result.selected_labels == ("C2", "C5")
+
+    def test_stage_trace(self, optimizer):
+        result = optimizer.optimize(
+            [
+                ConfigurationCount(),
+                AverageOmegaDetectability(
+                    table=paper1998.omega_table()
+                ),
+            ]
+        )
+        first = result.stage("configurations")
+        assert len(first.survivors) == 2  # both 2-config sets tie
+        second = result.stage("<w-det>")
+        assert second.survivors == (frozenset({2, 5}),)
+        assert second.best_value == pytest.approx(0.325)
+
+    def test_paper_43_pipeline(self, optimizer):
+        """2nd-order: #configurable opamps -> {C1, C2} (OP1, OP2)."""
+        result = optimizer.optimize(
+            [ConfigurableOpampCount(n_opamps=3)]
+        )
+        assert result.selected == frozenset({1, 2})
+
+    def test_single_requirement(self, optimizer):
+        result = optimizer.optimize([ConfigurationCount()])
+        assert len(result.selected) == 2
+
+    def test_no_requirements_selects_deterministically(self, optimizer):
+        result = optimizer.optimize([])
+        # Smallest by (size, indices): {C1, C2}.
+        assert result.selected == frozenset({1, 2})
+
+    def test_every_selection_keeps_coverage(self, optimizer):
+        matrix = paper1998.detectability_matrix()
+        for requirements in (
+            [ConfigurationCount()],
+            [ConfigurableOpampCount(n_opamps=3)],
+            [],
+        ):
+            result = optimizer.optimize(requirements)
+            assert matrix.covers_all(sorted(result.selected))
+
+    def test_unknown_stage_raises(self, optimizer):
+        result = optimizer.optimize([ConfigurationCount()])
+        with pytest.raises(OptimizationError):
+            result.stage("nonexistent")
+
+    def test_render(self, optimizer):
+        result = optimizer.optimize(
+            [
+                ConfigurationCount(),
+                AverageOmegaDetectability(
+                    table=paper1998.omega_table()
+                ),
+            ]
+        )
+        text = result.render()
+        assert "selected: {C2.C5}" in text
+        assert "after configurations" in text
+
+    def test_empty_matrix_has_trivial_cover(self):
+        matrix = FaultDetectabilityMatrix(
+            ("C0",), (), np.zeros((1, 0), dtype=bool)
+        )
+        optimizer = DftOptimizer(matrix)
+        result = optimizer.optimize([ConfigurationCount()])
+        assert result.selected == frozenset()
+
+
+class TestSummarize:
+    def test_summary_fields(self, optimizer):
+        result = optimizer.optimize([ConfigurationCount()])
+        summary = optimizer.summarize_selection(result)
+        assert summary["n_configurations"] == 2.0
+        assert summary["fault_coverage"] == 1.0
+        assert summary["max_fault_coverage"] == 1.0
+        assert 0.0 < summary["average_omega_detectability"] <= 1.0
+
+    def test_summary_without_table(self):
+        optimizer = DftOptimizer(paper1998.detectability_matrix())
+        result = optimizer.optimize([ConfigurationCount()])
+        summary = optimizer.summarize_selection(result)
+        assert "average_omega_detectability" not in summary

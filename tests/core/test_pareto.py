@@ -1,0 +1,99 @@
+"""Tests for the multi-objective Pareto view of the optimizer."""
+
+import pytest
+
+from repro.core import (
+    AverageOmegaDetectability,
+    ConfigurableOpampCount,
+    ConfigurationCount,
+    DftOptimizer,
+    pareto_front,
+)
+from repro.data import paper1998
+from repro.errors import OptimizationError
+
+
+@pytest.fixture
+def optimizer():
+    return DftOptimizer(
+        paper1998.detectability_matrix(), paper1998.omega_table()
+    )
+
+
+class TestParetoFront:
+    def test_paper_tradeoff_both_on_front(self, optimizer):
+        """{C1,C2} (fewer opamps) and {C2,C5} (better ω-det) are both
+        rational — neither dominates under (configs, opamps, ω-det)."""
+        table = paper1998.omega_table()
+        front = optimizer.pareto(
+            [
+                ConfigurationCount(),
+                ConfigurableOpampCount(n_opamps=3),
+                AverageOmegaDetectability(table=table),
+            ]
+        )
+        sets = {point.configs for point in front}
+        assert sets == {frozenset({1, 2}), frozenset({2, 5})}
+
+    def test_single_cost_front_is_the_optimum(self, optimizer):
+        front = optimizer.pareto([ConfigurableOpampCount(n_opamps=3)])
+        assert len(front) == 1
+        assert front[0].configs == frozenset({1, 2})
+
+    def test_values_reported_in_user_units(self, optimizer):
+        table = paper1998.omega_table()
+        front = optimizer.pareto(
+            [
+                ConfigurationCount(),
+                AverageOmegaDetectability(table=table),
+            ]
+        )
+        best = max(front, key=lambda p: p.values[1])
+        assert best.values[1] == pytest.approx(0.325)  # not negated
+
+    def test_dominated_candidate_excluded(self):
+        """A strictly worse candidate never reaches the front."""
+        candidates = [
+            frozenset({1}),
+            frozenset({1, 2}),  # more configs, same opamp superset
+        ]
+        front = pareto_front(candidates, [ConfigurationCount()])
+        assert [p.configs for p in front] == [frozenset({1})]
+
+    def test_incomparable_candidates_all_kept(self):
+        table = paper1998.omega_table()
+        candidates = [frozenset({1, 2}), frozenset({2, 5})]
+        front = pareto_front(
+            candidates,
+            [
+                ConfigurableOpampCount(n_opamps=3),
+                AverageOmegaDetectability(table=table),
+            ],
+        )
+        assert len(front) == 2
+
+    def test_needs_costs(self, optimizer):
+        with pytest.raises(OptimizationError):
+            optimizer.pareto([])
+
+    def test_sorted_by_first_cost(self, optimizer):
+        table = paper1998.omega_table()
+        front = optimizer.pareto(
+            [
+                ConfigurableOpampCount(n_opamps=3),
+                AverageOmegaDetectability(table=table),
+            ]
+        )
+        firsts = [point.values[0] for point in front]
+        assert firsts == sorted(firsts)
+
+    def test_labels(self, optimizer):
+        front = optimizer.pareto([ConfigurationCount()])
+        for point in front:
+            assert all(label.startswith("C") for label in point.labels())
+
+    def test_every_front_point_covers(self, optimizer):
+        matrix = paper1998.detectability_matrix()
+        front = optimizer.pareto([ConfigurationCount()])
+        for point in front:
+            assert matrix.covers_all(sorted(point.configs))

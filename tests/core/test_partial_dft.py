@@ -1,0 +1,147 @@
+"""Tests for partial-DFT synthesis (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FaultDetectabilityMatrix,
+    candidate_opamp_subsets,
+    evaluate_partial_dft,
+    optimize_partial_dft,
+    permitted_configurations,
+    solve_covering,
+)
+from repro.data import paper1998
+from repro.errors import OptimizationError
+
+
+@pytest.fixture
+def covering():
+    return solve_covering(paper1998.detectability_matrix())
+
+
+class TestPermittedConfigurations:
+    def test_op1_op2(self):
+        configs = permitted_configurations(3, frozenset({1, 2}))
+        assert [c.index for c in configs] == [0, 1, 2, 3]
+
+    def test_masked_vectors_match_paper(self):
+        configs = permitted_configurations(3, frozenset({1, 2}))
+        assert [c.masked_vector({1, 2}) for c in configs] == [
+            "00-", "10-", "01-", "11-",
+        ]
+
+    def test_full_subset_excludes_transparent(self):
+        configs = permitted_configurations(3, frozenset({1, 2, 3}))
+        assert [c.index for c in configs] == list(range(7))
+
+    def test_transparent_opt_in(self):
+        configs = permitted_configurations(
+            3, frozenset({1, 2, 3}), include_transparent=True
+        )
+        assert len(configs) == 8
+
+    def test_empty_subset(self):
+        configs = permitted_configurations(3, frozenset())
+        assert [c.index for c in configs] == [0]
+
+
+class TestCandidateSubsets:
+    def test_paper_candidates(self, covering):
+        xi_star, minimal = candidate_opamp_subsets(covering, 3)
+        assert xi_star.render("OP") == "OP1.OP2"
+        assert [frozenset(t.literals) for t in minimal] == [
+            frozenset({1, 2})
+        ]
+
+
+class TestEvaluatePartialDft:
+    def test_paper_solution(self, covering):
+        matrix = paper1998.detectability_matrix()
+        table = paper1998.omega_table()
+        solution = evaluate_partial_dft(
+            frozenset({1, 2}), 3, matrix, table
+        )
+        assert solution.reaches_max_coverage
+        assert solution.permitted_indices == (0, 1, 2, 3)
+        assert solution.average_omega_detectability == pytest.approx(
+            0.525
+        )
+
+    def test_insufficient_subset(self):
+        matrix = paper1998.detectability_matrix()
+        solution = evaluate_partial_dft(
+            frozenset({3}), 3, matrix, None
+        )
+        # {OP3} only permits C0 and C4 - fC1 (needs C2) stays uncovered.
+        assert not solution.reaches_max_coverage
+
+    def test_describe(self, covering):
+        matrix = paper1998.detectability_matrix()
+        solution = evaluate_partial_dft(
+            frozenset({1, 2}), 3, matrix, paper1998.omega_table()
+        )
+        text = solution.describe()
+        assert "OP1, OP2" in text and "52.5%" in text
+
+    def test_masked_vectors(self):
+        matrix = paper1998.detectability_matrix()
+        solution = evaluate_partial_dft(
+            frozenset({1, 2}), 3, matrix, None
+        )
+        assert solution.masked_vectors() == ["00-", "10-", "01-", "11-"]
+
+
+class TestOptimizePartialDft:
+    def test_paper_result(self, covering):
+        matrix = paper1998.detectability_matrix()
+        table = paper1998.omega_table()
+        best, candidates = optimize_partial_dft(covering, 3, matrix, table)
+        assert best.opamp_positions == paper1998.EXPECTED_OPAMP_SUBSET
+        assert best.n_configurable == 2
+        assert len(candidates) == 1
+
+    def test_tie_broken_by_omega(self):
+        """Two 1-opamp candidates: the higher <w-det> one wins."""
+        data = np.array(
+            [
+                [0, 0],  # C0
+                [1, 1],  # C1 -> OP1
+                [1, 1],  # C2 -> OP2
+                [0, 0],  # C3
+            ],
+            dtype=bool,
+        )
+        matrix = FaultDetectabilityMatrix(
+            ("C0", "C1", "C2", "C3"), ("fa", "fb"), data
+        )
+        omega = np.array(
+            [[0.0, 0.0], [0.2, 0.2], [0.6, 0.6], [0.0, 0.0]]
+        )
+        from repro.core import OmegaDetectabilityTable
+
+        table = OmegaDetectabilityTable(
+            ("C0", "C1", "C2", "C3"), ("fa", "fb"), omega
+        )
+        covering = solve_covering(matrix)
+        best, candidates = optimize_partial_dft(covering, 2, matrix, table)
+        assert len(candidates) == 2
+        assert best.opamp_positions == frozenset({2})
+
+    def test_inconsistent_matrix_raises(self):
+        """A covering xi that the matrix cannot actually satisfy."""
+        from repro.core import CoveringSolution, SumOfProducts
+        from repro.core.covering import CoverageProblem
+
+        matrix = FaultDetectabilityMatrix(
+            ("C0",), ("fa",), np.array([[True]])
+        )
+        fake = CoveringSolution(
+            problem=CoverageProblem((), (), (0,)),
+            essentials=frozenset(),
+            complementary=SumOfProducts.one(),
+            xi=SumOfProducts.of_terms([{2}]),  # C2 doesn't exist
+        )
+        # C2 -> OP2 with a 1-opamp chain is out of range.
+        with pytest.raises(Exception):
+            optimize_partial_dft(fake, 1, matrix, None)

@@ -1,0 +1,109 @@
+"""Tests for structural configuration pre-selection."""
+
+import pytest
+
+from repro.analysis import decade_grid
+from repro.circuits import benchmark_biquad
+from repro.core import (
+    preselect_configurations,
+    score_configurations,
+    simulation_savings,
+)
+from repro.errors import OptimizationError
+
+
+@pytest.fixture(scope="module")
+def scored():
+    bench = benchmark_biquad()
+    mcc = bench.dft()
+    grid = decade_grid(bench.f0_hz, 2, 2, points_per_decade=10)
+    return bench, mcc, grid, score_configurations(mcc, grid)
+
+
+class TestScoreConfigurations:
+    def test_all_configs_scored(self, scored):
+        _, _, _, scores = scored
+        assert len(scores) == 7
+
+    def test_sorted_descending(self, scored):
+        _, _, _, scores = scored
+        values = [s.aggregate_sensitivity for s in scores]
+        assert values == sorted(values, reverse=True)
+
+    def test_per_component_coverage(self, scored):
+        _, _, _, scores = scored
+        assert set(scores[0].per_component) == {
+            "R1", "R2", "R3", "R4", "R5", "R6", "C1", "C2",
+        }
+
+    def test_components_above(self, scored):
+        _, _, _, scores = scored
+        strong = scores[0].components_above(0.5)
+        weak = scores[0].components_above(1e9)
+        assert len(strong) >= 1
+        assert weak == ()
+
+    def test_scores_predict_detectability(self, scored, mini_dataset):
+        """A configuration scoring ~0 for a component cannot detect its
+        deviation fault (structural soundness of the heuristic)."""
+        _, _, _, scores = scored
+        matrix = mini_dataset.detectability_matrix()
+        for score in scores:
+            for component, value in score.per_component.items():
+                if value < 1e-9:
+                    assert not matrix.entry(
+                        score.config.label, f"f{component}"
+                    )
+
+
+class TestPreselect:
+    def test_keep_bound_respected_up_to_rescue(self, scored):
+        bench, mcc, grid, _ = scored
+        selected = preselect_configurations(mcc, grid, keep=3)
+        assert 3 <= len(selected) <= 7
+
+    def test_selection_preserves_best_config_per_component(self, scored):
+        bench, mcc, grid, scores = scored
+        selected = preselect_configurations(mcc, grid, keep=3)
+        selected_ids = {c.index for c in selected}
+        by_id = {s.config.index: s for s in scores}
+        for component in scores[0].per_component:
+            best_anywhere = max(
+                s.per_component[component] for s in scores
+            )
+            if best_anywhere <= 0:
+                continue
+            best_kept = max(
+                by_id[i].per_component[component] for i in selected_ids
+            )
+            assert best_kept > 0
+
+    def test_keep_all(self, scored):
+        bench, mcc, grid, _ = scored
+        selected = preselect_configurations(mcc, grid, keep=7)
+        assert len(selected) == 7
+
+    def test_invalid_keep(self, scored):
+        bench, mcc, grid, _ = scored
+        with pytest.raises(OptimizationError):
+            preselect_configurations(mcc, grid, keep=0)
+
+    def test_sorted_by_index(self, scored):
+        bench, mcc, grid, _ = scored
+        selected = preselect_configurations(mcc, grid, keep=4)
+        indices = [c.index for c in selected]
+        assert indices == sorted(indices)
+
+
+class TestSimulationSavings:
+    def test_fraction(self):
+        savings = simulation_savings(32, 8, 17)
+        assert savings["saving_fraction"] == pytest.approx(0.75)
+        assert savings["full_sweeps"] == 32 * 18
+        assert savings["reduced_sweeps"] == 8 * 18
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            simulation_savings(4, 8, 10)
+        with pytest.raises(OptimizationError):
+            simulation_savings(0, 0, 10)

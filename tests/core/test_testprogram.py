@@ -1,0 +1,176 @@
+"""Tests for the test-program generator."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    ConfigurationCount,
+    DftOptimizer,
+    generate_test_program,
+    select_test_frequencies,
+)
+from repro.errors import OptimizationError
+
+
+@pytest.fixture(scope="module")
+def program_inputs(request):
+    from repro.analysis import decade_grid
+    from repro.circuits import benchmark_biquad
+    from repro.faults import (
+        SimulationSetup,
+        deviation_faults,
+        simulate_faults,
+    )
+
+    bench = benchmark_biquad()
+    mcc = bench.dft()
+    faults = deviation_faults(bench.circuit, 0.20)
+    grid = decade_grid(bench.f0_hz, 2, 2, points_per_decade=15)
+    dataset = simulate_faults(mcc, faults, SimulationSetup(grid=grid))
+    return mcc, dataset
+
+
+@pytest.fixture(scope="module")
+def program(program_inputs):
+    mcc, dataset = program_inputs
+    return generate_test_program(mcc, dataset)
+
+
+class TestGenerateTestProgram:
+    def test_steps_cover_schedule(self, program_inputs, program):
+        _, dataset = program_inputs
+        schedule = select_test_frequencies(dataset)
+        assert program.n_steps == schedule.n_measurements
+
+    def test_pass_windows_bracket_nominal(self, program):
+        for step in program.steps:
+            assert step.lower_bound <= step.nominal_magnitude
+            assert step.nominal_magnitude <= step.upper_bound
+
+    def test_window_width_is_band_epsilon(self, program_inputs, program):
+        import numpy as np
+
+        _, dataset = program_inputs
+        for step in program.steps:
+            config_index = int(step.config_label.lstrip("C"))
+            reference = float(
+                np.max(dataset.nominal[config_index].magnitude)
+            )
+            width = step.upper_bound - step.lower_bound
+            # Width is 2*eps*reference unless clamped at zero below.
+            assert width <= 2 * dataset.setup.epsilon * reference + 1e-12
+            assert width > 0
+
+    def test_vectors_match_configs(self, program):
+        for step in program.steps:
+            index = int(step.config_label.lstrip("C"))
+            assert step.vector == format(index, "03b")
+
+    def test_uncovered_faults_reported(self, program):
+        # fC1 is the known blind spot of the catalogue-valued biquad.
+        assert "fC1" in program.uncovered_faults
+
+    def test_steps_grouped_by_configuration(self, program):
+        seen = []
+        for step in program.steps:
+            if not seen or seen[-1] != step.config_label:
+                seen.append(step.config_label)
+        assert len(seen) == program.n_configurations
+
+    def test_test_time_counts_groups_once(self, program):
+        time = program.test_time_s(
+            t_reconfigure_s=1.0, t_measure_s=0.0
+        )
+        assert time == pytest.approx(program.n_configurations)
+
+    def test_render(self, program):
+        text = program.render()
+        assert "set CV=" in text
+        assert "pass if" in text
+
+    def test_json_roundtrip(self, program):
+        payload = json.loads(program.to_json())
+        assert payload["epsilon"] == 0.10
+        assert len(payload["steps"]) == program.n_steps
+        first = payload["steps"][0]
+        assert set(first) == {
+            "step",
+            "configuration",
+            "vector",
+            "frequency_hz",
+            "nominal_magnitude",
+            "pass_window",
+        }
+
+    def test_restricted_configs(self, program_inputs):
+        mcc, dataset = program_inputs
+        optimizer = DftOptimizer(dataset.detectability_matrix())
+        result = optimizer.optimize([ConfigurationCount()])
+        chosen = [
+            c for c in dataset.configs if c.index in result.selected
+        ]
+        program = generate_test_program(mcc, dataset, configs=chosen)
+        used = {step.config_label for step in program.steps}
+        assert used <= {c.label for c in chosen}
+
+    def test_foreign_schedule_rejected(self, program_inputs):
+        from repro.core.frequencies import Measurement, TestSchedule
+
+        mcc, dataset = program_inputs
+        bogus = TestSchedule(
+            measurements=(
+                Measurement(
+                    config_label="C9",
+                    config_index=9,
+                    frequency_hz=1e3,
+                ),
+            ),
+            covered_faults=("fR1",),
+            uncoverable_faults=(),
+        )
+        with pytest.raises(OptimizationError):
+            generate_test_program(mcc, dataset, schedule=bogus)
+
+
+class TestStepOrdering:
+    def test_gray_ordering_default_groups_configs(self, program):
+        seen = []
+        for step in program.steps:
+            if not seen or seen[-1] != step.config_label:
+                seen.append(step.config_label)
+        assert len(seen) == len(set(seen))  # each config visited once
+
+    def test_gray_walk_not_worse_than_index_walk(self, program_inputs):
+        from repro.core import gray_path_cost
+        from repro.dft import Configuration
+
+        mcc, dataset = program_inputs
+        gray = generate_test_program(mcc, dataset, ordering="gray")
+        index = generate_test_program(mcc, dataset, ordering="index")
+
+        def walk_cost(program):
+            seen = []
+            for step in program.steps:
+                idx = int(step.config_label.lstrip("C"))
+                if not seen or seen[-1] != idx:
+                    seen.append(idx)
+            return gray_path_cost(
+                [Configuration(i, 3) for i in seen]
+            )
+
+        assert walk_cost(gray) <= walk_cost(index)
+
+    def test_unknown_ordering_rejected(self, program_inputs):
+        mcc, dataset = program_inputs
+        with pytest.raises(OptimizationError):
+            generate_test_program(mcc, dataset, ordering="random")
+
+    def test_same_steps_either_ordering(self, program_inputs):
+        mcc, dataset = program_inputs
+        gray = generate_test_program(mcc, dataset, ordering="gray")
+        index = generate_test_program(mcc, dataset, ordering="index")
+        as_set = lambda p: {
+            (s.config_label, s.frequency_hz) for s in p.steps
+        }
+        assert as_set(gray) == as_set(index)

@@ -1,0 +1,111 @@
+"""Tests for the transcribed published data — internal consistency.
+
+These tests cross-check the paper's own numbers against each other:
+the matrices, tables and quoted averages must all agree, which validates
+the transcription.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import paper1998
+
+
+class TestTranscriptionShapes:
+    def test_matrix_shape(self):
+        assert paper1998.DETECTABILITY_MATRIX_DATA.shape == (7, 8)
+
+    def test_omega_shape(self):
+        assert paper1998.OMEGA_TABLE_PERCENT.shape == (7, 8)
+
+    def test_partial_is_first_four_rows(self):
+        assert np.array_equal(
+            paper1998.PARTIAL_OMEGA_TABLE_PERCENT,
+            paper1998.OMEGA_TABLE_PERCENT[:4, :],
+        )
+
+    def test_labels(self):
+        assert paper1998.CONFIG_LABELS == (
+            "C0", "C1", "C2", "C3", "C4", "C5", "C6",
+        )
+        assert len(paper1998.FAULT_NAMES) == 8
+
+
+class TestInternalConsistency:
+    def test_matrix_is_support_of_omega_table(self):
+        """Fig. 5 must equal the >0 pattern of Table 2."""
+        assert np.array_equal(
+            paper1998.DETECTABILITY_MATRIX_DATA,
+            paper1998.OMEGA_TABLE_PERCENT > 0,
+        )
+
+    def test_initial_average_is_12_5(self):
+        table = paper1998.omega_table()
+        assert table.average_rate([0]) == pytest.approx(
+            paper1998.EXPECTED["avg_omega_initial"]
+        )
+
+    def test_brute_force_average_is_68_3(self):
+        table = paper1998.omega_table()
+        # The paper rounds 68.25% to 68.3%.
+        assert table.average_rate() == pytest.approx(
+            paper1998.EXPECTED["avg_omega_brute_force"], abs=0.001
+        )
+
+    def test_section_42_averages(self):
+        table = paper1998.omega_table()
+        assert table.average_rate([1, 2]) == pytest.approx(
+            paper1998.EXPECTED["avg_omega_c1_c2"]
+        )
+        assert table.average_rate([2, 5]) == pytest.approx(
+            paper1998.EXPECTED["avg_omega_c2_c5"]
+        )
+
+    def test_partial_average_is_52_5(self):
+        assert paper1998.partial_omega_table().average_rate() == (
+            pytest.approx(paper1998.EXPECTED["avg_omega_partial"])
+        )
+
+    def test_initial_coverage_is_25(self):
+        matrix = paper1998.detectability_matrix()
+        assert matrix.fault_coverage(["C0"]) == pytest.approx(
+            paper1998.EXPECTED["fc_initial"]
+        )
+
+    def test_dft_coverage_is_100(self):
+        matrix = paper1998.detectability_matrix()
+        assert matrix.fault_coverage() == pytest.approx(
+            paper1998.EXPECTED["fc_dft"]
+        )
+
+    def test_fc1_has_single_cover(self):
+        """fC1's single '1' makes C2 essential (paper §4.1)."""
+        matrix = paper1998.detectability_matrix()
+        assert matrix.covering_configs("fC1") == frozenset({2})
+
+    def test_expected_minimal_covers_do_cover(self):
+        matrix = paper1998.detectability_matrix()
+        for cover in paper1998.EXPECTED_MINIMAL_COVERS:
+            assert matrix.covers_all(sorted(cover))
+
+    def test_expected_opamp_subset_permits_cover(self):
+        """{OP1, OP2} permits C0..C3, which includes {C1, C2}."""
+        from repro.core import permitted_configurations
+
+        permitted = permitted_configurations(
+            3, paper1998.EXPECTED_OPAMP_SUBSET
+        )
+        indices = {c.index for c in permitted}
+        assert {1, 2} <= indices
+
+    def test_initial_omega_row_matches_table(self):
+        row = paper1998.initial_omega_row()
+        table = paper1998.omega_table()
+        for fault in paper1998.FAULT_NAMES:
+            assert row.value("C0", fault) == table.value("C0", fault)
+
+    def test_builders_return_fresh_objects(self):
+        a = paper1998.detectability_matrix()
+        b = paper1998.detectability_matrix()
+        assert a is not b
+        assert np.array_equal(a.data, b.data)

@@ -1,0 +1,140 @@
+"""Tests for configuration vectors and their paper-consistent indexing."""
+
+import pytest
+
+from repro.data import paper1998
+from repro.dft import (
+    Configuration,
+    configuration_from_bits,
+    configuration_from_vector_string,
+    configuration_table,
+    enumerate_configurations,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConfiguration:
+    def test_functional(self):
+        config = Configuration(0, 3)
+        assert config.is_functional
+        assert not config.is_transparent
+        assert config.follower_positions == ()
+        assert config.normal_positions == (1, 2, 3)
+
+    def test_transparent(self):
+        config = Configuration(7, 3)
+        assert config.is_transparent
+        assert config.follower_positions == (1, 2, 3)
+
+    def test_sel1_is_lsb(self):
+        """C1 must turn OP1 into follower mode (paper Table 3)."""
+        assert Configuration(1, 3).follower_positions == (1,)
+
+    def test_c5_uses_op1_op3(self):
+        """C5 (vector 101) maps to Op1·Op3 in the paper's Table 3."""
+        assert Configuration(5, 3).follower_positions == (1, 3)
+
+    def test_vector_string_msb_first(self):
+        """C1 prints as 001, matching the paper's Table 1."""
+        assert Configuration(1, 3).vector_string == "001"
+        assert Configuration(4, 3).vector_string == "100"
+
+    def test_bits_lsb_first(self):
+        assert Configuration(5, 3).bits == (1, 0, 1)
+
+    def test_label(self):
+        assert Configuration(6, 3).label == "C6"
+
+    def test_n_followers(self):
+        assert Configuration(6, 3).n_followers == 2
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(8, 3)
+        with pytest.raises(ConfigurationError):
+            Configuration(-1, 3)
+
+    def test_zero_opamps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(0, 0)
+
+    def test_ordering(self):
+        assert Configuration(1, 3) < Configuration(2, 3)
+
+    def test_masked_vector(self):
+        """With OP1/OP2 configurable, C1 prints as '10-' (paper §4.3)."""
+        assert Configuration(1, 3).masked_vector({1, 2}) == "10-"
+        assert Configuration(2, 3).masked_vector({1, 2}) == "01-"
+        assert Configuration(3, 3).masked_vector({1, 2}) == "11-"
+        assert Configuration(0, 3).masked_vector({1, 2}) == "00-"
+
+    def test_uses_only(self):
+        assert Configuration(3, 3).uses_only({1, 2})
+        assert not Configuration(5, 3).uses_only({1, 2})
+
+    def test_describe(self):
+        assert "Funct" in Configuration(0, 3).describe()
+        assert "Transp" in Configuration(7, 3).describe()
+        assert "New Test" in Configuration(3, 3).describe()
+
+
+class TestEnumeration:
+    def test_default_excludes_transparent(self):
+        configs = enumerate_configurations(3)
+        assert len(configs) == 7
+        assert all(not c.is_transparent for c in configs)
+
+    def test_include_transparent(self):
+        configs = enumerate_configurations(3, include_transparent=True)
+        assert len(configs) == 8
+
+    def test_exclude_functional(self):
+        configs = enumerate_configurations(3, include_functional=False)
+        assert len(configs) == 6
+        assert all(not c.is_functional for c in configs)
+
+    def test_single_opamp(self):
+        configs = enumerate_configurations(1)
+        assert [c.index for c in configs] == [0]
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_configurations(0)
+
+
+class TestConversions:
+    def test_from_bits(self):
+        config = configuration_from_bits([1, 0, 1])
+        assert config.index == 5
+        assert config.n_opamps == 3
+
+    def test_from_vector_string(self):
+        config = configuration_from_vector_string("101")
+        assert config.index == 5
+
+    def test_vector_string_roundtrip(self):
+        for index in range(8):
+            config = Configuration(index, 3)
+            back = configuration_from_vector_string(config.vector_string)
+            assert back.index == index
+
+    def test_from_vector_length_check(self):
+        with pytest.raises(ConfigurationError):
+            configuration_from_vector_string("10", n_opamps=3)
+
+    def test_from_vector_bad_chars(self):
+        with pytest.raises(ConfigurationError):
+            configuration_from_vector_string("1x0")
+
+
+class TestConfigurationTable:
+    def test_matches_published_table1(self):
+        generated = configuration_table(3)
+        assert [tuple(r) for r in generated] == [
+            tuple(r) for r in paper1998.CONFIGURATION_TABLE
+        ]
+
+    def test_two_opamp_table(self):
+        table = configuration_table(2)
+        assert table[0] == ("C0", "00", "Funct. Conf")
+        assert table[-1] == ("C3", "11", "Transp. Conf")

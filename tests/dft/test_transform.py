@@ -1,0 +1,235 @@
+"""Tests for the multi-configuration DFT transformation and emulation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ac_analysis, dc_gain, decade_grid
+from repro.circuit import Circuit, Follower, OpAmp
+from repro.circuits import BiquadDesign, tow_thomas_biquad
+from repro.dft import (
+    Configuration,
+    SwitchParasitics,
+    apply_multiconfiguration,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def biquad():
+    return tow_thomas_biquad()
+
+
+@pytest.fixture
+def mcc(biquad):
+    return apply_multiconfiguration(
+        biquad, chain=("OP1", "OP2", "OP3"), input_node="in"
+    )
+
+
+class TestConstruction:
+    def test_defaults_discover_chain_and_input(self, biquad):
+        mcc = apply_multiconfiguration(biquad)
+        assert mcc.chain == ("OP1", "OP2", "OP3")
+        assert mcc.input_node == "in"
+
+    def test_counts(self, mcc):
+        assert mcc.n_opamps == 3
+        assert mcc.n_configurable == 3
+        assert mcc.n_configurations == 8
+        assert not mcc.is_partial
+
+    def test_unknown_chain_opamp(self, biquad):
+        with pytest.raises(ConfigurationError, match="OPX"):
+            apply_multiconfiguration(biquad, chain=("OPX",))
+
+    def test_chain_element_must_be_opamp(self, biquad):
+        with pytest.raises(ConfigurationError, match="not an opamp"):
+            apply_multiconfiguration(biquad, chain=("R1",))
+
+    def test_duplicate_chain_rejected(self, biquad):
+        with pytest.raises(ConfigurationError, match="repeats"):
+            apply_multiconfiguration(biquad, chain=("OP1", "OP1"))
+
+    def test_unknown_input_node(self, biquad):
+        with pytest.raises(ConfigurationError, match="ghost"):
+            apply_multiconfiguration(
+                biquad, chain=("OP1",), input_node="ghost"
+            )
+
+    def test_no_opamps_rejected(self):
+        c = Circuit("rc")
+        c.voltage_source("V1", "in")
+        c.resistor("R1", "in", "0", 1e3)
+        with pytest.raises(ConfigurationError, match="no opamps"):
+            apply_multiconfiguration(c)
+
+    def test_bad_configurable_positions(self, biquad):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            apply_multiconfiguration(
+                biquad, chain=("OP1", "OP2", "OP3"), configurable=[4]
+            )
+
+    def test_describe(self, mcc):
+        text = mcc.describe()
+        assert "full" in text and "OP1 -> OP2 -> OP3" in text
+
+
+class TestChainWiring:
+    def test_first_test_input_is_primary_input(self, mcc):
+        assert mcc.test_input_node(1) == "in"
+
+    def test_later_test_inputs_are_predecessor_outputs(self, mcc):
+        assert mcc.test_input_node(2) == "v1"
+        assert mcc.test_input_node(3) == "v2"
+
+    def test_opamp_name_and_position(self, mcc):
+        assert mcc.opamp_name(2) == "OP2"
+        assert mcc.opamp_position("OP3") == 3
+        with pytest.raises(ConfigurationError):
+            mcc.opamp_position("OPX")
+        with pytest.raises(ConfigurationError):
+            mcc.opamp_name(9)
+
+
+class TestEmulation:
+    def test_functional_config_is_base_circuit(self, mcc, biquad):
+        emulated = mcc.emulate(Configuration(0, 3))
+        grid = decade_grid(1591.5, 1, 1, points_per_decade=10)
+        base_response = ac_analysis(biquad, grid)
+        emulated_response = ac_analysis(emulated, grid)
+        assert np.allclose(base_response.values, emulated_response.values)
+
+    def test_transparent_config_is_identity(self, mcc):
+        emulated = mcc.emulate(Configuration(7, 3))
+        assert dc_gain(emulated) == pytest.approx(1.0)
+        grid = decade_grid(1591.5, 2, 2, points_per_decade=10)
+        response = ac_analysis(emulated, grid)
+        assert np.allclose(response.values, 1.0)
+
+    def test_followers_replace_opamps(self, mcc):
+        emulated = mcc.emulate(Configuration(5, 3))  # OP1, OP3 followers
+        assert isinstance(emulated["OP1"], Follower)
+        assert isinstance(emulated["OP2"], OpAmp)
+        assert isinstance(emulated["OP3"], Follower)
+
+    def test_follower_wiring(self, mcc):
+        emulated = mcc.emulate(Configuration(1, 3))
+        follower = emulated["OP1"]
+        assert follower.inp == "in"
+        assert follower.out == "v1"
+
+    def test_title_mentions_config(self, mcc):
+        assert "[C3]" in mcc.emulate(Configuration(3, 3)).title
+
+    def test_base_circuit_untouched(self, mcc, biquad):
+        mcc.emulate(Configuration(7, 3))
+        assert isinstance(biquad["OP1"], OpAmp)
+
+    def test_wrong_size_config_rejected(self, mcc):
+        with pytest.raises(ConfigurationError):
+            mcc.emulate(Configuration(1, 2))
+
+    def test_each_config_changes_functionality(self, mcc):
+        """Every test configuration implements a distinct response."""
+        grid = decade_grid(1591.5, 2, 2, points_per_decade=10)
+        responses = []
+        for config in mcc.configurations():
+            emulated = mcc.emulate(config)
+            responses.append(ac_analysis(emulated, grid).values)
+        for i in range(len(responses)):
+            for j in range(i + 1, len(responses)):
+                assert not np.allclose(responses[i], responses[j])
+
+
+class TestConfigurationsView:
+    def test_default_excludes_transparent(self, mcc):
+        configs = mcc.configurations()
+        assert len(configs) == 7
+        assert [c.index for c in configs] == list(range(7))
+
+    def test_include_transparent(self, mcc):
+        assert len(mcc.configurations(include_transparent=True)) == 8
+
+    def test_follower_opamps(self, mcc):
+        assert mcc.follower_opamps(Configuration(5, 3)) == ("OP1", "OP3")
+
+
+class TestPartialDft:
+    def test_restrict(self, mcc):
+        partial = mcc.restrict([1, 2])
+        assert partial.is_partial
+        assert partial.n_configurable == 2
+        assert partial.n_configurations == 4
+
+    def test_partial_configurations_are_full_chain_indices(self, mcc):
+        partial = mcc.restrict([1, 2])
+        configs = partial.configurations()
+        # C0..C3 over the full chain; C3 (11-) is NOT transparent here
+        # because OP3 stays classical (paper Table 4 uses it).
+        assert [c.index for c in configs] == [0, 1, 2, 3]
+
+    def test_partial_rejects_foreign_followers(self, mcc):
+        partial = mcc.restrict([1, 2])
+        with pytest.raises(ConfigurationError, match="not configurable"):
+            partial.emulate(Configuration(4, 3))
+
+    def test_partial_keeps_nonconfigurable_opamps(self, mcc):
+        partial = mcc.restrict([1, 2])
+        emulated = partial.emulate(Configuration(3, 3))
+        assert isinstance(emulated["OP1"], Follower)
+        assert isinstance(emulated["OP2"], Follower)
+        assert isinstance(emulated["OP3"], OpAmp)
+
+    def test_restrict_all_is_full(self, mcc):
+        assert not mcc.restrict([1, 2, 3]).is_partial
+
+
+class TestSwitchParasitics:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SwitchParasitics(ron=-1.0)
+        with pytest.raises(ConfigurationError):
+            SwitchParasitics(ron=100.0, roff=50.0)
+
+    def test_functional_config_degrades_slightly(self, biquad):
+        mcc = apply_multiconfiguration(
+            biquad,
+            chain=("OP1", "OP2", "OP3"),
+            input_node="in",
+            parasitics=SwitchParasitics(ron=100.0, roff=1e9),
+        )
+        emulated = mcc.emulate(Configuration(0, 3))
+        grid = decade_grid(1591.5, 1, 1, points_per_decade=10)
+        nominal = ac_analysis(biquad, grid)
+        degraded = ac_analysis(emulated, grid)
+        deviation = np.max(nominal.relative_deviation(degraded))
+        assert 0.0 < deviation < 0.05  # small but nonzero
+
+    def test_smaller_ron_smaller_degradation(self, biquad):
+        grid = decade_grid(1591.5, 1, 1, points_per_decade=10)
+        nominal = ac_analysis(biquad, grid)
+        deviations = []
+        for ron in (1.0, 1000.0):
+            mcc = apply_multiconfiguration(
+                biquad,
+                chain=("OP1", "OP2", "OP3"),
+                input_node="in",
+                parasitics=SwitchParasitics(ron=ron, roff=1e9),
+            )
+            emulated = mcc.emulate(Configuration(0, 3))
+            response = ac_analysis(emulated, grid)
+            deviations.append(
+                np.max(nominal.relative_deviation(response))
+            )
+        assert deviations[0] < deviations[1]
+
+    def test_follower_mode_with_parasitics(self, biquad):
+        mcc = apply_multiconfiguration(
+            biquad,
+            chain=("OP1", "OP2", "OP3"),
+            input_node="in",
+            parasitics=SwitchParasitics(ron=10.0, roff=1e9),
+        )
+        emulated = mcc.emulate(Configuration(7, 3))
+        # Transparent configuration still close to identity.
+        assert abs(dc_gain(emulated)) == pytest.approx(1.0, rel=0.01)

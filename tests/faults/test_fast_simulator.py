@@ -1,0 +1,160 @@
+"""Tests for the Sherman-Morrison fast fault simulator.
+
+The contract is strict: numerically identical results to the standard
+per-fault engine, at a fraction of the solve count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import decade_grid
+from repro.circuits import benchmark_biquad, build
+from repro.faults import (
+    DeviationFault,
+    MultipleFault,
+    OpenFault,
+    ShortFault,
+    SimulationSetup,
+    catastrophic_faults,
+    deviation_faults,
+    simulate_faults,
+    simulate_faults_fast,
+)
+
+
+def run_both(bench, faults, name_style="short", ppd=25, epsilon=0.10):
+    mcc = bench.dft()
+    setup = SimulationSetup(
+        grid=decade_grid(bench.f0_hz, 2, 2, points_per_decade=ppd),
+        epsilon=epsilon,
+        fault_name_style=name_style,
+    )
+    return (
+        simulate_faults(mcc, faults, setup),
+        simulate_faults_fast(mcc, faults, setup),
+    )
+
+
+def assert_equivalent(slow, fast):
+    assert np.array_equal(
+        slow.detectability_matrix().data,
+        fast.detectability_matrix().data,
+    )
+    assert np.allclose(
+        slow.omega_table().data, fast.omega_table().data, atol=1e-12
+    )
+    for key, slow_result in slow.results.items():
+        fast_result = fast.results[key]
+        if np.isfinite(slow_result.max_deviation):
+            # Near-singular fault circuits (e.g. an opened integrator
+            # capacitor) leave ~1e-8 relative conditioning noise between
+            # the direct solve and the rank-1 identity.
+            assert fast_result.max_deviation == pytest.approx(
+                slow_result.max_deviation, rel=1e-6, abs=1e-12
+            )
+
+
+class TestExactness:
+    def test_deviation_universe_biquad(self):
+        bench = benchmark_biquad()
+        faults = deviation_faults(bench.circuit, 0.20)
+        slow, fast = run_both(bench, faults)
+        assert_equivalent(slow, fast)
+
+    def test_negative_deviations(self):
+        bench = benchmark_biquad()
+        faults = deviation_faults(bench.circuit, -0.20)
+        slow, fast = run_both(bench, faults)
+        assert_equivalent(slow, fast)
+
+    def test_catastrophic_universe(self):
+        bench = benchmark_biquad()
+        faults = catastrophic_faults(
+            bench.circuit, components=["R1", "R4", "C1", "C2"]
+        )
+        slow, fast = run_both(bench, faults, name_style="full", ppd=15)
+        assert_equivalent(slow, fast)
+
+    @pytest.mark.parametrize(
+        "name", ["sallen_key", "state_variable", "akerberg_mossberg"]
+    )
+    def test_library_circuits(self, name):
+        bench = build(name)
+        faults = deviation_faults(bench.circuit, 0.20)
+        slow, fast = run_both(bench, faults, ppd=12)
+        assert_equivalent(slow, fast)
+
+    def test_finite_gbw_opamps(self):
+        """The rank-1 identity holds with single-pole opamps too."""
+        from repro.circuits import BiquadDesign, tow_thomas_biquad
+        from repro.circuit import OpAmpModel
+        from repro.circuits.catalog import BenchmarkCircuit
+
+        design = BiquadDesign()
+        model = OpAmpModel(kind="single_pole", a0=2e5, gbw_hz=1e6)
+        bench = BenchmarkCircuit(
+            circuit=tow_thomas_biquad(design, model=model),
+            chain=("OP1", "OP2", "OP3"),
+            input_node="in",
+            f0_hz=design.f0_hz,
+        )
+        faults = deviation_faults(bench.circuit, 0.20)
+        slow, fast = run_both(bench, faults, ppd=12)
+        assert_equivalent(slow, fast)
+
+
+class TestFallback:
+    def test_multiple_fault_falls_back(self):
+        bench = benchmark_biquad()
+        faults = [
+            DeviationFault("R1", 0.20),
+            MultipleFault(
+                (DeviationFault("R5", 0.20), DeviationFault("R6", 0.20))
+            ),
+        ]
+        slow, fast = run_both(bench, faults, name_style="full", ppd=12)
+        assert_equivalent(slow, fast)
+
+    def test_inductor_fault_falls_back(self):
+        """L faults are branch-based, not rank-1 in this formulation."""
+        from repro.circuit import Circuit
+        from repro.circuits.catalog import BenchmarkCircuit
+
+        circuit = Circuit("rlc", output="out")
+        circuit.voltage_source("Vin", "in")
+        circuit.resistor("R1", "in", "x", 1e3)
+        circuit.inductor("L1", "x", "out", 10e-3)
+        circuit.capacitor("C1", "out", "0", 10e-9)
+        circuit.resistor("R2", "x", "fb", 1e3)
+        circuit.resistor("R3", "fb", "out2", 1e3)
+        circuit.opamp("OP1", "0", "fb", "out2", None or __import__("repro.circuit", fromlist=["IDEAL_OPAMP"]).IDEAL_OPAMP)
+        bench = BenchmarkCircuit(
+            circuit=circuit,
+            chain=("OP1",),
+            input_node="in",
+            f0_hz=1.6e4,
+        )
+        faults = deviation_faults(circuit, 0.20)
+        slow, fast = run_both(bench, faults, ppd=10)
+        assert_equivalent(slow, fast)
+
+
+class TestSolveCount:
+    def test_fast_engine_solve_budget(self):
+        bench = benchmark_biquad()
+        faults = deviation_faults(bench.circuit, 0.20)
+        slow, fast = run_both(bench, faults, ppd=10)
+        # Standard: configs x (faults + 1); fast: one per configuration.
+        assert slow.n_solves == 7 * 9
+        assert fast.n_solves == 7
+
+    def test_fallback_counts_extra_solves(self):
+        bench = benchmark_biquad()
+        faults = [
+            DeviationFault("R1", 0.20),
+            MultipleFault(
+                (DeviationFault("R5", 0.20), DeviationFault("R6", 0.20))
+            ),
+        ]
+        _, fast = run_both(bench, faults, name_style="full", ppd=10)
+        assert fast.n_solves == 7 * 2  # 1 batched + 1 fallback per config

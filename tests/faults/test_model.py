@@ -1,0 +1,103 @@
+"""Tests for the fault models."""
+
+import pytest
+
+from repro.analysis import dc_gain
+from repro.circuit import Circuit, Resistor
+from repro.circuits import tow_thomas_biquad
+from repro.errors import FaultModelError
+from repro.faults import DeviationFault, OpenFault, ShortFault
+
+
+@pytest.fixture
+def divider():
+    c = Circuit("div", output="out")
+    c.voltage_source("V1", "in")
+    c.resistor("R1", "in", "out", 1e3)
+    c.resistor("R2", "out", "0", 1e3)
+    return c
+
+
+class TestDeviationFault:
+    def test_name(self):
+        assert DeviationFault("R1", 0.20).name == "fR1+20%"
+        assert DeviationFault("C2", -0.20).name == "fC2-20%"
+
+    def test_short_name(self):
+        assert DeviationFault("R1", 0.20).short_name == "fR1"
+
+    def test_apply_scales_value(self, divider):
+        faulty = DeviationFault("R1", 0.20).apply(divider)
+        assert faulty["R1"].value == pytest.approx(1200.0)
+
+    def test_original_untouched(self, divider):
+        DeviationFault("R1", 0.20).apply(divider)
+        assert divider["R1"].value == 1e3
+
+    def test_effect_on_response(self, divider):
+        faulty = DeviationFault("R1", 1.0).apply(divider)  # +100%
+        assert dc_gain(faulty) == pytest.approx(1.0 / 3.0)
+
+    def test_negative_deviation(self, divider):
+        faulty = DeviationFault("R2", -0.5).apply(divider)
+        assert faulty["R2"].value == pytest.approx(500.0)
+
+    def test_zero_deviation_rejected(self):
+        with pytest.raises(FaultModelError):
+            DeviationFault("R1", 0.0)
+
+    def test_nonphysical_deviation_rejected(self):
+        with pytest.raises(FaultModelError):
+            DeviationFault("R1", -1.0)
+
+    def test_missing_component(self, divider):
+        with pytest.raises(FaultModelError, match="R9"):
+            DeviationFault("R9", 0.2).apply(divider)
+
+    def test_non_passive_target(self, divider):
+        with pytest.raises(FaultModelError, match="two-terminal"):
+            DeviationFault("V1", 0.2).apply(divider)
+
+    def test_repr(self):
+        assert "fR1+20%" in repr(DeviationFault("R1", 0.2))
+
+
+class TestOpenFault:
+    def test_name(self):
+        assert OpenFault("C1").name == "fC1:open"
+
+    def test_replaces_with_large_resistor(self, divider):
+        faulty = OpenFault("R1").apply(divider)
+        element = faulty["R1"]
+        assert isinstance(element, Resistor)
+        assert element.value == pytest.approx(1e12)
+
+    def test_keeps_nodes(self, divider):
+        faulty = OpenFault("R1").apply(divider)
+        assert faulty["R1"].nodes == divider["R1"].nodes
+
+    def test_output_collapses(self, divider):
+        faulty = OpenFault("R1").apply(divider)
+        assert abs(dc_gain(faulty)) < 1e-6
+
+    def test_open_capacitor(self):
+        biquad = tow_thomas_biquad()
+        faulty = OpenFault("C1").apply(biquad)
+        assert isinstance(faulty["C1"], Resistor)
+
+
+class TestShortFault:
+    def test_name(self):
+        assert ShortFault("R2").name == "fR2:short"
+
+    def test_replaces_with_small_resistor(self, divider):
+        faulty = ShortFault("R2").apply(divider)
+        assert faulty["R2"].value == pytest.approx(0.1)
+
+    def test_output_collapses(self, divider):
+        faulty = ShortFault("R2").apply(divider)
+        assert abs(dc_gain(faulty)) < 1e-3
+
+    def test_short_input_resistor_passes_signal(self, divider):
+        faulty = ShortFault("R1").apply(divider)
+        assert dc_gain(faulty) == pytest.approx(1.0, rel=1e-3)

@@ -1,0 +1,119 @@
+"""Tests for the multiple-fault extension."""
+
+import pytest
+
+from repro.analysis import decade_grid
+from repro.circuits import benchmark_biquad
+from repro.errors import FaultModelError
+from repro.faults import (
+    DeviationFault,
+    MultipleFault,
+    OpenFault,
+    SimulationSetup,
+    check_unique_names,
+    double_deviation_faults,
+    simulate_faults,
+)
+
+
+@pytest.fixture
+def biquad():
+    return benchmark_biquad().circuit
+
+
+class TestMultipleFault:
+    def test_applies_all_parts(self, biquad):
+        fault = MultipleFault(
+            (DeviationFault("R1", 0.20), DeviationFault("C2", -0.10))
+        )
+        faulty = fault.apply(biquad)
+        assert faulty["R1"].value == pytest.approx(12e3)
+        assert faulty["C2"].value == pytest.approx(9e-9)
+
+    def test_name_concatenates(self):
+        fault = MultipleFault(
+            (DeviationFault("R1", 0.20), OpenFault("C1"))
+        )
+        assert fault.name == "fR1+20%+fC1:open"
+        assert fault.short_name == "fR1&fC1:open"
+
+    def test_mixed_kinds(self, biquad):
+        fault = MultipleFault(
+            (OpenFault("R3"), DeviationFault("R5", 0.20))
+        )
+        faulty = fault.apply(biquad)
+        assert faulty["R3"].value == pytest.approx(1e12)
+
+    def test_needs_two_parts(self):
+        with pytest.raises(FaultModelError, match="two"):
+            MultipleFault((DeviationFault("R1", 0.2),))
+
+    def test_rejects_repeated_component(self):
+        with pytest.raises(FaultModelError, match="repeats"):
+            MultipleFault(
+                (DeviationFault("R1", 0.2), OpenFault("R1"))
+            )
+
+    def test_original_untouched(self, biquad):
+        MultipleFault(
+            (DeviationFault("R1", 0.20), DeviationFault("R2", 0.20))
+        ).apply(biquad)
+        assert biquad["R1"].value == pytest.approx(10e3)
+
+
+class TestDoubleUniverse:
+    def test_pair_count(self, biquad):
+        pairs = double_deviation_faults(biquad)
+        assert len(pairs) == 28  # C(8, 2)
+
+    def test_unique_names(self, biquad):
+        check_unique_names(double_deviation_faults(biquad))
+
+    def test_component_subset(self, biquad):
+        pairs = double_deviation_faults(
+            biquad, components=["R1", "R2", "R3"]
+        )
+        assert len(pairs) == 3
+
+    def test_double_fault_campaign(self):
+        """Double faults run through the standard campaign engine."""
+        bench = benchmark_biquad()
+        mcc = bench.dft()
+        pairs = double_deviation_faults(
+            bench.circuit, components=["R1", "R4", "R5"]
+        )
+        grid = decade_grid(bench.f0_hz, 2, 2, points_per_decade=10)
+        setup = SimulationSetup(grid=grid, fault_name_style="full")
+        dataset = simulate_faults(mcc, pairs, setup)
+        matrix = dataset.detectability_matrix()
+        assert matrix.n_faults == 3
+        # R1+R4 both +20%: DC gain R4/R1 unchanged, but each fault alone
+        # is detectable in C0 - the pair partially masks.
+        assert matrix.fault_coverage() > 0.0
+
+    def test_masking_pair_weaker_than_parts(self):
+        """fR1&fR4 (+20% both) masks the DC-gain signature each part
+        shows alone: its C0 w-det is below the single faults'."""
+        bench = benchmark_biquad()
+        mcc = bench.dft()
+        grid = decade_grid(bench.f0_hz, 2, 2, points_per_decade=15)
+        setup = SimulationSetup(grid=grid, fault_name_style="full")
+        singles = [
+            DeviationFault("R1", 0.20),
+            DeviationFault("R4", 0.20),
+        ]
+        pair = [MultipleFault(tuple(singles))]
+        single_ds = simulate_faults(
+            mcc, singles, setup, configs=mcc.configurations()[:1]
+        )
+        pair_ds = simulate_faults(
+            mcc, pair, setup, configs=mcc.configurations()[:1]
+        )
+        single_w = max(
+            single_ds.omega_table().value("C0", "fR1+20%"),
+            single_ds.omega_table().value("C0", "fR4+20%"),
+        )
+        pair_w = pair_ds.omega_table().value(
+            "C0", "fR1+20%+fR4+20%"
+        )
+        assert pair_w < single_w

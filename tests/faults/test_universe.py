@@ -1,0 +1,102 @@
+"""Tests for fault-universe generation."""
+
+import pytest
+
+from repro.circuits import tow_thomas_biquad
+from repro.errors import FaultModelError
+from repro.faults import (
+    DeviationFault,
+    OpenFault,
+    ShortFault,
+    bidirectional_deviation_faults,
+    catastrophic_faults,
+    check_unique_names,
+    combined_universe,
+    deviation_faults,
+)
+
+
+@pytest.fixture
+def biquad():
+    return tow_thomas_biquad()
+
+
+class TestDeviationFaults:
+    def test_one_fault_per_passive(self, biquad):
+        faults = deviation_faults(biquad)
+        assert len(faults) == 8  # R1..R6, C1, C2
+        assert {f.component for f in faults} == {
+            "R1", "R2", "R3", "R4", "R5", "R6", "C1", "C2",
+        }
+
+    def test_default_deviation_is_paper_20pct(self, biquad):
+        faults = deviation_faults(biquad)
+        assert all(f.deviation == 0.20 for f in faults)
+
+    def test_component_subset_preserves_order(self, biquad):
+        faults = deviation_faults(
+            biquad, components=["C2", "R1", "R4"]
+        )
+        assert [f.component for f in faults] == ["C2", "R1", "R4"]
+
+    def test_unknown_component_rejected(self, biquad):
+        with pytest.raises(FaultModelError, match="R99"):
+            deviation_faults(biquad, components=["R99"])
+
+    def test_circuit_without_passives_rejected(self):
+        from repro.circuit import Circuit
+
+        c = Circuit("srconly")
+        c.voltage_source("V1", "a")
+        with pytest.raises(FaultModelError):
+            deviation_faults(c)
+
+
+class TestBidirectionalFaults:
+    def test_two_per_component(self, biquad):
+        faults = bidirectional_deviation_faults(biquad, 0.20)
+        assert len(faults) == 16
+        deviations = {f.deviation for f in faults}
+        assert deviations == {0.20, -0.20}
+
+    def test_unique_names(self, biquad):
+        check_unique_names(bidirectional_deviation_faults(biquad))
+
+
+class TestCatastrophicFaults:
+    def test_opens_and_shorts(self, biquad):
+        faults = catastrophic_faults(biquad)
+        opens = [f for f in faults if isinstance(f, OpenFault)]
+        shorts = [f for f in faults if isinstance(f, ShortFault)]
+        assert len(opens) == 8 and len(shorts) == 8
+
+    def test_opens_only(self, biquad):
+        faults = catastrophic_faults(biquad, include_shorts=False)
+        assert all(isinstance(f, OpenFault) for f in faults)
+
+    def test_neither_rejected(self, biquad):
+        with pytest.raises(FaultModelError):
+            catastrophic_faults(
+                biquad, include_opens=False, include_shorts=False
+            )
+
+
+class TestCombinedUniverse:
+    def test_size(self, biquad):
+        universe = combined_universe(biquad)
+        assert len(universe) == 8 + 16
+
+    def test_names_unique(self, biquad):
+        check_unique_names(combined_universe(biquad))
+
+
+class TestCheckUniqueNames:
+    def test_duplicate_detected(self):
+        faults = [DeviationFault("R1", 0.2), DeviationFault("R1", 0.2)]
+        with pytest.raises(FaultModelError, match="duplicate"):
+            check_unique_names(faults)
+
+    def test_distinct_ok(self):
+        check_unique_names(
+            [DeviationFault("R1", 0.2), DeviationFault("R1", -0.2)]
+        )

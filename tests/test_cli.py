@@ -1,0 +1,147 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+NETLIST = """
+* cli test biquad
+.probe V(v3)
+Vin in 0 AC 1
+R1 in a 10k
+R2 a v1 4k
+C1 a v1 10n
+R3 v1 b 10k
+C2 b v2 10n
+R5 v2 c 10k
+R6 c v3 10k
+R4 v3 a 10k
+OP1 0 a v1 ideal
+OP2 0 b v2 ideal
+OP3 0 c v3 ideal
+.end
+"""
+
+
+@pytest.fixture
+def netlist_file(tmp_path):
+    path = tmp_path / "filter.sp"
+    path.write_text(NETLIST)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_prints_poles_and_tf(self, netlist_file, capsys):
+        assert main(["analyze", netlist_file, "--ppd", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "poles" in out
+        assert "3 opamp(s)" in out
+        assert "gain" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent.sp"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestFaultsim:
+    def test_prints_matrices(self, netlist_file, capsys):
+        assert (
+            main(["faultsim", netlist_file, "--ppd", "12"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Fault detectability matrix" in out
+        assert "w-detectability table" in out
+        assert "fR1" in out
+
+
+class TestOptimize:
+    def test_full_flow_with_json(self, netlist_file, tmp_path, capsys):
+        json_path = str(tmp_path / "program.json")
+        assert (
+            main(
+                [
+                    "optimize",
+                    netlist_file,
+                    "--ppd",
+                    "12",
+                    "--json",
+                    json_path,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "selected:" in out
+        assert "test program" in out
+        payload = json.loads(open(json_path).read())
+        assert payload["steps"]
+
+    def test_epsilon_override(self, netlist_file, capsys):
+        assert (
+            main(
+                [
+                    "optimize",
+                    netlist_file,
+                    "--ppd",
+                    "10",
+                    "--epsilon",
+                    "0.05",
+                ]
+            )
+            == 0
+        )
+        assert "eps = 5%" in capsys.readouterr().out
+
+
+class TestCatalogAndDemo:
+    def test_catalog_lists_circuits(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "biquad" in out
+        assert "leapfrog" in out
+
+    def test_demo_runs_flow(self, capsys):
+        assert (
+            main(["demo", "sallen_key", "--ppd", "10"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "selected:" in out
+
+    def test_demo_unknown_circuit(self, capsys):
+        assert main(["demo", "ghost"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_f0_override(self, netlist_file, capsys):
+        assert (
+            main(
+                ["analyze", netlist_file, "--f0", "500", "--ppd", "10"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "5..5e+04" in out or "AC sweep" in out
+
+
+class TestNoise:
+    def test_noise_summary(self, netlist_file, capsys):
+        assert (
+            main(["noise", netlist_file, "--ppd", "10", "--en", "1e-8"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "integrated RMS" in out
+        assert "top contributors" in out
+        assert "OP" in out  # opamp noise listed
+
+    def test_noise_without_opamp_noise(self, netlist_file, capsys):
+        assert main(["noise", netlist_file, "--ppd", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "uVrms" in out

@@ -1,0 +1,177 @@
+"""Tests for rendering and export of matrices, tables and reports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import paper1998
+from repro.errors import ReproError
+from repro.reporting import (
+    ExperimentReport,
+    averages_line,
+    dataset_to_json,
+    matrix_to_csv,
+    matrix_to_json,
+    omega_table_to_csv,
+    omega_table_to_json,
+    parse_matrix_csv,
+    render_bar,
+    render_bar_graph,
+    render_detectability_matrix,
+    render_grouped_bar_graph,
+    render_omega_table,
+    render_table,
+)
+
+
+@pytest.fixture
+def matrix():
+    return paper1998.detectability_matrix()
+
+
+@pytest.fixture
+def table():
+    return paper1998.omega_table()
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # equal widths
+
+    def test_render_table_title(self):
+        text = render_table(["x"], [[1]], title="hello")
+        assert text.startswith("hello")
+
+    def test_detectability_matrix_rendering(self, matrix):
+        text = render_detectability_matrix(matrix)
+        assert "C0" in text and "fR1" in text
+        # C0 row of Fig. 5: 1 0 0 1 0 0 0 0
+        row = [
+            line for line in text.splitlines() if line.strip().startswith("C0")
+        ][0]
+        assert row.split("|")[1].strip() == "1"
+
+    def test_fault_order_respected(self, matrix):
+        text = render_detectability_matrix(
+            matrix, fault_order=["fC2", "fR1"]
+        )
+        header = text.splitlines()[1]
+        assert header.index("fC2") < header.index("fR1")
+
+    def test_omega_table_rendering(self, table):
+        text = render_omega_table(table)
+        assert "54.0" in text
+        assert "100.0" in text
+
+
+class TestBars:
+    def test_render_bar_full(self):
+        assert render_bar(1.0, width=10) == "#" * 10
+
+    def test_render_bar_empty(self):
+        assert render_bar(0.0, width=10) == "." * 10
+
+    def test_render_bar_clamps(self):
+        assert render_bar(2.0, width=4) == "####"
+        assert render_bar(-1.0, width=4) == "...."
+
+    def test_render_bar_validation(self):
+        with pytest.raises(ReproError):
+            render_bar(0.5, width=0)
+        with pytest.raises(ReproError):
+            render_bar(0.5, vmax=0.0)
+
+    def test_bar_graph(self):
+        text = render_bar_graph({"fR1": 0.54, "fR2": 0.0})
+        assert "fR1" in text and "54.0%" in text
+
+    def test_grouped_bar_graph(self):
+        series = {
+            "initial": {"fR1": 0.5},
+            "dft": {"fR1": 0.7},
+        }
+        text = render_grouped_bar_graph(series)
+        assert "initial" in text and "dft" in text
+
+    def test_grouped_requires_series(self):
+        with pytest.raises(ReproError):
+            render_grouped_bar_graph({})
+
+    def test_averages_line(self):
+        text = averages_line({"a": {"x": 0.5, "y": 0.5}})
+        assert "50.0%" in text
+
+
+class TestExperimentReport:
+    def test_sections_render_in_order(self):
+        report = ExperimentReport("E-X", "demo")
+        report.add_section("first", "alpha")
+        report.add_section("second", "beta")
+        text = report.render()
+        assert text.index("alpha") < text.index("beta")
+
+    def test_comparisons(self):
+        report = ExperimentReport("E-X", "demo")
+        report.add_comparison("fc", paper_value=0.25, measured_value=0.25)
+        rows = report.comparison_rows()
+        assert rows == [("fc", 0.25, 0.25)]
+        assert "paper=0.25" in report.render()
+
+    def test_plain_values_not_in_comparisons(self):
+        report = ExperimentReport("E-X", "demo")
+        report.add_value("count", 3)
+        assert report.comparison_rows() == []
+
+
+class TestCsvExport:
+    def test_matrix_roundtrip(self, matrix):
+        text = matrix_to_csv(matrix)
+        recovered = parse_matrix_csv(text)
+        assert recovered.config_labels == matrix.config_labels
+        assert recovered.fault_names == matrix.fault_names
+        assert np.array_equal(recovered.data, matrix.data)
+
+    def test_matrix_csv_shape(self, matrix):
+        lines = matrix_to_csv(matrix).strip().splitlines()
+        assert len(lines) == 1 + matrix.n_configurations
+        assert lines[0].startswith("configuration,")
+
+    def test_omega_csv_percent(self, table):
+        text = omega_table_to_csv(table)
+        assert "54" in text.splitlines()[1]
+
+    def test_omega_csv_fraction(self, table):
+        text = omega_table_to_csv(table, as_percent=False)
+        assert "0.54" in text.splitlines()[1]
+
+
+class TestJsonExport:
+    def test_matrix_json(self, matrix):
+        payload = json.loads(matrix_to_json(matrix))
+        assert payload["detectability"]["C0"]["fR1"] is True
+        assert payload["faults"] == list(matrix.fault_names)
+
+    def test_omega_json(self, table):
+        payload = json.loads(omega_table_to_json(table))
+        assert payload["omega_detectability"]["C0"]["fR1"] == pytest.approx(
+            0.54
+        )
+
+    def test_dataset_json(self, mini_dataset):
+        payload = json.loads(dataset_to_json(mini_dataset))
+        assert payload["epsilon"] == 0.10
+        assert payload["criterion"] == "band"
+        first_config = payload["results"]["C0"]
+        assert "fR1" in first_config
+        assert set(first_config["fR1"]) == {
+            "detectable",
+            "omega_detectability",
+            "max_deviation",
+            "f_max_deviation_hz",
+        }
+
+    def test_deterministic(self, matrix):
+        assert matrix_to_json(matrix) == matrix_to_json(matrix)

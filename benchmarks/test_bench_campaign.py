@@ -1,0 +1,137 @@
+"""Campaign engine benchmarks: serial vs parallel vs warm cache.
+
+Measures the three execution paths on the biggest library circuit (the
+5-opamp FLF filter: 31 configurations x 17 faults) and records the
+timings as JSON, both in each bench's ``extra_info`` and as a printed
+summary line.
+
+The parallel speedup assertion is gated on the host actually having
+more than one core — a single-core runner can only demonstrate
+correctness (bit-identical matrices), not speedup.  The cache-hit
+speedup holds everywhere: a warm re-run performs zero AC solves.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import decade_grid
+from repro.campaign import (
+    CampaignTelemetry,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    execute_plan,
+    plan_campaign,
+)
+from repro.circuits import build
+from repro.faults import SimulationSetup, deviation_faults
+
+RECORD = {}
+
+
+@pytest.fixture(scope="module")
+def flf_plan():
+    bench = build("leapfrog")
+    mcc = bench.dft()
+    faults = deviation_faults(bench.circuit, 0.20)
+    grid = decade_grid(bench.f0_hz, 2, 2, points_per_decade=30)
+    return plan_campaign(mcc, faults, SimulationSetup(grid=grid))
+
+
+def _tables(dataset):
+    return (
+        dataset.detectability_matrix().data,
+        dataset.omega_table().data,
+    )
+
+
+def _identical(tables_a, tables_b):
+    return all(
+        np.array_equal(a, b) for a, b in zip(tables_a, tables_b)
+    )
+
+
+def test_bench_campaign_serial(benchmark, flf_plan):
+    dataset = benchmark.pedantic(
+        execute_plan,
+        args=(flf_plan,),
+        kwargs={"executor": SerialExecutor()},
+        rounds=3,
+        iterations=1,
+    )
+    RECORD["serial_s"] = benchmark.stats.stats.min
+    RECORD["tables"] = _tables(dataset)
+    benchmark.extra_info["units"] = flf_plan.n_units
+    assert dataset.n_solves == flf_plan.n_configs * (
+        flf_plan.n_faults + 1
+    )
+
+
+def test_bench_campaign_parallel(benchmark, flf_plan):
+    executor = ParallelExecutor(jobs=4)
+    dataset = benchmark.pedantic(
+        execute_plan,
+        args=(flf_plan,),
+        kwargs={"executor": executor},
+        rounds=3,
+        iterations=1,
+    )
+    RECORD["parallel_s"] = benchmark.stats.stats.min
+    benchmark.extra_info["jobs"] = executor.jobs
+    benchmark.extra_info["cpus"] = os.cpu_count()
+
+    # Correctness everywhere: bit-identical to the serial path.
+    assert _identical(_tables(dataset), RECORD["tables"])
+
+    # Speedup only where the hardware can deliver it.
+    if (os.cpu_count() or 1) >= 2:
+        speedup = RECORD["serial_s"] / RECORD["parallel_s"]
+        benchmark.extra_info["speedup"] = round(speedup, 2)
+        assert speedup > 1.5, (
+            f"parallel speedup {speedup:.2f}x at jobs=4 "
+            f"on {os.cpu_count()} cores"
+        )
+
+
+def test_bench_campaign_warm_cache(benchmark, flf_plan, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    execute_plan(flf_plan, cache=cache)  # fill outside the timed region
+
+    telemetry = CampaignTelemetry()
+    dataset = benchmark.pedantic(
+        execute_plan,
+        args=(flf_plan,),
+        kwargs={"cache": cache, "telemetry": telemetry},
+        rounds=3,
+        iterations=1,
+    )
+    RECORD["warm_s"] = benchmark.stats.stats.min
+
+    counters = telemetry.counters
+    assert counters["cache_hits"] == counters["units_total"]
+    assert counters["solves"] == 0
+    assert dataset.n_solves == 0
+    assert _identical(_tables(dataset), RECORD["tables"])
+
+    # The cache-hit speedup holds even on a single core.
+    speedup = RECORD["serial_s"] / RECORD["warm_s"]
+    benchmark.extra_info["cache_speedup"] = round(speedup, 1)
+    assert speedup > 1.5, f"warm-cache speedup {speedup:.2f}x"
+
+    summary = {
+        "circuit": "leapfrog",
+        "units": flf_plan.n_units,
+        "cpus": os.cpu_count(),
+        "serial_s": round(RECORD["serial_s"], 4),
+        "parallel_s": round(RECORD["parallel_s"], 4),
+        "warm_cache_s": round(RECORD["warm_s"], 4),
+        "parallel_speedup": round(
+            RECORD["serial_s"] / RECORD["parallel_s"], 2
+        ),
+        "cache_speedup": round(speedup, 1),
+    }
+    print()
+    print("campaign-bench:", json.dumps(summary))

@@ -32,8 +32,25 @@ Quickstart::
 
 from __future__ import annotations
 
-from . import analysis, circuit, circuits, core, data, dft, experiments, faults
+from . import (
+    analysis,
+    campaign,
+    circuit,
+    circuits,
+    core,
+    data,
+    dft,
+    experiments,
+    faults,
+)
 from .analysis import FrequencyGrid, ac_analysis, decade_grid
+from .campaign import (
+    CampaignTelemetry,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    run_campaign,
+)
 from .circuit import Circuit, OpAmp, OpAmpModel, parse_netlist
 from .circuits import BenchmarkCircuit
 from .core import (
@@ -54,6 +71,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AverageOmegaDetectability",
     "BenchmarkCircuit",
+    "CampaignTelemetry",
     "Circuit",
     "Configuration",
     "ConfigurableOpampCount",
@@ -64,11 +82,15 @@ __all__ = [
     "OmegaDetectabilityTable",
     "OpAmp",
     "OpAmpModel",
+    "ParallelExecutor",
     "ReproError",
+    "ResultCache",
+    "SerialExecutor",
     "SimulationSetup",
     "ac_analysis",
     "analysis",
     "apply_multiconfiguration",
+    "campaign",
     "circuit",
     "circuits",
     "core",
@@ -80,6 +102,7 @@ __all__ = [
     "faults",
     "parse_netlist",
     "quick_optimize",
+    "run_campaign",
     "simulate_faults",
     "solve_covering",
 ]

@@ -1,0 +1,70 @@
+"""Campaign engine — planned, parallel, cached, observable fault simulation.
+
+The paper's conclusion names the flow's cost bottleneck: constructing
+the fault-detectability matrix "implies extensive fault simulation" —
+every fault × every configuration × a dense AC sweep.  This package
+turns that sweep into a *campaign*:
+
+* :mod:`~repro.campaign.plan` — deterministic decomposition into
+  content-hashed work units (configuration × fault chunk);
+* :mod:`~repro.campaign.executor` — pluggable executors: in-process
+  :class:`SerialExecutor` (default, bit-identical to the historical
+  loop) and process-pool :class:`ParallelExecutor` with per-unit
+  timeout, bounded retry and graceful degradation to serial;
+* :mod:`~repro.campaign.cache` — content-addressed on-disk
+  :class:`ResultCache` enabling resume and incremental re-runs;
+* :mod:`~repro.campaign.telemetry` — :class:`CampaignTelemetry`
+  counters, JSONL event traces and a terminal progress line;
+* :mod:`~repro.campaign.engine` — :func:`run_campaign`, the one-call
+  pipeline gluing the above into a
+  :class:`~repro.faults.simulator.DetectabilityDataset`.
+
+Results are independent of the executor and of the chunking — the
+parity tests assert bit-identical detectability matrices and ω-tables
+across all of them.
+"""
+
+from .cache import ResultCache
+from .engine import (
+    assemble_dataset,
+    execute_plan,
+    make_executor,
+    run_campaign,
+)
+from .executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    UnitOutcome,
+    UnitResult,
+    execute_unit,
+)
+from .plan import (
+    ENGINES,
+    CampaignPlan,
+    WorkUnit,
+    fault_signature,
+    plan_campaign,
+    unit_key,
+)
+from .telemetry import CampaignTelemetry
+
+__all__ = [
+    "CampaignPlan",
+    "CampaignTelemetry",
+    "ENGINES",
+    "Executor",
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "UnitOutcome",
+    "UnitResult",
+    "assemble_dataset",
+    "execute_plan",
+    "execute_unit",
+    "fault_signature",
+    "make_executor",
+    "plan_campaign",
+    "run_campaign",
+    "unit_key",
+]

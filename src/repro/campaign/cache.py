@@ -1,0 +1,137 @@
+"""Content-addressed on-disk result store for campaign work units.
+
+Every work unit carries a SHA-256 key over everything that determines
+its result (netlist, probe, grid, tolerance, criterion, engine, fault
+chunk — see :func:`repro.campaign.plan.unit_key`).  The cache maps that
+key to a pickled :class:`~repro.campaign.executor.UnitResult` on disk:
+
+* **resume** — an interrupted campaign re-planned with the same inputs
+  re-uses every unit that already completed;
+* **incremental re-runs** — editing ε, the grid, or a fault value
+  changes the affected keys and only that work re-simulates;
+* **robustness** — unreadable, truncated or mismatched entries are
+  treated as misses (and evicted), never allowed to crash a campaign.
+
+Writes are atomic (temp file + ``os.replace``) so a campaign killed
+mid-write leaves no half-entry behind, and concurrent campaigns sharing
+a cache directory cannot observe torn files.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from .executor import UnitResult
+
+#: cache layout version; bump on incompatible UnitResult changes
+CACHE_VERSION = "1"
+
+
+class ResultCache:
+    """Directory-backed store of unit results, addressed by content key.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created on first use.  Entries are sharded by the
+        first two hex digits of the key (``ab/abcdef....pkl``) to keep
+        directories small on big campaigns.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory) / f"v{CACHE_VERSION}"
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[UnitResult]:
+        """The stored result for ``key``, or ``None`` (miss).
+
+        Corrupted entries — unpicklable bytes, wrong payload type, or a
+        key mismatch — count as misses, are evicted, and never raise.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self._evict(path)
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        if not isinstance(result, UnitResult) or result.key != key:
+            self._evict(path)
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: UnitResult) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*/*.pkl"):
+            self._evict(path)
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _evict(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses}, writes={self.writes})"
+        )

@@ -1,0 +1,174 @@
+"""The campaign engine: plan → cache lookup → execute → assemble.
+
+:func:`run_campaign` is the one-call entry point used by
+:func:`repro.faults.simulator.simulate_faults` (``engine="standard"``),
+:func:`repro.faults.fast_simulator.simulate_faults_fast`
+(``engine="fast"``), the experiment runners and the CLI.  The pipeline:
+
+1. :func:`~repro.campaign.plan.plan_campaign` decomposes the run into
+   deterministic, content-hashed work units;
+2. cached units are satisfied from the
+   :class:`~repro.campaign.cache.ResultCache` without simulating;
+3. the remaining units go through the chosen executor (serial by
+   default, process-parallel on request), with fresh results written
+   back to the cache as they land;
+4. the outcomes are assembled — **in plan order, regardless of
+   completion order** — into the same
+   :class:`~repro.faults.simulator.DetectabilityDataset` the in-process
+   engines produce, bit for bit.
+
+``dataset.n_solves`` counts the AC solves *performed by this run*; a
+fully warm cache therefore yields ``n_solves == 0``, which the telemetry
+trace corroborates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.detectability import DetectabilityResult
+from ..dft.configuration import Configuration
+from ..dft.transform import MultiConfigurationCircuit
+from ..errors import CampaignError
+from ..faults.model import Fault
+from ..faults.simulator import DetectabilityDataset, SimulationSetup
+from .cache import ResultCache
+from .executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    UnitOutcome,
+)
+from .plan import STANDARD, CampaignPlan, plan_campaign
+from .telemetry import CampaignTelemetry
+
+
+def run_campaign(
+    mcc: MultiConfigurationCircuit,
+    faults: Sequence[Fault],
+    setup: SimulationSetup,
+    configs: Optional[Sequence[Configuration]] = None,
+    engine: str = STANDARD,
+    chunk_size: Optional[int] = None,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    telemetry: Optional[CampaignTelemetry] = None,
+) -> DetectabilityDataset:
+    """Run a fault × configuration campaign through the engine.
+
+    Drop-in equivalent of
+    :func:`repro.faults.simulator.simulate_faults` (and, with
+    ``engine="fast"``, of
+    :func:`repro.faults.fast_simulator.simulate_faults_fast`) — the
+    returned dataset is bit-identical for every executor and chunking.
+    """
+    plan = plan_campaign(
+        mcc,
+        faults,
+        setup,
+        configs=configs,
+        engine=engine,
+        chunk_size=chunk_size,
+    )
+    return execute_plan(
+        plan, executor=executor, cache=cache, telemetry=telemetry
+    )
+
+
+def execute_plan(
+    plan: CampaignPlan,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    telemetry: Optional[CampaignTelemetry] = None,
+) -> DetectabilityDataset:
+    """Execute an already-planned campaign and assemble its dataset."""
+    executor = executor or SerialExecutor()
+    telemetry = telemetry or CampaignTelemetry()
+    jobs = getattr(executor, "jobs", 1)
+    telemetry.campaign_start(plan, executor.name, jobs=jobs)
+
+    outcomes: Dict[str, UnitOutcome] = {}
+    pending = []
+    for unit in plan.units:
+        cached = cache.get(unit.key) if cache is not None else None
+        if cached is not None:
+            outcome = UnitOutcome(
+                unit=unit,
+                result=cached,
+                attempts=0,
+                from_cache=True,
+            )
+            outcomes[unit.unit_id] = outcome
+            telemetry.unit_outcome(outcome)
+        else:
+            pending.append(unit)
+
+    def on_outcome(outcome: UnitOutcome) -> None:
+        if cache is not None and outcome.result is not None:
+            cache.put(outcome.unit.key, outcome.result)
+        telemetry.unit_outcome(outcome)
+
+    for outcome in executor.execute(pending, callback=on_outcome):
+        outcomes[outcome.unit.unit_id] = outcome
+
+    telemetry.campaign_end()
+
+    failed = [o for o in outcomes.values() if not o.ok]
+    if failed:
+        first = failed[0]
+        raise CampaignError(
+            f"{len(failed)} of {plan.n_units} work unit(s) failed "
+            f"(first: {first.unit.unit_id} after {first.attempts} "
+            f"attempt(s): {first.error!r})"
+        ) from first.error
+
+    return assemble_dataset(plan, outcomes)
+
+
+def assemble_dataset(
+    plan: CampaignPlan, outcomes: Dict[str, UnitOutcome]
+) -> DetectabilityDataset:
+    """Fold unit outcomes into a dataset, deterministically.
+
+    Iteration follows plan order, so the result layout is independent of
+    executor scheduling and chunk completion order.  Nominal responses
+    are taken from the first unit of each configuration (chunks of one
+    configuration share the nominal by construction).
+    """
+    nominal = {}
+    results: Dict[Tuple[int, str], DetectabilityResult] = {}
+    n_solves = 0
+    for unit in plan.units:
+        outcome = outcomes[unit.unit_id]
+        result = outcome.result
+        if result is None:
+            raise CampaignError(
+                f"work unit {unit.unit_id} has no result to assemble"
+            )
+        if unit.config_index not in nominal:
+            nominal[unit.config_index] = result.nominal
+        for label in unit.labels:
+            results[(unit.config_index, label)] = result.results[label]
+        if not outcome.from_cache:
+            n_solves += result.n_solves
+    return DetectabilityDataset(
+        configs=plan.configs,
+        fault_labels=plan.fault_labels,
+        setup=plan.setup,
+        nominal=nominal,
+        results=results,
+        n_solves=n_solves,
+    )
+
+
+def make_executor(
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> Executor:
+    """Executor factory used by the CLI: serial for 1 job, else parallel."""
+    if jobs is not None and jobs < 1:
+        raise CampaignError(f"jobs must be >= 1, got {jobs}")
+    if jobs is None or jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=jobs, timeout=timeout, retries=retries)

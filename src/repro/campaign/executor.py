@@ -1,0 +1,303 @@
+"""Pluggable campaign executors — serial and process-parallel.
+
+An executor consumes :class:`~repro.campaign.plan.WorkUnit`\\ s and
+produces :class:`UnitOutcome`\\ s.  Two implementations ship:
+
+:class:`SerialExecutor`
+    Runs units in-process, in plan order — bit-identical to the
+    historical :func:`repro.faults.simulator.simulate_faults` loop and
+    the default everywhere.
+
+:class:`ParallelExecutor`
+    Fans units out over a ``concurrent.futures.ProcessPoolExecutor``
+    (fork where available, spawn otherwise) with a per-unit timeout and
+    a bounded retry budget.  Failures degrade gracefully: a unit whose
+    worker times out, raises, or dies is re-run serially in the parent
+    process; if the pool itself cannot be created or breaks, every
+    remaining unit falls back to the serial path.  Determinism is
+    preserved by construction — outcomes are harvested in submission
+    order and every (configuration, fault) pair is evaluated by the
+    exact same code the serial engine uses.
+
+The module-level :func:`execute_unit` is the picklable worker entry
+point, so the spawn start method (macOS, Windows) works out of the box.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.ac import FrequencyResponse
+from ..core.detectability import DetectabilityResult
+from ..faults.fast_simulator import simulate_configuration_fast
+from ..faults.simulator import simulate_configuration
+from .plan import FAST, WorkUnit
+
+
+@dataclass
+class UnitResult:
+    """The simulation payload of one completed work unit (cacheable)."""
+
+    key: str
+    unit_id: str
+    config_index: int
+    nominal: FrequencyResponse
+    results: Dict[str, DetectabilityResult]
+    n_solves: int
+
+
+@dataclass
+class UnitOutcome:
+    """How one work unit fared: its result or its terminal error.
+
+    ``attempts`` counts simulation attempts (0 for a cache hit);
+    ``degraded`` marks units that fell back from a worker process to the
+    parent's serial path.
+    """
+
+    unit: WorkUnit
+    result: Optional[UnitResult]
+    error: Optional[BaseException] = None
+    attempts: int = 1
+    wall_s: float = 0.0
+    from_cache: bool = False
+    degraded: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def execute_unit(unit: WorkUnit) -> UnitResult:
+    """Simulate one work unit (runs in the parent or a worker process)."""
+    if unit.engine == FAST:
+        nominal, results, n_solves = simulate_configuration_fast(
+            unit.circuit, unit.output, unit.faults, unit.labels, unit.setup
+        )
+    else:
+        nominal, results, n_solves = simulate_configuration(
+            unit.circuit, unit.output, unit.faults, unit.labels, unit.setup
+        )
+    return UnitResult(
+        key=unit.key,
+        unit_id=unit.unit_id,
+        config_index=unit.config_index,
+        nominal=nominal,
+        results=results,
+        n_solves=n_solves,
+    )
+
+
+#: signature of the per-outcome callback executors invoke as units finish
+OutcomeCallback = Callable[[UnitOutcome], None]
+
+
+class Executor:
+    """Executor interface: turn work units into outcomes, in plan order."""
+
+    name = "executor"
+
+    def execute(
+        self,
+        units: Sequence[WorkUnit],
+        callback: Optional[OutcomeCallback] = None,
+    ) -> List[UnitOutcome]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process execution in plan order (the default engine).
+
+    ``retries`` allows re-attempting a failed unit; simulation errors
+    are deterministic so the default is 0.
+    """
+
+    name = "serial"
+
+    def __init__(self, retries: int = 0):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.retries = retries
+
+    def execute(
+        self,
+        units: Sequence[WorkUnit],
+        callback: Optional[OutcomeCallback] = None,
+    ) -> List[UnitOutcome]:
+        outcomes = []
+        for unit in units:
+            outcome = _attempt(unit, 1 + self.retries)
+            outcomes.append(outcome)
+            if callback is not None:
+                callback(outcome)
+        return outcomes
+
+
+def _attempt(
+    unit: WorkUnit,
+    max_attempts: int,
+    attempts_so_far: int = 0,
+    degraded: bool = False,
+    last_error: Optional[BaseException] = None,
+) -> UnitOutcome:
+    """Run ``unit`` in-process up to ``max_attempts`` more times.
+
+    With ``max_attempts=0`` the unit is not re-run and the outcome
+    reports ``last_error`` (a worker failure whose retry budget is
+    exhausted).
+    """
+    attempts = attempts_so_far
+    start = time.perf_counter()
+    for _ in range(max(0, max_attempts)):
+        attempts += 1
+        try:
+            result = execute_unit(unit)
+            return UnitOutcome(
+                unit=unit,
+                result=result,
+                attempts=attempts,
+                wall_s=time.perf_counter() - start,
+                degraded=degraded,
+            )
+        except Exception as exc:  # noqa: BLE001 — reported per unit
+            last_error = exc
+    return UnitOutcome(
+        unit=unit,
+        result=None,
+        error=last_error,
+        attempts=attempts,
+        wall_s=time.perf_counter() - start,
+        degraded=degraded,
+    )
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution with timeout, retry and serial fallback.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count (default: ``os.cpu_count()``).
+    timeout:
+        Per-unit harvest timeout in seconds (``None`` waits forever).
+        A timed-out unit is cancelled if still queued and re-run
+        serially in the parent.
+    retries:
+        In-parent attempts granted to a unit whose worker failed.
+    start_method:
+        Force a multiprocessing start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); default picks fork when the platform has it.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        start_method: Optional[str] = None,
+    ):
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs or os.cpu_count() or 1
+        self.timeout = timeout
+        self.retries = retries
+        self.start_method = start_method
+
+    # ------------------------------------------------------------------
+    def _context(self):
+        methods = multiprocessing.get_all_start_methods()
+        method = self.start_method or (
+            "fork" if "fork" in methods else "spawn"
+        )
+        return multiprocessing.get_context(method)
+
+    def execute(
+        self,
+        units: Sequence[WorkUnit],
+        callback: Optional[OutcomeCallback] = None,
+    ) -> List[UnitOutcome]:
+        units = list(units)
+        if not units:
+            return []
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(units)),
+                mp_context=self._context(),
+            )
+        except Exception:
+            # The platform cannot host a process pool at all: degrade the
+            # whole campaign to the serial path.
+            return self._all_serial(units, callback)
+
+        outcomes: List[UnitOutcome] = []
+        broken = False
+        with pool:
+            futures = [
+                (unit, pool.submit(execute_unit, unit)) for unit in units
+            ]
+            for unit, future in futures:
+                if broken:
+                    outcome = _attempt(
+                        unit, 1 + self.retries, degraded=True
+                    )
+                else:
+                    outcome, broken = self._harvest(unit, future)
+                outcomes.append(outcome)
+                if callback is not None:
+                    callback(outcome)
+        return outcomes
+
+    def _harvest(self, unit, future):
+        """Collect one future; fall back to the parent on any trouble."""
+        start = time.perf_counter()
+        try:
+            result = future.result(timeout=self.timeout)
+            return (
+                UnitOutcome(
+                    unit=unit,
+                    result=result,
+                    attempts=1,
+                    wall_s=time.perf_counter() - start,
+                ),
+                False,
+            )
+        except concurrent.futures.TimeoutError as exc:
+            future.cancel()
+            return (
+                _attempt(
+                    unit, self.retries, 1, degraded=True, last_error=exc
+                ),
+                False,
+            )
+        except concurrent.futures.process.BrokenProcessPool:
+            # The pool is unusable; this unit and all remaining ones run
+            # serially in the parent.
+            return _attempt(unit, 1 + self.retries, degraded=True), True
+        except Exception as exc:
+            # The worker raised a genuine simulation error; grant the
+            # retry budget in-parent (deterministic errors fail again
+            # and surface with a proper traceback).
+            return (
+                _attempt(
+                    unit, self.retries, 1, degraded=True, last_error=exc
+                ),
+                False,
+            )
+
+    def _all_serial(self, units, callback):
+        outcomes = []
+        for unit in units:
+            outcome = _attempt(unit, 1 + self.retries, degraded=True)
+            outcomes.append(outcome)
+            if callback is not None:
+                callback(outcome)
+        return outcomes

@@ -4,7 +4,9 @@
 
     python -m repro analyze  filter.sp            # AC / poles / TF summary
     python -m repro faultsim filter.sp            # detectability matrices
+    python -m repro faultsim filter.sp --jobs 4 --cache-dir .cache
     python -m repro optimize filter.sp --json p.json   # flow + test program
+    python -m repro campaign biquad --jobs 2 --trace trace.jsonl
     python -m repro catalog                       # library circuits
     python -m repro demo biquad                   # flow on a library circuit
 
@@ -88,11 +90,58 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+#: default cache location used by ``--resume`` without ``--cache-dir``
+DEFAULT_CACHE_DIR = ".repro-campaign-cache"
+
+
+def _campaign_parts(args):
+    """(executor, cache, telemetry) from the campaign CLI flags.
+
+    All three are ``None`` when no campaign flag was given, keeping the
+    historical in-process path.
+    """
+    jobs = getattr(args, "jobs", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if getattr(args, "resume", False) and cache_dir is None:
+        cache_dir = DEFAULT_CACHE_DIR
+    trace = getattr(args, "trace", None)
+    progress = bool(getattr(args, "progress", False))
+
+    executor = cache = telemetry = None
+    if jobs is not None:
+        from .campaign import make_executor
+
+        executor = make_executor(
+            jobs=jobs, timeout=getattr(args, "timeout", None)
+        )
+    if cache_dir is not None:
+        from .campaign import ResultCache
+
+        cache = ResultCache(cache_dir)
+    if trace is not None or progress:
+        from .campaign import CampaignTelemetry
+
+        telemetry = CampaignTelemetry(trace_path=trace, progress=progress)
+    return executor, cache, telemetry
+
+
 def _campaign(circuit: Circuit, args):
     mcc = apply_multiconfiguration(circuit)
     faults = deviation_faults(circuit, deviation=args.deviation)
     setup = SimulationSetup(grid=_grid(circuit, args), epsilon=args.epsilon)
-    dataset = simulate_faults(mcc, faults, setup)
+    executor, cache, telemetry = _campaign_parts(args)
+    try:
+        dataset = simulate_faults(
+            mcc,
+            faults,
+            setup,
+            executor=executor,
+            cache=cache,
+            telemetry=telemetry,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     return mcc, dataset
 
 
@@ -112,6 +161,76 @@ def cmd_faultsim(args) -> int:
             "faults detectable in no configuration: "
             + ", ".join(undetectable)
         )
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """Run a fault-simulation campaign through the campaign engine."""
+    import os.path
+
+    from .campaign import CampaignTelemetry, plan_campaign, execute_plan
+
+    from .circuits import catalog
+
+    if os.path.exists(args.target):
+        circuit = _load_circuit(args.target)
+        f0 = _center_frequency(circuit, args.f0)
+    elif args.target in catalog():
+        from .circuits import build
+
+        bench = build(args.target)
+        circuit = bench.circuit
+        f0 = args.f0 if args.f0 is not None else bench.f0_hz
+    else:
+        raise ReproError(
+            f"{args.target!r} is neither a netlist file nor a catalog "
+            f"circuit (see 'python -m repro catalog')"
+        )
+
+    mcc = apply_multiconfiguration(circuit)
+    faults = deviation_faults(circuit, deviation=args.deviation)
+    grid = decade_grid(
+        f0,
+        decades_below=args.decades,
+        decades_above=args.decades,
+        points_per_decade=args.ppd,
+    )
+    setup = SimulationSetup(grid=grid, epsilon=args.epsilon)
+
+    plan = plan_campaign(
+        mcc, faults, setup, engine=args.engine, chunk_size=args.chunk
+    )
+    executor, cache, _ = _campaign_parts(args)
+    telemetry = CampaignTelemetry(
+        trace_path=args.trace, progress=args.progress
+    )
+    try:
+        dataset = execute_plan(
+            plan, executor=executor, cache=cache, telemetry=telemetry
+        )
+    finally:
+        telemetry.close()
+
+    print(plan.describe())
+    summary = telemetry.summary()
+    print(
+        f"done: {summary['units_done']}/{summary['units_total']} units, "
+        f"{summary['cache_hits']} cache hit(s), {summary['solves']} AC "
+        f"solve(s), {summary['retries']} retry(ies) in "
+        f"{summary['wall_s']:.2f}s wall / {summary['cpu_s']:.2f}s cpu"
+    )
+    if cache is not None:
+        print(f"cache: {cache!r}")
+    matrix = dataset.detectability_matrix()
+    coverage = matrix.fault_coverage()
+    print(
+        f"fault coverage (all configurations): {100 * coverage:.0f}% "
+        f"({matrix.n_faults - len(matrix.undetectable_faults())}"
+        f"/{matrix.n_faults} faults)"
+    )
+    if args.matrix:
+        print()
+        print(render_detectability_matrix(matrix))
     return 0
 
 
@@ -240,11 +359,62 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_analyze)
     p_analyze.set_defaults(handler=cmd_analyze)
 
+    def campaign_flags(p):
+        p.add_argument(
+            "--jobs", type=int, default=None,
+            help="worker processes (>=2 enables the parallel executor)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None,
+            help="content-addressed result cache directory",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="resume from the cache "
+            f"(defaults --cache-dir to {DEFAULT_CACHE_DIR})",
+        )
+        p.add_argument(
+            "--trace", default=None,
+            help="append JSONL campaign telemetry to this file",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=None,
+            help="per-work-unit timeout in seconds (parallel executor)",
+        )
+        p.add_argument(
+            "--progress", action="store_true",
+            help="paint a live progress line on stderr",
+        )
+
     p_faultsim = sub.add_parser(
         "faultsim", help="fault x configuration campaign"
     )
     common(p_faultsim)
+    campaign_flags(p_faultsim)
     p_faultsim.set_defaults(handler=cmd_faultsim)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="planned / parallel / resumable fault-simulation campaign",
+    )
+    p_campaign.add_argument(
+        "target", help="netlist file or catalog circuit name"
+    )
+    common(p_campaign, netlist=False)
+    campaign_flags(p_campaign)
+    p_campaign.add_argument(
+        "--engine", choices=["standard", "fast"], default="standard",
+        help="per-unit simulation engine (default standard)",
+    )
+    p_campaign.add_argument(
+        "--chunk", type=int, default=None,
+        help="faults per work unit (default: whole configuration)",
+    )
+    p_campaign.add_argument(
+        "--matrix", action="store_true",
+        help="also print the detectability matrix",
+    )
+    p_campaign.set_defaults(handler=cmd_campaign)
 
     p_optimize = sub.add_parser(
         "optimize", help="full optimization flow + test program"

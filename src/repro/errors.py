@@ -58,6 +58,15 @@ class ConfigurationError(ReproError):
     """An invalid DFT configuration was requested."""
 
 
+class CampaignError(ReproError):
+    """A fault-simulation campaign could not be planned or completed.
+
+    Raised by the campaign engine when work units fail beyond their retry
+    budget, or when a plan is malformed (bad engine name, empty
+    configuration set, colliding fault labels).
+    """
+
+
 class OptimizationError(ReproError):
     """The covering/optimization layer could not produce a solution."""
 

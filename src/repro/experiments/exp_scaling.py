@@ -38,6 +38,9 @@ def analyze_circuit(
     points_per_decade: int = 40,
     petrick_max_terms: int = 20_000,
     engine: str = "fast",
+    executor=None,
+    cache=None,
+    telemetry=None,
 ) -> dict:
     """Full DFT-optimization flow on one library circuit.
 
@@ -56,12 +59,15 @@ def analyze_circuit(
         bench.f0_hz, points_per_decade=points_per_decade
     )
     setup = SimulationSetup(grid=grid, epsilon=epsilon)
+    campaign_kwargs = dict(
+        executor=executor, cache=cache, telemetry=telemetry
+    )
     if engine == "fast":
         from ..faults.fast_simulator import simulate_faults_fast
 
-        dataset = simulate_faults_fast(mcc, faults, setup)
+        dataset = simulate_faults_fast(mcc, faults, setup, **campaign_kwargs)
     elif engine == "standard":
-        dataset = simulate_faults(mcc, faults, setup)
+        dataset = simulate_faults(mcc, faults, setup, **campaign_kwargs)
     else:
         raise OptimizationError(f"unknown engine {engine!r}")
     matrix = dataset.detectability_matrix()
@@ -122,8 +128,14 @@ def analyze_circuit(
 def run(
     mode: str = "simulated",
     benches: Optional[Sequence[BenchmarkCircuit]] = None,
+    executor=None,
+    cache=None,
 ) -> ExperimentReport:
-    """Scaling study; ``mode`` accepted for driver uniformity."""
+    """Scaling study; ``mode`` accepted for driver uniformity.
+
+    ``executor`` / ``cache`` run every per-circuit campaign through the
+    campaign engine (parallel and/or resumable); results are identical.
+    """
     report = ExperimentReport(
         experiment_id="E-SC",
         title="Scaling study - the full flow on the circuit library",
@@ -132,7 +144,7 @@ def run(
 
     rows: List[list] = []
     for bench in benches:
-        outcome = analyze_circuit(bench)
+        outcome = analyze_circuit(bench, executor=executor, cache=cache)
         matrix = outcome["matrix"]
         result = outcome["optimized"]
         greedy = outcome["strategies"]["greedy"]

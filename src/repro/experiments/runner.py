@@ -7,6 +7,7 @@ what ``examples/full_reproduction.py`` wraps.
 
 from __future__ import annotations
 
+import inspect
 from typing import List, Optional
 
 from ..reporting.report import ExperimentReport, render_reports
@@ -46,6 +47,22 @@ DRIVERS = (
 )
 
 
+def _accepts_scenario(driver) -> bool:
+    """Whether a driver's ``run`` takes the shared paper scenario.
+
+    Structural drivers (Tables 1 and 3) regenerate the published
+    configuration tables and take only a mode.  Inspecting the signature
+    — rather than probing with a ``try/except TypeError`` — keeps
+    genuine ``TypeError``\\ s raised *inside* a driver from being
+    silently re-dispatched or swallowed.
+    """
+    try:
+        signature = inspect.signature(driver.run)
+    except (TypeError, ValueError):
+        return True
+    return "scenario" in signature.parameters
+
+
 def run_paper_experiments(
     modes=MODES, scenario: Optional[PaperScenario] = None
 ) -> List[ExperimentReport]:
@@ -53,21 +70,30 @@ def run_paper_experiments(
     scenario = scenario or default_scenario()
     reports: List[ExperimentReport] = []
     for driver in DRIVERS:
+        takes_scenario = _accepts_scenario(driver)
         for mode in modes:
-            try:
+            if takes_scenario:
                 reports.append(driver.run(mode, scenario=scenario))
-            except TypeError:
-                # structural drivers (Tables 1 and 3) take no scenario
+            else:
                 reports.append(driver.run(mode))
-                break
     return reports
 
 
-def run_all(include_scaling: bool = True, include_ablations: bool = True):
-    """The complete reproduction run."""
+def run_all(
+    include_scaling: bool = True,
+    include_ablations: bool = True,
+    executor=None,
+    cache=None,
+):
+    """The complete reproduction run.
+
+    ``executor`` / ``cache`` route the scaling study's fault-simulation
+    campaigns through the campaign engine (see :mod:`repro.campaign`) —
+    parallel and resumable without changing any result.
+    """
     reports = run_paper_experiments()
     if include_scaling:
-        reports.append(exp_scaling.run())
+        reports.append(exp_scaling.run(executor=executor, cache=cache))
     if include_ablations:
         reports.extend(exp_ablations.run())
         reports.append(exp_epsilon.run())

@@ -193,11 +193,79 @@ def _sweep_with_updates(
     return nominal, faulty
 
 
+def simulate_configuration_fast(
+    circuit: Circuit,
+    output: Optional[str],
+    faults: Sequence[Fault],
+    labels: Sequence[str],
+    setup: SimulationSetup,
+) -> Tuple[FrequencyResponse, Dict[str, "DetectabilityResult"], int]:
+    """One configuration's campaign share through the rank-1 fast path.
+
+    Returns ``(nominal_response, {label: result}, n_solves)``; faults
+    outside the rank-1 class fall back to per-fault exact sweeps.  Both
+    :func:`simulate_faults_fast` and the campaign engine's ``"fast"``
+    work units run through here.
+    """
+    if output is None:
+        raise AnalysisError("no output node designated")
+    grid = setup.grid
+    frequencies = grid.frequencies_hz
+    omega = 2.0 * np.pi * frequencies
+
+    rank1: List[Tuple[str, Tuple[str, str, np.ndarray]]] = []
+    slow: List[Tuple[Fault, str]] = []
+    for fault, label in zip(faults, labels):
+        change = _admittance_change(fault, circuit, omega)
+        if change is None:
+            slow.append((fault, label))
+        else:
+            rank1.append((label, change))
+
+    nominal_values, faulty_values = _sweep_with_updates(
+        circuit, output, frequencies, rank1
+    )
+    n_solves = 1
+    nominal_response = FrequencyResponse(
+        grid=grid,
+        values=nominal_values,
+        label=f"{circuit.title}:V({output})",
+    )
+
+    results: Dict[str, "DetectabilityResult"] = {}
+    for label, values in faulty_values.items():
+        faulty_response = FrequencyResponse(grid=grid, values=values)
+        results[label] = evaluate_detectability(
+            nominal_response,
+            faulty_response,
+            setup.epsilon,
+            setup.criterion,
+        )
+    for fault, label in slow:
+        from ..analysis.ac import ac_analysis
+
+        faulty_response = ac_analysis(
+            fault.apply(circuit), grid, output=output
+        )
+        n_solves += 1
+        results[label] = evaluate_detectability(
+            nominal_response,
+            faulty_response,
+            setup.epsilon,
+            setup.criterion,
+        )
+    return nominal_response, results, n_solves
+
+
 def simulate_faults_fast(
     mcc: MultiConfigurationCircuit,
     faults: Sequence[Fault],
     setup: SimulationSetup,
     configs: Optional[Sequence[Configuration]] = None,
+    executor=None,
+    cache=None,
+    telemetry=None,
+    chunk_size: Optional[int] = None,
 ) -> DetectabilityDataset:
     """Drop-in fast variant of :func:`~repro.faults.simulator.simulate_faults`.
 
@@ -206,7 +274,31 @@ def simulate_faults_fast(
     through ordinary per-fault sweeps.  ``n_solves`` counts effective
     full solves (1 per configuration + 1 per non-rank-1 fault), showing
     the saving against the standard engine's ``configs × (faults + 1)``.
+
+    Passing any of ``executor`` / ``cache`` / ``telemetry`` /
+    ``chunk_size`` routes the run through the campaign engine (see
+    :mod:`repro.campaign`) with ``engine="fast"``.
     """
+    if (
+        executor is not None
+        or cache is not None
+        or telemetry is not None
+        or chunk_size is not None
+    ):
+        from ..campaign import run_campaign
+
+        return run_campaign(
+            mcc,
+            faults,
+            setup,
+            configs=configs,
+            engine="fast",
+            chunk_size=chunk_size,
+            executor=executor,
+            cache=cache,
+            telemetry=telemetry,
+        )
+
     check_unique_names(faults)
     if configs is None:
         configs = mcc.configurations(
@@ -223,9 +315,6 @@ def simulate_faults_fast(
             "fault labels collide; use fault_name_style='full'"
         )
 
-    grid = setup.grid
-    frequencies = grid.frequencies_hz
-    omega = 2.0 * np.pi * frequencies
     nominal: Dict[int, FrequencyResponse] = {}
     results = {}
     n_solves = 0
@@ -233,50 +322,15 @@ def simulate_faults_fast(
     for config in configs:
         emulated = mcc.emulate(config)
         output = setup.output or emulated.output or mcc.base.output
-        if output is None:
-            raise AnalysisError("no output node designated")
-
-        rank1: List[Tuple[str, Tuple[str, str, np.ndarray]]] = []
-        slow: List[Tuple[Fault, str]] = []
-        for fault, label in zip(faults, labels):
-            change = _admittance_change(fault, emulated, omega)
-            if change is None:
-                slow.append((fault, label))
-            else:
-                rank1.append((label, change))
-
-        nominal_values, faulty_values = _sweep_with_updates(
-            emulated, output, frequencies, rank1
-        )
-        n_solves += 1
-        nominal_response = FrequencyResponse(
-            grid=grid,
-            values=nominal_values,
-            label=f"{emulated.title}:V({output})",
+        nominal_response, config_results, config_solves = (
+            simulate_configuration_fast(
+                emulated, output, faults, labels, setup
+            )
         )
         nominal[config.index] = nominal_response
-
-        for label, values in faulty_values.items():
-            faulty_response = FrequencyResponse(grid=grid, values=values)
-            results[(config.index, label)] = evaluate_detectability(
-                nominal_response,
-                faulty_response,
-                setup.epsilon,
-                setup.criterion,
-            )
-        for fault, label in slow:
-            from ..analysis.ac import ac_analysis
-
-            faulty_response = ac_analysis(
-                fault.apply(emulated), grid, output=output
-            )
-            n_solves += 1
-            results[(config.index, label)] = evaluate_detectability(
-                nominal_response,
-                faulty_response,
-                setup.epsilon,
-                setup.criterion,
-            )
+        n_solves += config_solves
+        for label, result in config_results.items():
+            results[(config.index, label)] = result
 
     return DetectabilityDataset(
         configs=tuple(configs),

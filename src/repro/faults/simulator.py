@@ -180,11 +180,47 @@ class DetectabilityDataset:
         )
 
 
+def simulate_configuration(
+    circuit,
+    output: Optional[str],
+    faults: Sequence[Fault],
+    labels: Sequence[str],
+    setup: SimulationSetup,
+) -> Tuple[FrequencyResponse, Dict[str, DetectabilityResult], int]:
+    """One configuration's share of a campaign: nominal + per-fault sweeps.
+
+    Returns ``(nominal_response, {label: result}, n_solves)``.  This is
+    the work performed per configuration by :func:`simulate_faults` and
+    per work unit by the campaign engine — keeping both paths on the
+    same code guarantees bit-identical results.
+    """
+    nominal_response = ac_analysis(circuit, setup.grid, output=output)
+    n_solves = 1
+    results: Dict[str, DetectabilityResult] = {}
+    for fault, label in zip(faults, labels):
+        faulty_circuit = fault.apply(circuit)
+        faulty_response = ac_analysis(
+            faulty_circuit, setup.grid, output=output
+        )
+        n_solves += 1
+        results[label] = evaluate_detectability(
+            nominal_response,
+            faulty_response,
+            setup.epsilon,
+            setup.criterion,
+        )
+    return nominal_response, results, n_solves
+
+
 def simulate_faults(
     mcc: MultiConfigurationCircuit,
     faults: Sequence[Fault],
     setup: SimulationSetup,
     configs: Optional[Sequence[Configuration]] = None,
+    executor=None,
+    cache=None,
+    telemetry=None,
+    chunk_size: Optional[int] = None,
 ) -> DetectabilityDataset:
     """Run the full fault × configuration campaign.
 
@@ -200,7 +236,33 @@ def simulate_faults(
         Configurations to simulate; defaults to every configuration the
         DFT can emulate except the transparent one (the paper's
         ``C0 … C6`` for the 3-opamp biquad).
+    executor, cache, telemetry, chunk_size:
+        Campaign-engine controls (see :mod:`repro.campaign`).  Passing
+        any of them routes the run through the campaign engine —
+        planned, parallelisable, resumable and observable — producing a
+        bit-identical dataset.  All ``None`` (the default) keeps the
+        historical in-process loop.
     """
+    if (
+        executor is not None
+        or cache is not None
+        or telemetry is not None
+        or chunk_size is not None
+    ):
+        from ..campaign import run_campaign
+
+        return run_campaign(
+            mcc,
+            faults,
+            setup,
+            configs=configs,
+            engine="standard",
+            chunk_size=chunk_size,
+            executor=executor,
+            cache=cache,
+            telemetry=telemetry,
+        )
+
     check_unique_names(faults)
     if configs is None:
         configs = mcc.configurations(
@@ -228,21 +290,13 @@ def simulate_faults(
         # circuit's own output (parasitics may move it to the external
         # pin), then the base circuit's.
         output = setup.output or emulated.output or mcc.base.output
-        nominal_response = ac_analysis(emulated, setup.grid, output=output)
+        nominal_response, config_results, config_solves = (
+            simulate_configuration(emulated, output, faults, labels, setup)
+        )
         nominal[config.index] = nominal_response
-        n_solves += 1
-        for fault, label in zip(faults, labels):
-            faulty_circuit = fault.apply(emulated)
-            faulty_response = ac_analysis(
-                faulty_circuit, setup.grid, output=output
-            )
-            n_solves += 1
-            results[(config.index, label)] = evaluate_detectability(
-                nominal_response,
-                faulty_response,
-                setup.epsilon,
-                setup.criterion,
-            )
+        n_solves += config_solves
+        for label, result in config_results.items():
+            results[(config.index, label)] = result
 
     return DetectabilityDataset(
         configs=tuple(configs),

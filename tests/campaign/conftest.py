@@ -1,0 +1,34 @@
+"""Shared fixtures for the campaign-engine tests.
+
+A deliberately light grid keeps each full biquad campaign around 100 ms
+so the parity matrix (executors × chunkings × engines) stays cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import decade_grid
+from repro.circuits import benchmark_biquad
+from repro.faults import SimulationSetup, deviation_faults
+
+
+@pytest.fixture(scope="module")
+def campaign_bench():
+    return benchmark_biquad()
+
+
+@pytest.fixture(scope="module")
+def campaign_mcc(campaign_bench):
+    return campaign_bench.dft()
+
+
+@pytest.fixture(scope="module")
+def campaign_faults(campaign_bench):
+    return deviation_faults(campaign_bench.circuit, 0.20)
+
+
+@pytest.fixture(scope="module")
+def campaign_setup(campaign_bench):
+    grid = decade_grid(campaign_bench.f0_hz, 2, 2, points_per_decade=20)
+    return SimulationSetup(grid=grid)

@@ -1,0 +1,221 @@
+"""Cache correctness: key stability, invalidation, corruption recovery."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis import decade_grid
+from repro.campaign import (
+    CampaignTelemetry,
+    ResultCache,
+    UnitResult,
+    plan_campaign,
+    run_campaign,
+)
+from repro.faults import SimulationSetup
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestStore:
+    def test_roundtrip(
+        self, cache, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        dataset = run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, cache=cache
+        )
+        plan = plan_campaign(
+            campaign_mcc, campaign_faults, campaign_setup
+        )
+        for unit in plan.units:
+            stored = cache.get(unit.key)
+            assert isinstance(stored, UnitResult)
+            assert stored.key == unit.key
+            assert set(stored.results) == set(unit.labels)
+        assert cache.writes == plan.n_units
+        assert dataset.n_solves > 0
+
+    def test_missing_key_is_a_miss(self, cache):
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1
+
+    def test_clear(self, cache, campaign_mcc, campaign_faults, campaign_setup):
+        run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, cache=cache
+        )
+        assert len(cache) == 7
+        assert cache.clear() == 7
+        assert len(cache) == 0
+
+
+class TestResume:
+    def test_warm_rerun_is_all_hits_and_zero_solves(
+        self, cache, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        cold = run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, cache=cache
+        )
+        telemetry = CampaignTelemetry()
+        warm = run_campaign(
+            campaign_mcc,
+            campaign_faults,
+            campaign_setup,
+            cache=cache,
+            telemetry=telemetry,
+        )
+        assert warm.n_solves == 0
+        counters = telemetry.counters
+        assert counters["cache_hits"] == counters["units_total"] == 7
+        assert counters["solves"] == 0
+        assert np.array_equal(
+            warm.detectability_matrix().data,
+            cold.detectability_matrix().data,
+        )
+        assert np.array_equal(
+            warm.omega_table().data, cold.omega_table().data
+        )
+
+    def test_partial_resume_after_interruption(
+        self, cache, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        """Only the configurations missing from the cache re-simulate."""
+        configs = campaign_mcc.configurations(
+            include_functional=True, include_transparent=False
+        )
+        run_campaign(
+            campaign_mcc,
+            campaign_faults,
+            campaign_setup,
+            configs=configs[:3],
+            cache=cache,
+        )
+        telemetry = CampaignTelemetry()
+        full = run_campaign(
+            campaign_mcc,
+            campaign_faults,
+            campaign_setup,
+            configs=configs,
+            cache=cache,
+            telemetry=telemetry,
+        )
+        assert telemetry.counters["cache_hits"] == 3
+        assert telemetry.counters["solves"] == full.n_solves
+        expected = (len(configs) - 3) * (len(campaign_faults) + 1)
+        assert full.n_solves == expected
+
+    def test_epsilon_change_invalidates(
+        self, cache, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, cache=cache
+        )
+        tighter = SimulationSetup(
+            grid=campaign_setup.grid, epsilon=0.05
+        )
+        telemetry = CampaignTelemetry()
+        run_campaign(
+            campaign_mcc,
+            campaign_faults,
+            tighter,
+            cache=cache,
+            telemetry=telemetry,
+        )
+        assert telemetry.counters["cache_hits"] == 0
+
+    def test_grid_change_invalidates(
+        self,
+        cache,
+        campaign_mcc,
+        campaign_faults,
+        campaign_setup,
+        campaign_bench,
+    ):
+        run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, cache=cache
+        )
+        denser = SimulationSetup(
+            grid=decade_grid(
+                campaign_bench.f0_hz, 2, 2, points_per_decade=25
+            )
+        )
+        telemetry = CampaignTelemetry()
+        run_campaign(
+            campaign_mcc,
+            campaign_faults,
+            denser,
+            cache=cache,
+            telemetry=telemetry,
+        )
+        assert telemetry.counters["cache_hits"] == 0
+
+
+class TestCorruption:
+    def _any_entry(self, cache):
+        paths = sorted(cache.directory.glob("*/*.pkl"))
+        assert paths
+        return paths[0]
+
+    def test_truncated_entry_is_a_miss_not_a_crash(
+        self, cache, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        baseline = run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, cache=cache
+        )
+        self._any_entry(cache).write_bytes(b"\x80\x04 not a pickle")
+        telemetry = CampaignTelemetry()
+        recovered = run_campaign(
+            campaign_mcc,
+            campaign_faults,
+            campaign_setup,
+            cache=cache,
+            telemetry=telemetry,
+        )
+        assert telemetry.counters["cache_hits"] == 6
+        assert cache.corrupt == 1
+        assert np.array_equal(
+            recovered.detectability_matrix().data,
+            baseline.detectability_matrix().data,
+        )
+
+    def test_wrong_payload_type_is_a_miss(
+        self, cache, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, cache=cache
+        )
+        path = self._any_entry(cache)
+        path.write_bytes(pickle.dumps({"not": "a unit result"}))
+        key = path.stem
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        # the corrupted entry was evicted
+        assert not path.exists()
+
+    def test_key_mismatch_is_a_miss(
+        self, cache, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, cache=cache
+        )
+        paths = sorted(cache.directory.glob("*/*.pkl"))
+        first, second = paths[0], paths[1]
+        second.write_bytes(first.read_bytes())
+        assert cache.get(second.stem) is None
+        assert cache.corrupt == 1
+
+    def test_unreadable_entry_is_a_miss(
+        self, cache, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        """A directory squatting on the entry path cannot crash a get."""
+        run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, cache=cache
+        )
+        path = self._any_entry(cache)
+        key = path.stem
+        path.unlink()
+        path.mkdir()
+        assert cache.get(key) is None

@@ -1,0 +1,183 @@
+"""Executor behaviour: retries, failures, and graceful degradation."""
+
+import concurrent.futures
+
+import pytest
+
+from repro.campaign import (
+    ParallelExecutor,
+    SerialExecutor,
+    plan_campaign,
+    run_campaign,
+)
+from repro.campaign import executor as executor_module
+from repro.errors import CampaignError
+
+
+@pytest.fixture
+def plan(campaign_mcc, campaign_faults, campaign_setup):
+    return plan_campaign(campaign_mcc, campaign_faults, campaign_setup)
+
+
+class FlakyWorker:
+    """Fails the first ``n_failures`` calls, then delegates to the real
+    worker."""
+
+    def __init__(self, n_failures):
+        self.n_failures = n_failures
+        self.calls = 0
+
+    def __call__(self, unit):
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise RuntimeError("transient failure")
+        return self._real(unit)
+
+    @staticmethod
+    def _real(unit):
+        from repro.faults.simulator import simulate_configuration
+
+        nominal, results, n_solves = simulate_configuration(
+            unit.circuit, unit.output, unit.faults, unit.labels, unit.setup
+        )
+        return executor_module.UnitResult(
+            key=unit.key,
+            unit_id=unit.unit_id,
+            config_index=unit.config_index,
+            nominal=nominal,
+            results=results,
+            n_solves=n_solves,
+        )
+
+
+class TestSerialExecutor:
+    def test_executes_in_plan_order(self, plan):
+        outcomes = SerialExecutor().execute(plan.units)
+        assert [o.unit.unit_id for o in outcomes] == [
+            u.unit_id for u in plan.units
+        ]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_retry_heals_a_transient_failure(self, plan, monkeypatch):
+        flaky = FlakyWorker(n_failures=1)
+        monkeypatch.setattr(executor_module, "execute_unit", flaky)
+        outcomes = SerialExecutor(retries=1).execute(plan.units[:2])
+        assert all(o.ok for o in outcomes)
+        assert outcomes[0].attempts == 2  # failed once, then healed
+        assert outcomes[1].attempts == 1
+
+    def test_exhausted_retries_report_the_error(self, plan, monkeypatch):
+        flaky = FlakyWorker(n_failures=100)
+        monkeypatch.setattr(executor_module, "execute_unit", flaky)
+        outcomes = SerialExecutor(retries=1).execute(plan.units[:1])
+        assert not outcomes[0].ok
+        assert isinstance(outcomes[0].error, RuntimeError)
+        assert outcomes[0].attempts == 2
+
+    def test_engine_raises_campaign_error_on_failure(
+        self, campaign_mcc, campaign_faults, campaign_setup, monkeypatch
+    ):
+        monkeypatch.setattr(
+            executor_module, "execute_unit", FlakyWorker(n_failures=100)
+        )
+        with pytest.raises(CampaignError) as excinfo:
+            run_campaign(
+                campaign_mcc,
+                campaign_faults,
+                campaign_setup,
+                executor=SerialExecutor(),
+            )
+        assert "work unit(s) failed" in str(excinfo.value)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            SerialExecutor(retries=-1)
+
+
+class TestParallelExecutor:
+    def test_defaults(self):
+        executor = ParallelExecutor()
+        assert executor.jobs >= 1
+        assert executor.name == "parallel"
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+
+    def test_empty_unit_list(self):
+        assert ParallelExecutor(jobs=2).execute([]) == []
+
+    def test_degrades_to_serial_when_pool_unavailable(
+        self, plan, monkeypatch
+    ):
+        """If the platform cannot host a process pool, the campaign still
+        completes — every unit runs serially in the parent."""
+
+        def refuse(*args, **kwargs):
+            raise OSError("no fork for you")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", refuse
+        )
+        outcomes = ParallelExecutor(jobs=2).execute(plan.units[:3])
+        assert all(o.ok for o in outcomes)
+        assert all(o.degraded for o in outcomes)
+
+    def test_worker_exception_falls_back_to_parent(self, plan):
+        """A unit whose worker raises is retried serially in the parent.
+
+        The fork start method shares the parent's (monkeypatched) module
+        state, so poisoning a specific unit in a subclass exercises the
+        fallback deterministically.
+        """
+
+        class Poisoned(ParallelExecutor):
+            def _harvest(self, unit, future):
+                if unit.unit_id == "C0#0":
+                    # simulate the worker's crash for this unit
+                    poisoned = concurrent.futures.Future()
+                    poisoned.set_exception(RuntimeError("worker died"))
+                    return super()._harvest(unit, poisoned)
+                return super()._harvest(unit, future)
+
+        outcomes = Poisoned(jobs=2, retries=1).execute(plan.units[:3])
+        assert all(o.ok for o in outcomes)
+        degraded = {o.unit.unit_id: o.degraded for o in outcomes}
+        assert degraded["C0#0"] is True
+        assert degraded["C2#0"] is False
+
+    def test_zero_retries_surface_worker_error(self, plan):
+        class Poisoned(ParallelExecutor):
+            def _harvest(self, unit, future):
+                poisoned = concurrent.futures.Future()
+                poisoned.set_exception(RuntimeError("worker died"))
+                return super()._harvest(unit, poisoned)
+
+        outcomes = Poisoned(jobs=2, retries=0).execute(plan.units[:1])
+        assert not outcomes[0].ok
+        assert isinstance(outcomes[0].error, RuntimeError)
+
+    def test_broken_pool_degrades_remaining_units(self, plan):
+        class Broken(ParallelExecutor):
+            def _harvest(self, unit, future):
+                future.cancel()
+                broken = concurrent.futures.Future()
+                broken.set_exception(
+                    concurrent.futures.process.BrokenProcessPool(
+                        "pool collapsed"
+                    )
+                )
+                return super()._harvest(unit, broken)
+
+        outcomes = Broken(jobs=2, retries=1).execute(plan.units[:3])
+        assert all(o.ok for o in outcomes)
+        assert all(o.degraded for o in outcomes)
+
+    def test_callback_sees_every_outcome(self, plan):
+        seen = []
+        ParallelExecutor(jobs=2).execute(
+            plan.units[:3], callback=seen.append
+        )
+        assert [o.unit.unit_id for o in seen] == [
+            u.unit_id for u in plan.units[:3]
+        ]

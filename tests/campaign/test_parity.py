@@ -1,0 +1,182 @@
+"""Determinism guard: campaign results are independent of the executor
+and of the chunking, bit for bit.
+
+The detectability matrix and the ω-detectability table drive every
+downstream algorithm (covering, optimization, test-program synthesis),
+so the parallel path and any chunk size must reproduce the serial
+engine's output exactly — not approximately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    ParallelExecutor,
+    SerialExecutor,
+    run_campaign,
+)
+from repro.faults import simulate_faults, simulate_faults_fast
+
+
+def _tables(dataset):
+    return (
+        dataset.detectability_matrix().data,
+        dataset.omega_table().data,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_dataset(campaign_mcc, campaign_faults, campaign_setup):
+    return run_campaign(
+        campaign_mcc,
+        campaign_faults,
+        campaign_setup,
+        executor=SerialExecutor(),
+    )
+
+
+class TestExecutorParity:
+    def test_campaign_serial_matches_legacy_loop(
+        self, campaign_mcc, campaign_faults, campaign_setup, serial_dataset
+    ):
+        legacy = simulate_faults(
+            campaign_mcc, campaign_faults, campaign_setup
+        )
+        for ours, theirs in zip(_tables(serial_dataset), _tables(legacy)):
+            assert np.array_equal(ours, theirs)
+        assert serial_dataset.n_solves == legacy.n_solves
+        assert serial_dataset.fault_labels == legacy.fault_labels
+        assert serial_dataset.config_labels == legacy.config_labels
+
+    def test_parallel_bit_identical_to_serial(
+        self, campaign_mcc, campaign_faults, campaign_setup, serial_dataset
+    ):
+        parallel = run_campaign(
+            campaign_mcc,
+            campaign_faults,
+            campaign_setup,
+            executor=ParallelExecutor(jobs=2),
+        )
+        for ours, theirs in zip(_tables(parallel), _tables(serial_dataset)):
+            assert np.array_equal(ours, theirs)
+        assert parallel.n_solves == serial_dataset.n_solves
+
+    def test_parallel_spawn_start_method(
+        self, campaign_mcc, campaign_faults, campaign_setup, serial_dataset
+    ):
+        """Spawned workers (macOS/Windows default) agree bit for bit."""
+        spawned = run_campaign(
+            campaign_mcc,
+            campaign_faults,
+            campaign_setup,
+            executor=ParallelExecutor(jobs=2, start_method="spawn"),
+        )
+        for ours, theirs in zip(_tables(spawned), _tables(serial_dataset)):
+            assert np.array_equal(ours, theirs)
+
+
+class TestChunkingParity:
+    @pytest.mark.parametrize("chunk_size", [1, 3])
+    def test_chunked_bit_identical(
+        self,
+        campaign_mcc,
+        campaign_faults,
+        campaign_setup,
+        serial_dataset,
+        chunk_size,
+    ):
+        chunked = run_campaign(
+            campaign_mcc,
+            campaign_faults,
+            campaign_setup,
+            chunk_size=chunk_size,
+        )
+        for ours, theirs in zip(_tables(chunked), _tables(serial_dataset)):
+            assert np.array_equal(ours, theirs)
+
+    def test_chunked_parallel_bit_identical(
+        self, campaign_mcc, campaign_faults, campaign_setup, serial_dataset
+    ):
+        both = run_campaign(
+            campaign_mcc,
+            campaign_faults,
+            campaign_setup,
+            chunk_size=2,
+            executor=ParallelExecutor(jobs=2),
+        )
+        for ours, theirs in zip(_tables(both), _tables(serial_dataset)):
+            assert np.array_equal(ours, theirs)
+
+
+class TestFastEngineParity:
+    def test_fast_campaign_matches_legacy_fast(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        legacy = simulate_faults_fast(
+            campaign_mcc, campaign_faults, campaign_setup
+        )
+        campaign = run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, engine="fast"
+        )
+        for ours, theirs in zip(_tables(campaign), _tables(legacy)):
+            assert np.array_equal(ours, theirs)
+        assert campaign.n_solves == legacy.n_solves
+
+    def test_fast_chunked_bit_identical(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        whole = run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, engine="fast"
+        )
+        chunked = run_campaign(
+            campaign_mcc,
+            campaign_faults,
+            campaign_setup,
+            engine="fast",
+            chunk_size=1,
+        )
+        for ours, theirs in zip(_tables(chunked), _tables(whole)):
+            assert np.array_equal(ours, theirs)
+
+    def test_fast_agrees_with_standard_matrix(
+        self, campaign_mcc, campaign_faults, campaign_setup, serial_dataset
+    ):
+        fast = run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, engine="fast"
+        )
+        assert np.array_equal(
+            fast.detectability_matrix().data,
+            serial_dataset.detectability_matrix().data,
+        )
+        assert np.allclose(
+            fast.omega_table().data, serial_dataset.omega_table().data
+        )
+
+
+class TestSimulatorRouting:
+    def test_simulate_faults_accepts_executor(
+        self, campaign_mcc, campaign_faults, campaign_setup, serial_dataset
+    ):
+        routed = simulate_faults(
+            campaign_mcc,
+            campaign_faults,
+            campaign_setup,
+            executor=SerialExecutor(),
+        )
+        for ours, theirs in zip(_tables(routed), _tables(serial_dataset)):
+            assert np.array_equal(ours, theirs)
+
+    def test_simulate_faults_fast_accepts_executor(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        legacy = simulate_faults_fast(
+            campaign_mcc, campaign_faults, campaign_setup
+        )
+        routed = simulate_faults_fast(
+            campaign_mcc,
+            campaign_faults,
+            campaign_setup,
+            executor=SerialExecutor(),
+        )
+        for ours, theirs in zip(_tables(routed), _tables(legacy)):
+            assert np.array_equal(ours, theirs)

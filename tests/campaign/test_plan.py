@@ -1,0 +1,182 @@
+"""Planner tests: determinism, content-hash stability and invalidation."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import decade_grid
+from repro.campaign import plan_campaign
+from repro.errors import CampaignError
+from repro.faults import DeviationFault, SimulationSetup, deviation_faults
+
+
+class TestDecomposition:
+    def test_default_one_unit_per_configuration(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        plan = plan_campaign(campaign_mcc, campaign_faults, campaign_setup)
+        assert plan.n_units == plan.n_configs == 7
+        assert plan.n_faults == len(campaign_faults)
+        assert all(u.n_faults == plan.n_faults for u in plan.units)
+
+    def test_chunked_decomposition(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        plan = plan_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, chunk_size=3
+        )
+        # 8 faults in chunks of 3 -> 3 chunks per configuration
+        assert plan.n_units == 7 * 3
+        # chunks of one configuration cover the fault list exactly once
+        c0 = [u for u in plan.units if u.config_label == "C0"]
+        covered = [label for unit in c0 for label in unit.labels]
+        assert covered == list(plan.fault_labels)
+
+    def test_chunk_size_one(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        plan = plan_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, chunk_size=1
+        )
+        assert plan.n_units == 7 * len(campaign_faults)
+        assert all(u.n_faults == 1 for u in plan.units)
+
+    def test_unit_ids_unique_and_ordered(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        plan = plan_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, chunk_size=2
+        )
+        ids = [u.unit_id for u in plan.units]
+        assert len(set(ids)) == len(ids)
+        assert ids[0] == "C0#0"
+
+    def test_bad_engine_rejected(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        with pytest.raises(CampaignError):
+            plan_campaign(
+                campaign_mcc,
+                campaign_faults,
+                campaign_setup,
+                engine="warp",
+            )
+
+    def test_bad_chunk_rejected(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        with pytest.raises(CampaignError):
+            plan_campaign(
+                campaign_mcc,
+                campaign_faults,
+                campaign_setup,
+                chunk_size=0,
+            )
+
+
+class TestKeys:
+    def test_replanning_is_deterministic(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        plan_a = plan_campaign(
+            campaign_mcc, campaign_faults, campaign_setup
+        )
+        plan_b = plan_campaign(
+            campaign_mcc, campaign_faults, campaign_setup
+        )
+        assert plan_a.keys == plan_b.keys
+
+    def test_keys_unique_within_plan(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        plan = plan_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, chunk_size=1
+        )
+        assert len(set(plan.keys)) == plan.n_units
+
+    def test_epsilon_changes_every_key(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        base = plan_campaign(campaign_mcc, campaign_faults, campaign_setup)
+        tweaked = SimulationSetup(
+            grid=campaign_setup.grid, epsilon=0.05
+        )
+        other = plan_campaign(campaign_mcc, campaign_faults, tweaked)
+        assert not set(base.keys) & set(other.keys)
+
+    def test_grid_changes_every_key(
+        self, campaign_mcc, campaign_faults, campaign_setup, campaign_bench
+    ):
+        base = plan_campaign(campaign_mcc, campaign_faults, campaign_setup)
+        tweaked = SimulationSetup(
+            grid=decade_grid(
+                campaign_bench.f0_hz, 2, 2, points_per_decade=21
+            )
+        )
+        other = plan_campaign(campaign_mcc, campaign_faults, tweaked)
+        assert not set(base.keys) & set(other.keys)
+
+    def test_fault_value_changes_its_key_only(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        base = plan_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, chunk_size=1
+        )
+        mutated = [
+            DeviationFault(f.target, 0.30) if f.target == "R1" else f
+            for f in campaign_faults
+        ]
+        other = plan_campaign(
+            campaign_mcc, mutated, campaign_setup, chunk_size=1
+        )
+        changed = [
+            (a.unit_id, a.key != b.key)
+            for a, b in zip(base.units, other.units)
+        ]
+        flipped = [unit_id for unit_id, diff in changed if diff]
+        # exactly the fR1 unit of each configuration is invalidated
+        assert len(flipped) == 7
+        assert all(
+            base.units[i].labels == ("fR1",)
+            for i, (unit_id, diff) in enumerate(changed)
+            if diff
+        )
+
+    def test_engine_is_part_of_the_key(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        standard = plan_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, engine="standard"
+        )
+        fast = plan_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, engine="fast"
+        )
+        assert not set(standard.keys) & set(fast.keys)
+
+    def test_keys_stable_across_processes(
+        self, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        """The same plan computed in a fresh interpreter hashes the same."""
+        plan = plan_campaign(campaign_mcc, campaign_faults, campaign_setup)
+        script = (
+            "from repro.circuits import benchmark_biquad\n"
+            "from repro.analysis import decade_grid\n"
+            "from repro.faults import SimulationSetup, deviation_faults\n"
+            "from repro.campaign import plan_campaign\n"
+            "bench = benchmark_biquad()\n"
+            "plan = plan_campaign(\n"
+            "    bench.dft(),\n"
+            "    deviation_faults(bench.circuit, 0.20),\n"
+            "    SimulationSetup(grid=decade_grid(\n"
+            "        bench.f0_hz, 2, 2, points_per_decade=20)),\n"
+            ")\n"
+            "print('\\n'.join(plan.keys))\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert tuple(completed.stdout.split()) == plan.keys

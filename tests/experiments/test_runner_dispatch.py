@@ -1,0 +1,94 @@
+"""Runner dispatch: scenario detection must not eat driver errors.
+
+The historical ``try: driver.run(mode, scenario=...) except TypeError``
+probe had two bugs: a genuine ``TypeError`` raised *inside* a driver was
+silently re-dispatched to the scenario-less call, and the ``break``
+after a structural driver skipped its remaining modes.  The runner now
+inspects signatures instead; these tests pin both behaviours with stub
+drivers (no simulation cost).
+"""
+
+import types
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.paper import MODES
+
+
+def driver_stub(run):
+    module = types.SimpleNamespace()
+    module.run = run
+    return module
+
+
+def scenario_driver(calls):
+    def run(mode, scenario=None):
+        calls.append((mode, scenario is not None))
+        return f"report-{mode}"
+
+    return driver_stub(run)
+
+
+def structural_driver(calls):
+    def run(mode="published"):
+        calls.append(mode)
+        return f"structural-{mode}"
+
+    return driver_stub(run)
+
+
+class TestAcceptsScenario:
+    def test_detects_scenario_parameter(self):
+        assert runner._accepts_scenario(scenario_driver([])) is True
+
+    def test_detects_structural_driver(self):
+        assert runner._accepts_scenario(structural_driver([])) is False
+
+    def test_uninspectable_driver_defaults_to_scenario(self):
+        # builtins have no retrievable signature on some platforms
+        module = types.SimpleNamespace(run=len)
+        assert runner._accepts_scenario(module) in (True, False)
+
+
+class TestDispatch:
+    def test_structural_drivers_run_every_mode(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            runner, "DRIVERS", (structural_driver(calls),)
+        )
+        reports = runner.run_paper_experiments(scenario=object())
+        assert calls == list(MODES)
+        assert len(reports) == len(MODES)
+
+    def test_scenario_drivers_receive_the_scenario(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(runner, "DRIVERS", (scenario_driver(calls),))
+        runner.run_paper_experiments(scenario=object())
+        assert calls == [(mode, True) for mode in MODES]
+
+    def test_mixed_drivers_produce_full_report_matrix(self, monkeypatch):
+        scenario_calls, structural_calls = [], []
+        monkeypatch.setattr(
+            runner,
+            "DRIVERS",
+            (
+                scenario_driver(scenario_calls),
+                structural_driver(structural_calls),
+                scenario_driver(scenario_calls),
+            ),
+        )
+        reports = runner.run_paper_experiments(scenario=object())
+        assert len(reports) == 3 * len(MODES)
+        assert structural_calls == list(MODES)
+
+    def test_internal_type_error_propagates(self, monkeypatch):
+        """A TypeError raised inside a driver must surface, not be
+        silently retried without the scenario."""
+
+        def run(mode, scenario=None):
+            raise TypeError("genuine bug inside the driver")
+
+        monkeypatch.setattr(runner, "DRIVERS", (driver_stub(run),))
+        with pytest.raises(TypeError, match="genuine bug"):
+            runner.run_paper_experiments(scenario=object())

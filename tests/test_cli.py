@@ -145,3 +145,83 @@ class TestNoise:
         assert main(["noise", netlist_file, "--ppd", "10"]) == 0
         out = capsys.readouterr().out
         assert "uVrms" in out
+
+
+class TestCampaign:
+    def test_catalog_circuit(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "campaign", "biquad", "--ppd", "12",
+                    "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "campaign plan: 7 configuration(s)" in out
+        assert "fault coverage" in out
+        events = [json.loads(line) for line in trace.open()]
+        assert events[0]["event"] == "campaign_start"
+        assert events[-1]["event"] == "campaign_end"
+        assert events[-1]["failures"] == 0
+
+    def test_netlist_file_with_cache_resume(
+        self, netlist_file, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "campaign", netlist_file, "--ppd", "12",
+            "--cache-dir", cache_dir, "--matrix",
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "0 cache hit(s)" in cold
+        assert "Fault detectability matrix" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "7 cache hit(s), 0 AC solve(s)" in warm
+
+    def test_parallel_jobs(self, tmp_path, capsys):
+        assert (
+            main(["campaign", "biquad", "--ppd", "12", "--jobs", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "done: 7/7 units" in out
+
+    def test_chunked_fast_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign", "biquad", "--ppd", "12",
+                    "--engine", "fast", "--chunk", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "28 unit(s)" in out  # 7 configs x ceil(8/2) chunks
+
+    def test_unknown_target(self, capsys):
+        assert main(["campaign", "not-a-circuit"]) == 1
+        assert "neither a netlist" in capsys.readouterr().err
+
+    def test_faultsim_campaign_flags(self, netlist_file, tmp_path, capsys):
+        trace = tmp_path / "fs.jsonl"
+        assert (
+            main(
+                [
+                    "faultsim", netlist_file, "--ppd", "12",
+                    "--jobs", "2", "--cache-dir",
+                    str(tmp_path / "cache"), "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Fault detectability matrix" in out
+        events = [json.loads(line) for line in trace.open()]
+        assert events[0]["jobs"] == 2
+        assert events[-1]["event"] == "campaign_end"

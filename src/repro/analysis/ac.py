@@ -77,8 +77,14 @@ class FrequencyResponse:
 
         The deviation is computed on magnitudes, matching the paper's
         HSPICE magnitude-response comparison.  Points where the nominal
-        magnitude is (numerically) zero yield ``inf`` when the other
-        response differs there and 0 when both vanish.
+        magnitude is *numerically* zero — below machine epsilon times the
+        peak magnitude — yield ``inf`` when the other response carries
+        signal there and 0 when both vanish.  The floor is essential for
+        engine agreement: a magnitude of ``1e-300`` at a transmission
+        zero is pure solver rounding, and dividing by it would turn the
+        differing last bits of two exact-to-rounding engines into an
+        arbitrarily large "relative deviation" (an absolute-noise
+        comparison masquerading as a relative one).
         """
         if other.grid is not self.grid and not np.array_equal(
             other.frequencies_hz, self.frequencies_hz
@@ -89,11 +95,12 @@ class FrequencyResponse:
         nominal = self.magnitude
         faulty = other.magnitude
         delta = np.abs(faulty - nominal)
+        tiny = np.finfo(float).eps * float(np.max(nominal))
         with np.errstate(divide="ignore", invalid="ignore"):
             deviation = np.where(
-                nominal > 0.0,
+                nominal > tiny,
                 delta / nominal,
-                np.where(delta > 0.0, np.inf, 0.0),
+                np.where(delta > tiny, np.inf, 0.0),
             )
         return deviation
 

@@ -71,7 +71,7 @@ def monte_carlo_tolerance(
     components: Optional[Sequence[str]] = None,
     output: Optional[str] = None,
     distribution: str = "uniform",
-    seed: int = 2026,
+    seed: Optional[int] = 2026,
 ) -> ToleranceAnalysis:
     """Sample component values within ``tolerance`` and collect deviations.
 
@@ -91,7 +91,8 @@ def monte_carlo_tolerance(
         ``"uniform"`` over ±tolerance or ``"normal"`` with σ = tolerance/3
         (3-sigma at the tolerance bound).
     seed:
-        PRNG seed — runs are reproducible by default.
+        PRNG seed — runs are reproducible by default; ``None`` draws a
+        fresh :func:`numpy.random.default_rng` stream.
     """
     if tolerance <= 0:
         raise AnalysisError("tolerance must be > 0")

@@ -45,12 +45,25 @@ def circuit_poles(circuit: Circuit, tol: float = 1e-9) -> List[complex]:
         if abs(value) > _INFINITE_THRESHOLD * scale:
             continue
         finite.append(complex(value))
-    finite.sort(key=lambda s: (abs(s), s.imag))
-    # Remove numerically-zero artifacts below tol relative to the largest.
+    # Near-zero eigenvalues are either rounding artifacts or genuine
+    # integrator poles: the pencil has an eigenvalue at exactly s = 0
+    # iff G is singular (e.g. a DFT configuration that opens an
+    # integrator's DC feedback path).  Count G's null directions and
+    # snap that many near-zero candidates to exactly 0; drop the rest.
     if finite:
         largest = max(abs(s) for s in finite)
         if largest > 0:
+            near_zero = sum(
+                1 for s in finite if abs(s) <= tol * largest and s != 0
+            )
             finite = [s for s in finite if abs(s) > tol * largest or s == 0]
+            if near_zero:
+                singular_values = np.linalg.svd(system.G, compute_uv=False)
+                nullity = int(
+                    np.sum(singular_values <= 1e-12 * singular_values[0])
+                )
+                finite.extend([0j] * min(nullity, near_zero))
+    finite.sort(key=lambda s: (abs(s), s.imag))
     return finite
 
 

@@ -106,9 +106,15 @@ def extract_transfer_function(
     """Fit the zpk transfer function of ``circuit``'s designated output.
 
     Poles come from the MNA pencil; the numerator is fitted on a
-    log-spaced sample of the AC response spanning the pole cluster, and
-    leading numerator coefficients below ``coefficient_tol`` (relative)
-    are truncated so the zero count is meaningful.
+    log-spaced sample of the AC response spanning the pole cluster.  The
+    numerator degree is chosen by residual, not by coefficient
+    magnitude: the smallest degree whose fit residual stays within
+    ``coefficient_tol`` (relative to the response peak) of the best
+    achievable residual wins.  A magnitude threshold cannot make this
+    call — with poles far above 1 rad/s the raw coefficient of ``s^k``
+    shrinks by ``scale^k`` even when its in-band contribution is large,
+    and the least-squares noise floor of an ill-conditioned Vandermonde
+    can exceed any fixed cutoff.
     """
     poles = circuit_poles(circuit)
     if grid is None:
@@ -122,24 +128,35 @@ def extract_transfer_function(
         )
     response = ac_analysis(circuit, grid, output=output)
     samples_s = 2j * np.pi * grid.frequencies_hz
-    coefficients = _fit_numerator(
-        samples_s, response.values, poles
-    )
-
-    # Trim negligible leading coefficients.
-    magnitude = np.abs(coefficients)
-    reference = magnitude.max()
-    if reference == 0.0:
+    peak = float(np.max(np.abs(response.values)))
+    if peak == 0.0:
         return RationalTransferFunction(
             zeros=(), poles=tuple(poles), gain=0.0
         )
-    first = 0
-    while (
-        first < len(coefficients) - 1
-        and magnitude[first] < coefficient_tol * reference
-    ):
-        first += 1
-    trimmed = coefficients[first:]
+
+    denominator = np.ones_like(samples_s)
+    for pole in poles:
+        denominator *= samples_s - pole
+
+    def fit_at(degree: int) -> Tuple[np.ndarray, float]:
+        coefficients = _fit_numerator(
+            samples_s, response.values, poles,
+            max_numerator_degree=degree,
+        )
+        fitted = np.polyval(coefficients, samples_s) / denominator
+        residual = float(
+            np.max(np.abs(fitted - response.values)) / peak
+        )
+        return coefficients, residual
+
+    fits = [fit_at(degree) for degree in range(len(poles) + 1)]
+    floor = min(residual for _, residual in fits)
+    allowed = max(10.0 * floor, coefficient_tol)
+    trimmed = next(
+        coefficients
+        for coefficients, residual in fits
+        if residual <= allowed
+    )
     zeros = tuple(np.roots(trimmed)) if len(trimmed) > 1 else ()
     gain = trimmed[0]
     if abs(gain.imag) > 1e-6 * abs(gain):

@@ -7,6 +7,9 @@
     python -m repro faultsim filter.sp --jobs 4 --cache-dir .cache
     python -m repro optimize filter.sp --json p.json   # flow + test program
     python -m repro campaign biquad --jobs 2 --trace trace.jsonl
+    python -m repro verify --random 25 --seed 0   # differential oracle
+    python -m repro escape filter.sp --seed 7     # escape / yield-loss MC
+    python -m repro montecarlo filter.sp          # process-tolerance MC
     python -m repro catalog                       # library circuits
     python -m repro demo biquad                   # flow on a library circuit
 
@@ -294,6 +297,93 @@ def cmd_noise(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Differential-oracle sweep: engines vs MNA vs transfer fit."""
+    from .verify import Tolerances, run_verification
+
+    circuits = (
+        [name.strip() for name in args.circuits.split(",") if name.strip()]
+        if args.circuits is not None
+        else None
+    )
+    tolerances = Tolerances()
+
+    def progress(case):
+        print(f"checking {case.describe()}")
+
+    report = run_verification(
+        circuits=circuits,
+        n_random=args.random,
+        seed=args.seed,
+        case_seeds=args.case_seed,
+        epsilon=args.epsilon,
+        points_per_decade=args.ppd,
+        tolerances=tolerances,
+        invariants=not args.no_invariants,
+        progress=progress if args.progress else None,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"verification report written to {args.json}")
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def cmd_escape(args) -> int:
+    """Monte Carlo test-escape / yield-loss estimation."""
+    from .faults import deviation_faults, escape_analysis
+
+    circuit = _load_circuit(args.netlist)
+    faults = deviation_faults(circuit, deviation=args.deviation)
+    result = escape_analysis(
+        circuit,
+        faults,
+        _grid(circuit, args),
+        epsilon=args.epsilon,
+        tolerance=args.tolerance,
+        n_samples=args.samples,
+        seed=args.seed,
+    )
+    if args.seed is None:
+        print("seed: fresh (pass --seed N for a reproducible run)")
+    else:
+        print(f"seed: {args.seed}")
+    print(result.render())
+    return 0
+
+
+def cmd_montecarlo(args) -> int:
+    """Monte Carlo process-tolerance analysis: the ε floor."""
+    from .analysis.montecarlo import epsilon_headroom, monte_carlo_tolerance
+
+    circuit = _load_circuit(args.netlist)
+    analysis = monte_carlo_tolerance(
+        circuit,
+        _grid(circuit, args),
+        tolerance=args.tolerance,
+        n_samples=args.samples,
+        distribution=args.distribution,
+        seed=args.seed,
+    )
+    if args.seed is None:
+        print("seed: fresh (pass --seed N for a reproducible run)")
+    else:
+        print(f"seed: {args.seed}")
+    suggested = analysis.suggested_epsilon()
+    headroom = epsilon_headroom(analysis, args.epsilon)
+    print(
+        f"{circuit.title}: {analysis.n_samples} samples at "
+        f"{100 * analysis.tolerance:.1f}% component tolerance"
+    )
+    print(f"  suggested epsilon (95th pct): {suggested:.4g}")
+    print(
+        f"  headroom of eps={args.epsilon:g}: {headroom:+.4g} "
+        f"({'ok' if headroom >= 0 else 'yield loss likely'})"
+    )
+    return 0
+
+
 def cmd_catalog(args) -> int:
     from .circuits import build, catalog
 
@@ -415,6 +505,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the detectability matrix",
     )
     p_campaign.set_defaults(handler=cmd_campaign)
+
+    def seed_flag(p):
+        p.add_argument(
+            "--seed", type=int, default=None,
+            help="PRNG seed for exact reproducibility (default: fresh "
+            "entropy)",
+        )
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="differential oracle: engines vs MNA vs transfer fit + "
+        "metamorphic invariants",
+    )
+    p_verify.add_argument(
+        "--circuits", default=None,
+        help="comma-separated catalog names (default: whole catalog)",
+    )
+    p_verify.add_argument(
+        "--random", type=int, default=0, metavar="N",
+        help="append N randomized perturbed-circuit cases",
+    )
+    seed_flag(p_verify)
+    p_verify.add_argument(
+        "--case-seed", type=int, action="append", default=None,
+        metavar="S",
+        help="replay the exact case a mismatch report printed as "
+        "seed=S (repeatable)",
+    )
+    p_verify.add_argument(
+        "--epsilon", type=float, default=0.10,
+        help="detection tolerance (default 0.10)",
+    )
+    p_verify.add_argument(
+        "--ppd", type=int, default=20,
+        help="grid points per decade for catalog cases (default 20)",
+    )
+    p_verify.add_argument(
+        "--json", default=None,
+        help="write the structured mismatch report to this file",
+    )
+    p_verify.add_argument(
+        "--no-invariants", action="store_true",
+        help="skip the metamorphic invariants (cross-engine checks only)",
+    )
+    p_verify.add_argument(
+        "--progress", action="store_true",
+        help="print each case before it runs",
+    )
+    p_verify.set_defaults(handler=cmd_verify)
+
+    p_escape = sub.add_parser(
+        "escape", help="Monte Carlo test-escape / yield-loss estimation"
+    )
+    common(p_escape)
+    p_escape.add_argument(
+        "--tolerance", type=float, default=0.02,
+        help="good-component process tolerance (default 0.02)",
+    )
+    p_escape.add_argument(
+        "--samples", type=int, default=50,
+        help="Monte Carlo samples per fault (default 50)",
+    )
+    seed_flag(p_escape)
+    p_escape.set_defaults(handler=cmd_escape)
+
+    p_montecarlo = sub.add_parser(
+        "montecarlo",
+        help="Monte Carlo process-tolerance analysis (the epsilon floor)",
+    )
+    common(p_montecarlo)
+    p_montecarlo.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="component tolerance to sample (default 0.05)",
+    )
+    p_montecarlo.add_argument(
+        "--samples", type=int, default=200,
+        help="Monte Carlo samples (default 200)",
+    )
+    p_montecarlo.add_argument(
+        "--distribution", choices=["uniform", "normal"],
+        default="uniform", help="sampling distribution (default uniform)",
+    )
+    seed_flag(p_montecarlo)
+    p_montecarlo.set_defaults(handler=cmd_montecarlo)
 
     p_optimize = sub.add_parser(
         "optimize", help="full optimization flow + test program"

@@ -108,17 +108,21 @@ def random_strategy(
     matrix: FaultDetectabilityMatrix,
     n_opamps: int,
     omega_table: Optional[OmegaDetectabilityTable] = None,
-    seed: int = 1998,
+    seed: Optional[int] = 1998,
     max_attempts: int = 10_000,
 ) -> StrategyOutcome:
     """Random covering set: add random configurations until covered.
 
     A deliberately weak baseline showing the value of the optimization;
-    deterministic for a given seed.
+    deterministic for a given seed.  ``seed=None`` draws a fresh seed
+    from system entropy — the drawn value still appears in the outcome's
+    strategy label, so any run remains exactly reproducible.
     """
     problem = build_coverage_problem(matrix)
     if any(not clause for _, clause in problem.clauses):
         raise InfeasibleCoverError("a fault has an empty covering clause")
+    if seed is None:
+        seed = random.SystemRandom().randrange(2**32)
     rng = random.Random(seed)
     pool = list(matrix.config_indices)
     if not pool:

@@ -87,7 +87,7 @@ def escape_analysis(
     n_samples: int = 50,
     frequencies_hz: Optional[Sequence[float]] = None,
     output: Optional[str] = None,
-    seed: int = 1998,
+    seed: Optional[int] = 1998,
 ) -> EscapeAnalysis:
     """Estimate yield loss and per-fault escape probabilities.
 
@@ -107,6 +107,9 @@ def escape_analysis(
         Restrict the comparison to these measurement frequencies (a test
         schedule); default compares over the full grid, i.e. an ideal
         sweep tester.
+    seed:
+        PRNG seed; ``None`` draws a fresh :func:`numpy.random.default_rng`
+        stream (non-reproducible).
     """
     if epsilon <= 0 or tolerance < 0:
         raise AnalysisError("need epsilon > 0 and tolerance >= 0")
@@ -180,7 +183,7 @@ def escape_tradeoff_curve(
     tolerance: float = 0.02,
     n_samples: int = 30,
     output: Optional[str] = None,
-    seed: int = 1998,
+    seed: Optional[int] = 1998,
 ) -> List[EscapeAnalysis]:
     """The ε operating curve: yield loss vs escape for several ε."""
     return [

@@ -13,6 +13,9 @@ from .export import (
     omega_table_to_csv,
     omega_table_to_json,
     parse_matrix_csv,
+    parse_matrix_json,
+    parse_omega_table_csv,
+    parse_omega_table_json,
 )
 from .report import ExperimentReport, print_report, render_reports
 from .tables import (
@@ -32,6 +35,9 @@ __all__ = [
     "omega_table_to_csv",
     "omega_table_to_json",
     "parse_matrix_csv",
+    "parse_matrix_json",
+    "parse_omega_table_csv",
+    "parse_omega_table_json",
     "print_report",
     "render_bar",
     "render_bar_graph",

@@ -135,3 +135,70 @@ def parse_matrix_csv(text: str) -> FaultDetectabilityMatrix:
     return FaultDetectabilityMatrix(
         config_labels=labels, fault_names=faults, data=data
     )
+
+
+def parse_omega_table_csv(
+    text: str, as_percent: bool = True
+) -> OmegaDetectabilityTable:
+    """Inverse of :func:`omega_table_to_csv`.
+
+    ``as_percent`` must match the flag the table was exported with; the
+    default matches the export default.
+    """
+    import numpy as np
+
+    rows = list(csv.reader(io.StringIO(text)))
+    header = rows[0]
+    faults = tuple(header[1:])
+    labels = tuple(row[0] for row in rows[1:])
+    scale = 100.0 if as_percent else 1.0
+    data = np.array(
+        [[float(cell) / scale for cell in row[1:]] for row in rows[1:]],
+        dtype=float,
+    )
+    return OmegaDetectabilityTable(
+        config_labels=labels, fault_names=faults, data=data
+    )
+
+
+def parse_matrix_json(text: str) -> FaultDetectabilityMatrix:
+    """Inverse of :func:`matrix_to_json`."""
+    import numpy as np
+
+    payload = json.loads(text)
+    labels = tuple(payload["configurations"])
+    faults = tuple(payload["faults"])
+    cells = payload["detectability"]
+    data = np.array(
+        [[bool(cells[label][fault]) for fault in faults] for label in labels],
+        dtype=bool,
+    )
+    return FaultDetectabilityMatrix(
+        config_labels=labels,
+        fault_names=faults,
+        data=data,
+        config_indices=tuple(payload.get("config_indices", ())),
+    )
+
+
+def parse_omega_table_json(text: str) -> OmegaDetectabilityTable:
+    """Inverse of :func:`omega_table_to_json`."""
+    import numpy as np
+
+    payload = json.loads(text)
+    labels = tuple(payload["configurations"])
+    faults = tuple(payload["faults"])
+    cells = payload["omega_detectability"]
+    data = np.array(
+        [
+            [float(cells[label][fault]) for fault in faults]
+            for label in labels
+        ],
+        dtype=float,
+    )
+    return OmegaDetectabilityTable(
+        config_labels=labels,
+        fault_names=faults,
+        data=data,
+        config_indices=tuple(payload.get("config_indices", ())),
+    )

@@ -1,0 +1,72 @@
+"""Differential oracle & property-based verification subsystem.
+
+The simulation stack has four independent roads to the same number —
+the per-fault sweep engine (:mod:`repro.faults.simulator`), the rank-1
+Sherman–Morrison engine (:mod:`repro.faults.fast_simulator`), a direct
+unbatched MNA solve (:mod:`repro.analysis.mna`) and the rational
+transfer-function fit (:mod:`repro.analysis.transfer`).  This package
+cross-checks them against each other and against the paper's definitions
+on randomized circuits, faults, configurations and frequency grids:
+
+* :mod:`repro.verify.generators` — seedable random generators and
+  Hypothesis strategies for verification cases;
+* :mod:`repro.verify.oracle` — the differential oracle with structured,
+  reproducible mismatch reports;
+* :mod:`repro.verify.invariants` — metamorphic properties (C_0 ≡
+  functional, transparency, ε-monotonicity, impedance-scaling and
+  grid-refinement invariance, matrix/table consistency, cover-strategy
+  ordering).
+
+``python -m repro verify`` drives the whole thing from the shell and is
+the standing correctness gate for every optimization PR.
+"""
+
+from .generators import (
+    VerifyCase,
+    build_random_case,
+    catalog_cases,
+    perturbed_circuit,
+    random_cases,
+    random_fault_universe,
+    random_grid,
+)
+from .invariants import (
+    check_cover_strategies,
+    check_epsilon_monotonicity,
+    check_functional_configuration,
+    check_grid_refinement,
+    check_impedance_scaling,
+    check_matrix_table_consistency,
+    check_transparent_configuration,
+    run_invariants,
+)
+from .oracle import (
+    Mismatch,
+    OracleReport,
+    Tolerances,
+    check_case,
+    run_verification,
+)
+
+__all__ = [
+    "Mismatch",
+    "OracleReport",
+    "Tolerances",
+    "VerifyCase",
+    "build_random_case",
+    "catalog_cases",
+    "check_case",
+    "check_cover_strategies",
+    "check_epsilon_monotonicity",
+    "check_functional_configuration",
+    "check_grid_refinement",
+    "check_impedance_scaling",
+    "check_matrix_table_consistency",
+    "check_transparent_configuration",
+    "perturbed_circuit",
+    "random_cases",
+    "random_fault_universe",
+    "random_grid",
+    "run_invariants",
+    "run_verification",
+]

@@ -1,0 +1,501 @@
+"""Metamorphic invariants of the DFT simulation stack.
+
+Each check takes a :class:`~repro.verify.generators.VerifyCase` (and,
+where useful, an already-simulated dataset) and returns a list of
+:class:`~repro.verify.oracle.Mismatch` records — empty means the
+invariant holds.  The invariants come straight from the paper's
+definitions and from physics:
+
+* **C_0 ≡ functional** — emulating the functional configuration of an
+  ideal (parasitic-free) DFT reproduces the unmodified circuit exactly.
+* **C_{2^n−1} is transparent** — with every opamp in follower mode the
+  chain performs the identity function: the last chain output equals
+  the primary input.
+* **ε-monotonicity** — Definition 1/2 are threshold tests, so raising ε
+  can only shrink the detection region: the mask at a larger ε is a
+  subset of the mask at a smaller ε, and ω-detectability is monotone
+  non-increasing in ε.
+* **impedance-scaling invariance** — a voltage transfer function is
+  invariant under uniform impedance scaling (R→kR, L→kL, C→C/k), so the
+  whole ω-detectability table is too (fault replacement resistances are
+  scaled along).
+* **grid-refinement stability** — ω-detectability is a measure; refining
+  Ω_reference may move each detection-interval boundary by at most one
+  coarse cell.
+* **matrix/table consistency** — the boolean Definition 1 matrix is
+  exactly the support of the Definition 2 table, and both re-derive
+  from the stored masks.
+* **cover-strategy ordering** — the exact branch-and-bound cover is
+  never larger than the greedy one and both reach maximum coverage.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.ac import ac_analysis
+from ..analysis.sweep import FrequencyGrid
+from ..core.baselines import exact_minimum_strategy, greedy_strategy
+from ..core.covering import verify_cover
+from ..core.detectability import detection_intervals, evaluate_detectability
+from ..dft.configuration import Configuration
+from ..faults.model import Fault, OpenFault, ShortFault
+from ..faults.simulator import DetectabilityDataset, simulate_faults
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .generators import VerifyCase
+    from .oracle import Tolerances
+
+
+def _mismatch(**kwargs):
+    from .oracle import Mismatch
+
+    return Mismatch(**kwargs)
+
+
+def _default_tolerances():
+    from .oracle import Tolerances
+
+    return Tolerances()
+
+
+def _cell_fraction(grid: FrequencyGrid) -> float:
+    """Log-measure fraction of one grid cell (ω-detectability quantum)."""
+    return 1.0 / max(grid.decades * grid.points_per_decade, 1.0)
+
+
+# ----------------------------------------------------------------------
+# configuration-semantics invariants
+# ----------------------------------------------------------------------
+
+def check_functional_configuration(
+    case: "VerifyCase", tol: Optional["Tolerances"] = None
+) -> List:
+    """Emulated C_0 must equal the unmodified circuit sample-for-sample."""
+    tol = tol or _default_tolerances()
+    mcc = case.mcc()
+    functional = Configuration(0, mcc.n_opamps)
+    emulated = mcc.emulate(functional)
+    output = case.setup.output or case.circuit.output
+    reference = ac_analysis(case.circuit, case.setup.grid, output=output)
+    response = ac_analysis(emulated, case.setup.grid, output=output)
+    peak = float(np.max(reference.magnitude))
+    scale = peak if peak > 0 else 1.0
+    errors = np.abs(response.values - reference.values) / scale
+    worst = int(np.argmax(errors))
+    if errors[worst] > tol.engine_rtol:
+        return [
+            _mismatch(
+                check="invariant-functional",
+                circuit=case.name,
+                config=functional.label,
+                fault=None,
+                frequency_hz=float(reference.frequencies_hz[worst]),
+                error=float(errors[worst]),
+                tolerance=tol.engine_rtol,
+                seed=case.seed,
+                detail="C0 emulation deviates from the base circuit",
+            )
+        ]
+    return []
+
+
+def check_transparent_configuration(
+    case: "VerifyCase", tol: Optional["Tolerances"] = None
+) -> List:
+    """The all-follower configuration performs the identity function.
+
+    The last chain opamp's output must equal the primary input node's
+    voltage at every frequency of Ω_reference.
+    """
+    tol = tol or _default_tolerances()
+    mcc = case.mcc()
+    if mcc.is_partial:
+        return []  # a partial DFT cannot emulate the transparent config
+    transparent = Configuration(2**mcc.n_opamps - 1, mcc.n_opamps)
+    emulated = mcc.emulate(transparent)
+    last_output = mcc.base[mcc.chain[-1]].out
+    chain_tail = ac_analysis(
+        emulated, case.setup.grid, output=last_output
+    )
+    primary = ac_analysis(
+        emulated, case.setup.grid, output=mcc.input_node
+    )
+    scale = max(float(np.max(np.abs(primary.values))), 1e-30)
+    errors = np.abs(chain_tail.values - primary.values) / scale
+    worst = int(np.argmax(errors))
+    if errors[worst] > tol.engine_rtol:
+        return [
+            _mismatch(
+                check="invariant-transparent",
+                circuit=case.name,
+                config=transparent.label,
+                fault=None,
+                frequency_hz=float(chain_tail.frequencies_hz[worst]),
+                error=float(errors[worst]),
+                tolerance=tol.engine_rtol,
+                seed=case.seed,
+                detail=(
+                    f"V({last_output}) != V({mcc.input_node}) in the "
+                    "transparent configuration"
+                ),
+            )
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# detectability-definition invariants
+# ----------------------------------------------------------------------
+
+def check_epsilon_monotonicity(
+    case: "VerifyCase",
+    max_faults: int = 3,
+    factors: Tuple[float, ...] = (0.5, 1.0, 2.0),
+    tol: Optional["Tolerances"] = None,
+) -> List:
+    """Detection shrinks as ε grows: masks nest, ω is non-increasing."""
+    tol = tol or _default_tolerances()
+    mcc = case.mcc()
+    config = mcc.configurations()[0]
+    emulated = mcc.emulate(config)
+    output = case.setup.output or emulated.output or mcc.base.output
+    nominal = ac_analysis(emulated, case.setup.grid, output=output)
+    mismatches: List = []
+    epsilons = sorted(case.setup.epsilon * f for f in factors)
+    for fault in case.faults[:max_faults]:
+        faulty = ac_analysis(
+            fault.apply(emulated), case.setup.grid, output=output
+        )
+        ladder = [
+            evaluate_detectability(
+                nominal, faulty, eps, case.setup.criterion
+            )
+            for eps in epsilons
+        ]
+        for (eps_lo, lo), (eps_hi, hi) in zip(
+            zip(epsilons, ladder), zip(epsilons[1:], ladder[1:])
+        ):
+            nested = bool(np.all(lo.mask | ~hi.mask))
+            monotone = (
+                hi.omega_detectability <= lo.omega_detectability + 1e-12
+            )
+            if nested and monotone:
+                continue
+            mismatches.append(
+                _mismatch(
+                    check="invariant-epsilon-monotone",
+                    circuit=case.name,
+                    config=config.label,
+                    fault=getattr(fault, "short_name", fault.name),
+                    frequency_hz=hi.f_max_deviation_hz,
+                    error=max(
+                        0.0,
+                        hi.omega_detectability - lo.omega_detectability,
+                    ),
+                    tolerance=0.0,
+                    seed=case.seed,
+                    detail=(
+                        f"omega({eps_hi:g})="
+                        f"{hi.omega_detectability:.6g} > "
+                        f"omega({eps_lo:g})="
+                        f"{lo.omega_detectability:.6g}"
+                        if not monotone
+                        else "detection mask not nested in epsilon"
+                    ),
+                )
+            )
+    return mismatches
+
+
+def _scale_impedances(circuit, k: float):
+    """R→kR, L→kL, C→C/k on every passive (transfer-invariant)."""
+    from ..circuit.components import Capacitor, Inductor, Resistor
+
+    scaled = circuit.clone(f"{circuit.title} (xZ {k:g})")
+    for element in circuit.passives():
+        if isinstance(element, Resistor):
+            scaled.replace(element.name, element.scaled(k))
+        elif isinstance(element, Inductor):
+            scaled.replace(element.name, element.scaled(k))
+        elif isinstance(element, Capacitor):
+            scaled.replace(element.name, element.scaled(1.0 / k))
+    return scaled
+
+
+def _scale_fault(fault: Fault, k: float) -> Fault:
+    """Impedance-scaled twin of a fault (replacement resistors scale)."""
+    if isinstance(fault, OpenFault):
+        return OpenFault(fault.target, r_open=fault.r_open * k)
+    if isinstance(fault, ShortFault):
+        return ShortFault(fault.target, r_short=fault.r_short * k)
+    return fault  # relative deviations are scale-free
+
+
+def check_impedance_scaling(
+    case: "VerifyCase",
+    dataset: Optional[DetectabilityDataset] = None,
+    k: float = 10.0,
+    tol: Optional["Tolerances"] = None,
+) -> List:
+    """ω-detectability is invariant under uniform impedance scaling."""
+    from .generators import VerifyCase as _Case
+
+    tol = tol or _default_tolerances()
+    if dataset is None:
+        dataset = simulate_faults(
+            case.mcc(), list(case.faults), case.setup
+        )
+    scaled_case = _Case(
+        name=case.name,
+        bench=case.bench,
+        circuit=_scale_impedances(case.circuit, k),
+        faults=tuple(_scale_fault(f, k) for f in case.faults),
+        setup=case.setup,
+        seed=case.seed,
+    )
+    scaled = simulate_faults(
+        scaled_case.mcc(), list(scaled_case.faults), case.setup
+    )
+    slack = 1.5 * _cell_fraction(case.setup.grid) + 1e-9
+    mismatches: List = []
+    for config in dataset.configs:
+        for label in dataset.fault_labels:
+            reference = dataset.results[(config.index, label)]
+            image = scaled.results[(config.index, label)]
+            error = abs(
+                reference.omega_detectability - image.omega_detectability
+            )
+            if error > slack:
+                mismatches.append(
+                    _mismatch(
+                        check="invariant-impedance-scaling",
+                        circuit=case.name,
+                        config=config.label,
+                        fault=label,
+                        frequency_hz=reference.f_max_deviation_hz,
+                        error=float(error),
+                        tolerance=slack,
+                        seed=case.seed,
+                        detail=(
+                            f"omega changed under xZ {k:g} scaling: "
+                            f"{reference.omega_detectability:.6g} -> "
+                            f"{image.omega_detectability:.6g}"
+                        ),
+                    )
+                )
+    return mismatches
+
+
+def check_grid_refinement(
+    case: "VerifyCase",
+    max_faults: int = 2,
+    factor: int = 2,
+    tol: Optional["Tolerances"] = None,
+) -> List:
+    """ω-detectability converges under grid refinement.
+
+    Each boundary of each detection interval may move by at most one
+    coarse cell, so the allowed drift is ``(2·intervals + 2)`` coarse
+    cells of log-measure.
+    """
+    tol = tol or _default_tolerances()
+    mcc = case.mcc()
+    config = mcc.configurations()[0]
+    emulated = mcc.emulate(config)
+    output = case.setup.output or emulated.output or mcc.base.output
+    coarse_grid = case.setup.grid
+    fine_grid = FrequencyGrid(
+        f_start=coarse_grid.f_start,
+        f_stop=coarse_grid.f_stop,
+        points_per_decade=coarse_grid.points_per_decade * factor,
+    )
+    mismatches: List = []
+    nominal_coarse = ac_analysis(emulated, coarse_grid, output=output)
+    nominal_fine = ac_analysis(emulated, fine_grid, output=output)
+    for fault in case.faults[:max_faults]:
+        faulty = fault.apply(emulated)
+        coarse = evaluate_detectability(
+            nominal_coarse,
+            ac_analysis(faulty, coarse_grid, output=output),
+            case.setup.epsilon,
+            case.setup.criterion,
+        )
+        fine = evaluate_detectability(
+            nominal_fine,
+            ac_analysis(faulty, fine_grid, output=output),
+            case.setup.epsilon,
+            case.setup.criterion,
+        )
+        intervals = detection_intervals(
+            nominal_coarse,
+            ac_analysis(faulty, coarse_grid, output=output),
+            case.setup.epsilon,
+            case.setup.criterion,
+        )
+        allowed = (2 * len(intervals) + 2) * _cell_fraction(coarse_grid)
+        error = abs(
+            coarse.omega_detectability - fine.omega_detectability
+        )
+        if error > allowed:
+            mismatches.append(
+                _mismatch(
+                    check="invariant-grid-refinement",
+                    circuit=case.name,
+                    config=config.label,
+                    fault=getattr(fault, "short_name", fault.name),
+                    frequency_hz=coarse.f_max_deviation_hz,
+                    error=float(error),
+                    tolerance=allowed,
+                    seed=case.seed,
+                    detail=(
+                        f"omega {coarse.omega_detectability:.6g} @ "
+                        f"{coarse_grid.points_per_decade} ppd vs "
+                        f"{fine.omega_detectability:.6g} @ "
+                        f"{fine_grid.points_per_decade} ppd"
+                    ),
+                )
+            )
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# dataset / matrix consistency
+# ----------------------------------------------------------------------
+
+def check_matrix_table_consistency(
+    case: "VerifyCase",
+    dataset: DetectabilityDataset,
+    tol: Optional["Tolerances"] = None,
+) -> List:
+    """Matrix == support(table) and both re-derive from the raw masks."""
+    matrix = dataset.detectability_matrix()
+    table = dataset.omega_table()
+    mismatches: List = []
+    for i, config in enumerate(dataset.configs):
+        for j, label in enumerate(dataset.fault_labels):
+            result = dataset.results[(config.index, label)]
+            omega = float(table.data[i, j])
+            flags = {
+                "matrix vs omega support": bool(matrix.data[i, j])
+                == (omega > 0.0),
+                "matrix vs Definition 1": bool(matrix.data[i, j])
+                == bool(result.detectable),
+                "Definition 1 vs mask": bool(result.detectable)
+                == bool(np.any(result.mask)),
+                "omega vs mask measure": abs(
+                    omega - dataset.setup.grid.fraction(result.mask)
+                )
+                < 1e-12,
+                "omega within [0,1]": -1e-12 <= omega <= 1.0 + 1e-12,
+            }
+            failed = [name for name, ok in flags.items() if not ok]
+            if failed:
+                mismatches.append(
+                    _mismatch(
+                        check="invariant-matrix-consistency",
+                        circuit=case.name,
+                        config=config.label,
+                        fault=label,
+                        frequency_hz=result.f_max_deviation_hz,
+                        error=float("nan"),
+                        tolerance=0.0,
+                        seed=case.seed,
+                        detail="; ".join(failed),
+                    )
+                )
+    return mismatches
+
+
+def check_cover_strategies(
+    case: "VerifyCase",
+    dataset: DetectabilityDataset,
+    tol: Optional["Tolerances"] = None,
+) -> List:
+    """Exact minimum cover ≤ greedy cover; both reach maximum coverage."""
+    matrix = dataset.detectability_matrix()
+    n_opamps = case.bench.n_opamps
+    exact = exact_minimum_strategy(matrix, n_opamps)
+    greedy = greedy_strategy(matrix, n_opamps)
+    mismatches: List = []
+    if exact.n_configurations > greedy.n_configurations:
+        mismatches.append(
+            _mismatch(
+                check="invariant-cover-minimality",
+                circuit=case.name,
+                config=f"|exact|={exact.n_configurations}",
+                fault=None,
+                frequency_hz=None,
+                error=float(
+                    exact.n_configurations - greedy.n_configurations
+                ),
+                tolerance=0.0,
+                seed=case.seed,
+                detail=(
+                    "exact branch-and-bound returned a larger cover "
+                    f"({sorted(exact.configs)}) than greedy "
+                    f"({sorted(greedy.configs)})"
+                ),
+            )
+        )
+    for outcome in (exact, greedy):
+        if not verify_cover(matrix, sorted(outcome.configs)):
+            mismatches.append(
+                _mismatch(
+                    check="invariant-cover-coverage",
+                    circuit=case.name,
+                    config=outcome.strategy,
+                    fault=None,
+                    frequency_hz=None,
+                    error=1.0 - matrix.fault_coverage(
+                        sorted(outcome.configs)
+                    ),
+                    tolerance=0.0,
+                    seed=case.seed,
+                    detail=(
+                        f"{outcome.strategy} cover "
+                        f"{sorted(outcome.configs)} loses coverage"
+                    ),
+                )
+            )
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+def run_invariants(
+    case: "VerifyCase",
+    dataset: Optional[DetectabilityDataset] = None,
+    tolerances: Optional["Tolerances"] = None,
+) -> Tuple[List, int]:
+    """Run every metamorphic invariant on one case.
+
+    Returns ``(mismatches, n_checks)``; ``dataset`` is re-simulated with
+    the standard engine when not supplied.
+    """
+    tol = tolerances or _default_tolerances()
+    if dataset is None:
+        dataset = simulate_faults(
+            case.mcc(), list(case.faults), case.setup
+        )
+    mismatches: List = []
+    mismatches += check_functional_configuration(case, tol)
+    mismatches += check_transparent_configuration(case, tol)
+    mismatches += check_epsilon_monotonicity(case, tol=tol)
+    mismatches += check_impedance_scaling(case, dataset, tol=tol)
+    mismatches += check_grid_refinement(case, tol=tol)
+    mismatches += check_matrix_table_consistency(case, dataset, tol)
+    mismatches += check_cover_strategies(case, dataset, tol)
+    n_checks = (
+        2  # functional + transparent
+        + 3  # epsilon ladder
+        + len(dataset.configs) * len(dataset.fault_labels)  # scaling
+        + 2  # grid refinement
+        + len(dataset.configs) * len(dataset.fault_labels)  # consistency
+        + 2  # cover strategies
+    )
+    return mismatches, n_checks

@@ -142,3 +142,46 @@ class TestPointHelpers:
         c.resistor("R1", "in", "0", 1e3)
         with pytest.raises(AnalysisError):
             dc_gain(c)
+
+
+class TestRelativeDeviationNearZero:
+    """Points where |T| is numerically zero must not divide by rounding.
+
+    Two exact-to-rounding engines can disagree in the last bits at a
+    transmission zero (one leaves exact 0, the other ~1e-17); the
+    relative deviation must treat both as "no signal", not as an
+    infinite deviation.
+    """
+
+    def _response(self, grid, magnitudes):
+        return FrequencyResponse(
+            grid=grid, values=np.asarray(magnitudes, dtype=complex)
+        )
+
+    def test_rounding_residue_at_a_notch_is_zero_deviation(self):
+        grid = FrequencyGrid(10.0, 1000.0, 2)
+        nominal = self._response(grid, [1.0, 0.8, 0.0, 0.6, 0.5])
+        other = self._response(grid, [1.0, 0.8, 1e-17, 0.6, 0.5])
+        deviation = nominal.relative_deviation(other)
+        assert deviation[2] == 0.0
+        assert np.all(np.isfinite(deviation))
+
+    def test_real_signal_at_a_notch_is_still_infinite(self):
+        grid = FrequencyGrid(10.0, 1000.0, 2)
+        nominal = self._response(grid, [1.0, 0.8, 0.0, 0.6, 0.5])
+        other = self._response(grid, [1.0, 0.8, 1e-3, 0.6, 0.5])
+        deviation = nominal.relative_deviation(other)
+        assert np.isinf(deviation[2])
+
+    def test_floor_scales_with_the_peak(self):
+        grid = FrequencyGrid(10.0, 1000.0, 2)
+        nominal = self._response(grid, [1e6, 8e5, 0.0, 6e5, 5e5])
+        other = self._response(grid, [1e6, 8e5, 1e-11, 6e5, 5e5])
+        deviation = nominal.relative_deviation(other)
+        assert deviation[2] == 0.0
+
+    def test_both_zero_is_zero(self):
+        grid = FrequencyGrid(10.0, 1000.0, 2)
+        nominal = self._response(grid, [0.0] * 5)
+        other = self._response(grid, [0.0] * 5)
+        assert np.all(nominal.relative_deviation(other) == 0.0)

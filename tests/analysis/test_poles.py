@@ -116,3 +116,37 @@ class TestStability:
         c.resistor("Rg", "g", "0", 1e3)
         c.resistor("Rf", "g", "out", 2e3)  # gain +3, loop gain 1.5
         assert not is_stable(c)
+
+
+class TestIntegratorPoles:
+    """Genuine poles at s = 0 survive the near-zero artifact filter.
+
+    Some DFT configurations open an integrator's DC feedback path; the
+    pencil then has an eigenvalue at exactly s = 0 (G is singular) and
+    the response shows a 1/s slope in-band.  The artifact filter must
+    keep those (snapped to exactly 0) while still dropping rounding
+    residue when G is regular.
+    """
+
+    def test_leapfrog_follower_config_keeps_the_dc_pole(self):
+        from repro.circuits import build
+        from repro.dft import apply_multiconfiguration
+
+        bench = build("leapfrog")
+        mcc = apply_multiconfiguration(
+            bench.circuit,
+            chain=bench.chain,
+            input_node=bench.input_node,
+        )
+        config = [
+            c for c in mcc.configurations() if c.index == 2
+        ][0]
+        poles = circuit_poles(mcc.emulate(config))
+        assert sum(1 for p in poles if p == 0) == 1
+        assert len(poles) == 5
+
+    def test_functional_config_has_no_dc_pole(self):
+        from repro.circuits import build
+
+        poles = circuit_poles(build("leapfrog").circuit)
+        assert all(p != 0 for p in poles)

@@ -119,3 +119,41 @@ class TestExtraction:
         assert tf.poles == ()
         assert tf.zeros == ()
         assert tf.gain == pytest.approx(0.75, rel=1e-9)
+
+
+class TestNumeratorDegreeSelection:
+    """The numerator degree is picked by residual, not raw magnitude.
+
+    With poles far above 1 rad/s the raw coefficient of ``s^k`` shrinks
+    by ``scale^k``; a magnitude cutoff used to drop in-band-significant
+    high-degree terms (regression: perturbed Sallen-Key cascade, case
+    seed 2968811710 of the differential oracle).
+    """
+
+    def test_perturbed_cascade_configuration_fits_exactly(self):
+        from repro.analysis import ac_analysis
+        from repro.verify.generators import build_random_case
+
+        case = build_random_case(2968811710)
+        mcc = case.mcc()
+        config = [
+            c for c in mcc.configurations() if c.index == 2
+        ][0]
+        circuit = mcc.emulate(config)
+        grid = case.setup.grid
+        response = ac_analysis(circuit, grid, output=circuit.output)
+        tf = extract_transfer_function(
+            circuit, output=circuit.output, grid=grid
+        )
+        fitted = np.array(
+            [tf.at_frequency(f) for f in grid.frequencies_hz]
+        )
+        peak = np.max(np.abs(response.values))
+        error = np.max(np.abs(fitted - response.values)) / peak
+        assert error < 1e-6
+
+    def test_noise_coefficients_are_still_trimmed(self):
+        """A plain lowpass must not grow spurious fitted zeros."""
+        tf = extract_transfer_function(rc_lowpass())
+        assert len(tf.poles) == 1
+        assert tf.zeros == ()

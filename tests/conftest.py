@@ -6,12 +6,27 @@ session-scoped; everything else is rebuilt per test for isolation.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.analysis import decade_grid
 from repro.circuits import benchmark_biquad
 from repro.experiments.paper import PaperScenario
 from repro.faults import SimulationSetup, deviation_faults, simulate_faults
+
+# Hypothesis profiles: "ci" is deterministic (derandomized, no deadline)
+# so CI failures are reproducible from the printed seed; "dev" keeps the
+# default random exploration but drops the deadline — circuit simulation
+# is too slow for hypothesis's per-example timing budget.
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, deadline=None, max_examples=20
+)
+hypothesis_settings.register_profile("dev", deadline=None)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "dev")
+)
 
 
 @pytest.fixture

@@ -225,3 +225,149 @@ class TestCampaign:
         events = [json.loads(line) for line in trace.open()]
         assert events[0]["jobs"] == 2
         assert events[-1]["event"] == "campaign_end"
+
+
+class TestResumeFlag:
+    """--resume without --cache-dir uses the default cache location."""
+
+    def test_campaign_resume_round_trip(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        args = ["campaign", "biquad", "--ppd", "12", "--resume"]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "0 cache hit(s)" in cold
+        assert (tmp_path / ".repro-campaign-cache").is_dir()
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "7 cache hit(s), 0 AC solve(s)" in warm
+
+    def test_faultsim_resume_and_trace_end_to_end(
+        self, netlist_file, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        trace = tmp_path / "trace.jsonl"
+        args = [
+            "faultsim", netlist_file, "--ppd", "12",
+            "--resume", "--trace", str(trace),
+        ]
+        assert main(args) == 0
+        assert "Fault detectability matrix" in capsys.readouterr().out
+        assert (tmp_path / ".repro-campaign-cache").is_dir()
+        assert main(args) == 0
+        assert "Fault detectability matrix" in capsys.readouterr().out
+        events = [json.loads(line) for line in trace.open()]
+        ends = [e for e in events if e["event"] == "campaign_end"]
+        assert len(ends) == 2  # the trace file appends across runs
+        assert ends[0]["cache_hits"] == 0
+        assert ends[1]["cache_hits"] == ends[1]["units_total"]
+        assert ends[1]["solves"] == 0
+
+
+class TestVerify:
+    def test_catalog_subset_with_json_report(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "verify", "--circuits", "sallen_key",
+                    "--random", "1", "--seed", "0",
+                    "--no-invariants", "--json", str(report),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "verify: PASS" in out
+        payload = json.loads(report.read_text())
+        assert payload["passed"] is True
+        assert payload["master_seed"] == 0
+        assert payload["n_cases"] == 2
+
+    def test_progress_lists_cases(self, capsys):
+        assert (
+            main(
+                [
+                    "verify", "--circuits", "bandpass_mfb",
+                    "--no-invariants", "--progress",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "checking bandpass_mfb" in out
+
+    def test_unknown_circuit_fails(self, capsys):
+        assert main(["verify", "--circuits", "ghost"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_case_seed_replays_one_case(self, capsys):
+        assert (
+            main(
+                [
+                    "verify", "--circuits", "",
+                    "--case-seed", "2968811710", "--no-invariants",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 case(s)" in out
+
+
+class TestEscape:
+    def test_seeded_run_is_reproducible(self, netlist_file, capsys):
+        args = [
+            "escape", netlist_file, "--ppd", "10",
+            "--samples", "3", "--seed", "7",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "seed: 7" in first
+        assert "yield loss" in first
+
+    def test_fresh_seed_is_announced(self, netlist_file, capsys):
+        assert (
+            main(
+                [
+                    "escape", netlist_file, "--ppd", "10",
+                    "--samples", "2",
+                ]
+            )
+            == 0
+        )
+        assert "seed: fresh" in capsys.readouterr().out
+
+
+class TestMontecarlo:
+    def test_suggests_epsilon(self, netlist_file, capsys):
+        assert (
+            main(
+                [
+                    "montecarlo", netlist_file, "--ppd", "10",
+                    "--samples", "20", "--seed", "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "seed: 7" in out
+        assert "suggested epsilon" in out
+        assert "headroom" in out
+
+    def test_distribution_flag(self, netlist_file, capsys):
+        assert (
+            main(
+                [
+                    "montecarlo", netlist_file, "--ppd", "10",
+                    "--samples", "10", "--seed", "1",
+                    "--distribution", "normal",
+                ]
+            )
+            == 0
+        )
+        assert "suggested epsilon" in capsys.readouterr().out

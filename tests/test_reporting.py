@@ -16,6 +16,9 @@ from repro.reporting import (
     omega_table_to_csv,
     omega_table_to_json,
     parse_matrix_csv,
+    parse_matrix_json,
+    parse_omega_table_csv,
+    parse_omega_table_json,
     render_bar,
     render_bar_graph,
     render_detectability_matrix,
@@ -175,3 +178,53 @@ class TestJsonExport:
 
     def test_deterministic(self, matrix):
         assert matrix_to_json(matrix) == matrix_to_json(matrix)
+
+
+class TestRoundTrips:
+    """Exported artefacts re-parse to the same matrix / table.
+
+    Round-trips run both on the paper's published data and on a freshly
+    simulated campaign, so the exporters and parsers stay inverse even
+    as the simulation stack evolves.
+    """
+
+    def test_omega_csv_roundtrip_percent(self, table):
+        recovered = parse_omega_table_csv(omega_table_to_csv(table))
+        assert recovered.config_labels == table.config_labels
+        assert recovered.fault_names == table.fault_names
+        assert np.allclose(recovered.data, table.data, atol=1e-6)
+
+    def test_omega_csv_roundtrip_fraction(self, table):
+        text = omega_table_to_csv(table, as_percent=False)
+        recovered = parse_omega_table_csv(text, as_percent=False)
+        assert np.allclose(recovered.data, table.data, atol=1e-8)
+
+    def test_matrix_json_roundtrip(self, matrix):
+        recovered = parse_matrix_json(matrix_to_json(matrix))
+        assert recovered.config_labels == matrix.config_labels
+        assert recovered.fault_names == matrix.fault_names
+        assert recovered.config_indices == matrix.config_indices
+        assert np.array_equal(recovered.data, matrix.data)
+
+    def test_omega_json_roundtrip(self, table):
+        recovered = parse_omega_table_json(omega_table_to_json(table))
+        assert recovered.config_labels == table.config_labels
+        assert recovered.config_indices == table.config_indices
+        assert np.allclose(recovered.data, table.data, atol=1e-12)
+
+    def test_simulated_matrix_roundtrips(self, mini_dataset):
+        matrix = mini_dataset.detectability_matrix()
+        via_csv = parse_matrix_csv(matrix_to_csv(matrix))
+        via_json = parse_matrix_json(matrix_to_json(matrix))
+        for recovered in (via_csv, via_json):
+            assert recovered.config_labels == matrix.config_labels
+            assert np.array_equal(recovered.data, matrix.data)
+        # label-derived indices agree with the explicit JSON ones
+        assert via_csv.config_indices == via_json.config_indices
+
+    def test_simulated_omega_roundtrips(self, mini_dataset):
+        table = mini_dataset.omega_table()
+        via_csv = parse_omega_table_csv(omega_table_to_csv(table))
+        via_json = parse_omega_table_json(omega_table_to_json(table))
+        assert np.allclose(via_csv.data, table.data, atol=1e-6)
+        assert np.allclose(via_json.data, table.data, atol=1e-12)

@@ -1,0 +1,105 @@
+"""Case generators: determinism, validity and seed replayability."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.circuits import build, catalog
+from repro.faults import check_unique_names
+from repro.verify import (
+    build_random_case,
+    catalog_cases,
+    perturbed_circuit,
+    random_cases,
+    random_fault_universe,
+    random_grid,
+)
+from repro.verify.generators import (
+    RANDOM_POOL_MAX_OPAMPS,
+    random_pool,
+    verify_case_strategy,
+)
+
+
+class TestSeededGenerators:
+    def test_build_random_case_is_deterministic(self):
+        a = build_random_case(1234)
+        b = build_random_case(1234)
+        assert a.describe() == b.describe()
+        assert [e.value for e in a.circuit.passives()] == [
+            e.value for e in b.circuit.passives()
+        ]
+        assert [f.name for f in a.faults] == [f.name for f in b.faults]
+
+    def test_different_seeds_give_different_cases(self):
+        a = build_random_case(1)
+        b = build_random_case(2)
+        assert a.describe() != b.describe() or [
+            e.value for e in a.circuit.passives()
+        ] != [e.value for e in b.circuit.passives()]
+
+    def test_random_cases_reproducible_and_independent(self):
+        a = random_cases(4, seed=7)
+        b = random_cases(4, seed=7)
+        assert [c.seed for c in a] == [c.seed for c in b]
+        assert len({c.seed for c in a}) == 4
+
+    def test_case_seed_alone_replays_a_master_draw(self):
+        (case,) = random_cases(1, seed=99)
+        replay = build_random_case(case.seed)
+        assert replay.describe() == case.describe()
+
+    def test_perturbed_circuit_keeps_topology_within_bounds(self):
+        bench = build("sallen_key")
+        rng = np.random.default_rng(0)
+        varied = perturbed_circuit(bench.circuit, rng, spread=0.5)
+        originals = {e.name: e.value for e in bench.circuit.passives()}
+        assert {e.name for e in varied.passives()} == set(originals)
+        for element in varied.passives():
+            ratio = element.value / originals[element.name]
+            assert 1.0 / 1.5 - 1e-9 <= ratio <= 1.5 + 1e-9
+            assert ratio != 1.0
+
+    def test_random_fault_universe_unique_and_bounded(self):
+        bench = build("bandpass_mfb")
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            faults = random_fault_universe(
+                bench.circuit, rng, max_faults=4
+            )
+            assert 1 <= len(faults) <= 4
+            check_unique_names(faults)
+
+    def test_random_grid_bounds(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            grid = random_grid(1e3, rng)
+            assert 12 <= grid.points_per_decade <= 32
+            assert grid.f_start < 1e3 < grid.f_stop
+
+
+class TestCatalogCases:
+    def test_covers_whole_catalog_by_default(self):
+        cases = catalog_cases()
+        assert [c.name for c in cases] == list(catalog())
+        for case in cases:
+            assert case.seed is None
+            assert case.faults
+
+    def test_name_filter(self):
+        cases = catalog_cases(names=["sallen_key"])
+        assert [c.name for c in cases] == ["sallen_key"]
+
+    def test_random_pool_excludes_large_chains(self):
+        pool = random_pool()
+        assert pool
+        for name in pool:
+            assert build(name).n_opamps <= RANDOM_POOL_MAX_OPAMPS
+
+
+class TestHypothesisStrategies:
+    @settings(max_examples=5, deadline=None)
+    @given(case=verify_case_strategy())
+    def test_strategy_yields_replayable_cases(self, case):
+        assert case.seed is not None
+        replay = build_random_case(case.seed)
+        assert replay.describe() == case.describe()

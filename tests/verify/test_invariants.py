@@ -1,0 +1,106 @@
+"""Metamorphic invariants: hold on real data, fire on corrupted data."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.faults import simulate_faults
+from repro.verify import run_invariants
+from repro.verify.generators import catalog_cases
+from repro.verify.invariants import (
+    check_epsilon_monotonicity,
+    check_functional_configuration,
+    check_grid_refinement,
+    check_impedance_scaling,
+    check_matrix_table_consistency,
+    check_transparent_configuration,
+)
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    (case,) = catalog_cases(
+        names=["bandpass_mfb"], points_per_decade=12
+    )
+    return case
+
+
+@pytest.fixture(scope="module")
+def small_dataset(small_case):
+    return simulate_faults(
+        small_case.mcc(), list(small_case.faults), small_case.setup
+    )
+
+
+class TestInvariantsHold:
+    def test_run_invariants_clean(self, small_case, small_dataset):
+        mismatches, n_checks = run_invariants(small_case, small_dataset)
+        assert mismatches == []
+        assert n_checks > 0
+
+    def test_functional_configuration(self, small_case):
+        assert check_functional_configuration(small_case) == []
+
+    def test_transparent_configuration(self, small_case):
+        assert check_transparent_configuration(small_case) == []
+
+    def test_epsilon_monotonicity(self, small_case):
+        assert check_epsilon_monotonicity(small_case) == []
+
+    def test_impedance_scaling_large_factor(
+        self, small_case, small_dataset
+    ):
+        mismatches = check_impedance_scaling(
+            small_case, small_dataset, k=100.0
+        )
+        assert mismatches == []
+
+    def test_grid_refinement_triple(self, small_case):
+        assert check_grid_refinement(small_case, factor=3) == []
+
+
+class TestInvariantsFire:
+    def test_consistency_catches_corrupt_mask(
+        self, small_case, small_dataset
+    ):
+        key = next(
+            k
+            for k, r in small_dataset.results.items()
+            if r.detectable
+        )
+        results = dict(small_dataset.results)
+        results[key] = dataclasses.replace(
+            results[key],
+            mask=np.zeros_like(results[key].mask),
+        )
+        corrupt = dataclasses.replace(
+            small_dataset, results=results
+        )
+        mismatches = check_matrix_table_consistency(
+            small_case, corrupt
+        )
+        assert mismatches
+        assert (
+            mismatches[0].check == "invariant-matrix-consistency"
+        )
+
+    def test_consistency_catches_corrupt_verdict(
+        self, small_case, small_dataset
+    ):
+        key = next(
+            k
+            for k, r in small_dataset.results.items()
+            if r.detectable
+        )
+        results = dict(small_dataset.results)
+        results[key] = dataclasses.replace(
+            results[key], detectable=False
+        )
+        corrupt = dataclasses.replace(
+            small_dataset, results=results
+        )
+        mismatches = check_matrix_table_consistency(
+            small_case, corrupt
+        )
+        assert mismatches

@@ -2,7 +2,14 @@
 
 from .ac import FrequencyResponse, ac_analysis, dc_gain, transfer_at
 from .corners import CornerAnalysis, corner_analysis
-from .mna import MnaSystem, Solution
+from .kernel import (
+    KERNELS,
+    KernelStats,
+    SweepRequest,
+    solve_requests,
+    validate_kernel,
+)
+from .mna import MnaSystem, Solution, shared_system
 from .montecarlo import (
     ToleranceAnalysis,
     epsilon_headroom,
@@ -46,7 +53,10 @@ __all__ = [
     "CornerAnalysis",
     "FrequencyGrid",
     "FrequencyResponse",
+    "KERNELS",
+    "KernelStats",
     "MnaSystem",
+    "SweepRequest",
     "NoiseResult",
     "RationalTransferFunction",
     "SensitivityCurve",
@@ -72,9 +82,12 @@ __all__ = [
     "pulse",
     "rank_components",
     "sensitivity_map",
+    "shared_system",
     "sine",
+    "solve_requests",
     "step",
     "step_response",
     "transfer_at",
     "transient_analysis",
+    "validate_kernel",
 ]

@@ -15,13 +15,14 @@ sweeps of the DFT study cheap.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..circuit.components import Branch, GROUND, Stamper
 from ..circuit.netlist import Circuit
 from ..errors import AnalysisError, SingularCircuitError
+from .kernel import KernelStats, SweepRequest, solve_requests, solve_reusing_lu
 
 RowRef = Union[str, Branch]
 
@@ -151,10 +152,15 @@ class MnaSystem:
         return self.G + s * self.C
 
     def solve_s(self, s: complex) -> Solution:
-        """Solve the system at complex frequency ``s``."""
+        """Solve the system at complex frequency ``s``.
+
+        Repeated solves at the same ``s`` (transfer-point probes, DC
+        gains, transient stepping) reuse one LU factorization through
+        the instance's bounded factor cache.
+        """
         matrix = self.matrix_at(s)
         try:
-            x = np.linalg.solve(matrix, self.z)
+            x = solve_reusing_lu(matrix, self.z, self._lu_cache, s)
         except np.linalg.LinAlgError:
             raise SingularCircuitError(
                 f"{self.circuit.title}: MNA matrix singular at s={s!r} — "
@@ -171,50 +177,99 @@ class MnaSystem:
         return self.solve_s(2j * np.pi * frequency_hz)
 
     def solve_many(self, frequencies_hz: np.ndarray) -> List[Solution]:
-        """Solve at every frequency of a sweep."""
-        return [self.solve_at(f) for f in np.asarray(frequencies_hz, float)]
+        """Solve at every frequency of a sweep, batched.
 
-    def sweep_voltage(self, node: str, frequencies_hz: np.ndarray) -> np.ndarray:
+        One stacked LAPACK dispatch covers the whole sweep; a singular
+        grid falls back to per-point solves so the error names the
+        exact offending frequency, as the historical loop did.
+        """
+        frequencies = np.asarray(frequencies_hz, dtype=float)
+        request = self.sweep_request()
+        outcome = solve_requests([request], frequencies)[0]
+        if isinstance(outcome, SingularCircuitError):
+            # Per-point fallback to surface the first singular s value
+            # with solve_s's message.
+            return [self.solve_at(f) for f in frequencies]
+        return [
+            Solution(self, outcome[k, :, 0], 2j * np.pi * f)
+            for k, f in enumerate(frequencies)
+        ]
+
+    def sweep_request(self, rhs: Optional[np.ndarray] = None) -> SweepRequest:
+        """This system as a kernel :class:`SweepRequest`.
+
+        ``rhs`` defaults to the assembled excitation vector ``z``; the
+        fast fault engine passes a wider RHS (excitation plus one unit
+        node-pair column per faulted element).
+        """
+        return SweepRequest(
+            G=self.G,
+            C=self.C,
+            rhs=self.z if rhs is None else rhs,
+            title=self.circuit.title,
+        )
+
+    def sweep_voltage(
+        self,
+        node: str,
+        frequencies_hz: np.ndarray,
+        stats: Optional[KernelStats] = None,
+    ) -> np.ndarray:
         """Vector of ``V(node)`` over a frequency sweep.
 
         This is the hot path of fault simulation — the paper's named
         bottleneck is exactly this sweep, repeated per (configuration,
-        fault) pair.  All frequency points are solved in one batched
-        ``numpy.linalg.solve`` call on the stacked matrices
-        ``G + jω_k C`` (LAPACK loops over the leading dimension in C,
-        avoiding Python-level per-point overhead); large sweeps are
-        chunked to bound the ``F·n²`` workspace.
+        fault) pair.  The sweep is delegated to the stacked kernel
+        (:func:`repro.analysis.kernel.solve_requests`): all frequency
+        points are solved in batched ``numpy.linalg.solve`` calls on
+        the stacked matrices ``G + jω_k C``, chunked to bound the
+        ``F·n²`` workspace.  ``stats`` (optional) accumulates the solve
+        and factorization counts.
         """
         frequencies = np.asarray(frequencies_hz, dtype=float)
         out_index = self.index_of(node)
         if out_index < 0:
             return np.zeros(frequencies.shape, dtype=complex)
-        values = np.empty(frequencies.shape, dtype=complex)
-        two_pi_j = 2j * np.pi
-        # ~4 MB of complex128 workspace per chunk at n=128.
-        chunk = max(1, int(2_000_000 // max(self.size * self.size, 1)))
-        for start in range(0, frequencies.size, chunk):
-            freqs = frequencies[start:start + chunk]
-            matrices = (
-                self.G[np.newaxis, :, :]
-                + (two_pi_j * freqs)[:, np.newaxis, np.newaxis]
-                * self.C[np.newaxis, :, :]
-            )
-            try:
-                solutions = np.linalg.solve(
-                    matrices,
-                    np.broadcast_to(
-                        self.z, (freqs.size, self.size)
-                    )[..., np.newaxis],
-                )
-            except np.linalg.LinAlgError:
-                raise SingularCircuitError(
-                    f"{self.circuit.title}: MNA matrix singular within "
-                    f"[{freqs[0]:g}, {freqs[-1]:g}] Hz"
-                ) from None
-            values[start:start + chunk] = solutions[:, out_index, 0]
+        outcome = solve_requests(
+            [self.sweep_request()], frequencies, stats
+        )[0]
+        if isinstance(outcome, SingularCircuitError):
+            raise outcome from None
+        values = outcome[:, out_index, 0]
         if not np.all(np.isfinite(values)):
             raise SingularCircuitError(
                 f"{self.circuit.title}: non-finite response in sweep"
             )
         return values
+
+
+#: per-process assembled-system cache backing :func:`shared_system`
+_SHARED_SYSTEMS: Dict[str, MnaSystem] = {}
+
+#: assembled systems kept per process (FIFO-evicted beyond this)
+SHARED_SYSTEM_LIMIT = 64
+
+
+def shared_system(circuit: Circuit) -> MnaSystem:
+    """Per-process :class:`MnaSystem` cache keyed by netlist content.
+
+    Campaign work units of the same configuration (fault chunks split
+    for scheduling) carry *equal* emulated circuits; caching the
+    assembly by ``circuit.netlist()`` — the same content identity the
+    campaign's unit keys trust — lets every chunk share one ``(G, C)``
+    pencil and one LU cache.  Under a fork-based process pool the
+    parent's entries are inherited copy-on-write, so workers read the
+    prefactorized stacks zero-copy.
+
+    The cache is bounded (:data:`SHARED_SYSTEM_LIMIT`, FIFO) so fault
+    campaigns over thousands of distinct faulty circuits cannot grow it
+    without bound.
+    """
+    key = circuit.netlist()
+    system = _SHARED_SYSTEMS.get(key)
+    if system is None:
+        system = MnaSystem(circuit)
+        if len(_SHARED_SYSTEMS) >= SHARED_SYSTEM_LIMIT:
+            _SHARED_SYSTEMS.pop(next(iter(_SHARED_SYSTEMS)))
+        _SHARED_SYSTEMS[key] = system
+    return system

@@ -8,8 +8,9 @@ Computes the output noise spectral density of a circuit the way SPICE's
 * every opamp contributes an equivalent input voltage noise density
   ``e_n²`` in series with its non-inverting input (a plain white model;
   pass ``en_v_per_rt_hz`` per analysis);
-* each contribution is propagated to the output through one MNA solve
-  per (source, frequency) pair and summed in power.
+* each contribution is propagated to the output through the adjoint
+  (transposed) system — one stacked solve of ``(G + jωC)ᵀ y = e_out``
+  per frequency covers *every* generator at once — and summed in power.
 
 Validation anchors (see the tests): a lone RC lowpass integrates to the
 textbook ``kT/C`` total output noise, a resistive divider shows the
@@ -28,7 +29,8 @@ import numpy as np
 from ..circuit.components import Resistor, Switch
 from ..circuit.netlist import Circuit
 from ..circuit.opamp import OpAmp
-from ..errors import AnalysisError
+from ..errors import AnalysisError, SingularCircuitError
+from .kernel import SweepRequest, solve_requests
 from .mna import MnaSystem
 from .sweep import FrequencyGrid
 
@@ -152,9 +154,14 @@ def noise_analysis(
     """Output-referred noise spectrum of ``circuit``.
 
     Independent sources are silenced (their small-signal amplitude is
-    irrelevant: noise propagation uses unit injections).  For every
-    noise generator the transfer to the output is computed by direct
-    superposition — one MNA solve per (generator, frequency).
+    irrelevant: noise propagation uses unit injections).  The transfer
+    of every generator to the output comes from the **adjoint system**:
+    one stacked solve of ``(G + jωC)ᵀ y = e_out`` per frequency yields
+    the output row of the inverse, from which each generator's transfer
+    is read off — no explicit matrix inverse, no per-generator solves.
+    A singular grid point raises the typed :class:`AnalysisError`
+    naming the frequency; a nearly singular system that would return
+    non-finite garbage is caught by an explicit finiteness guard.
 
     Parameters
     ----------
@@ -189,25 +196,53 @@ def noise_analysis(
         for name, *_ in sources
     }
 
-    for k, f in enumerate(frequencies):
-        matrix = system.G + (2j * np.pi * f) * system.C
-        try:
-            lu_inverse = np.linalg.inv(matrix)
-        except np.linalg.LinAlgError:
+    if out_index >= 0:
+        # Adjoint method: (G + jωC)ᵀ y = e_out gives the output row of
+        # the inverse, so (A⁻¹)[out, i] = y[i].  One stacked solve per
+        # frequency replaces the historical explicit matrix inverse.
+        e_out = np.zeros(system.size, dtype=complex)
+        e_out[out_index] = 1.0
+        outcome = solve_requests(
+            [
+                SweepRequest(
+                    G=system.G.T,
+                    C=system.C.T,
+                    rhs=e_out,
+                    title=circuit.title,
+                )
+            ],
+            frequencies,
+        )[0]
+        if isinstance(outcome, SingularCircuitError):
+            # Re-solve point-by-point to name the offending frequency.
+            for f in frequencies:
+                matrix = system.G.T + (2j * np.pi * f) * system.C.T
+                try:
+                    np.linalg.solve(matrix, e_out)
+                except np.linalg.LinAlgError:
+                    raise AnalysisError(
+                        f"{circuit.title}: singular at {f:g} Hz in "
+                        "noise analysis"
+                    ) from None
             raise AnalysisError(
-                f"{circuit.title}: singular at {f:g} Hz in noise analysis"
+                f"{circuit.title}: singular matrix in noise analysis"
             ) from None
+        y = outcome[:, :, 0]
+        if not np.all(np.isfinite(y)):
+            raise AnalysisError(
+                f"{circuit.title}: non-finite noise transfer (nearly "
+                "singular matrix) in noise analysis"
+            )
         for name, np_node, nn_node, psd, kind in sources:
             i = system.index_of(np_node)
             j = system.index_of(nn_node)
             if kind == "current":
                 # Unit current from np to nn: rhs -1 at np, +1 at nn.
-                transfer = 0.0 + 0.0j
-                if out_index >= 0:
-                    if i >= 0:
-                        transfer -= lu_inverse[out_index, i]
-                    if j >= 0:
-                        transfer += lu_inverse[out_index, j]
+                transfer = np.zeros(frequencies.size, dtype=complex)
+                if i >= 0:
+                    transfer -= y[:, i]
+                if j >= 0:
+                    transfer += y[:, j]
             else:
                 # Equivalent input voltage noise of an opamp: shift the
                 # differential input by 1 V. For the ideal/single-pole
@@ -222,12 +257,8 @@ def noise_analysis(
                     if amp.model.is_ideal  # type: ignore[union-attr]
                     else amp.model.a0  # type: ignore[union-attr]
                 )
-                transfer = (
-                    lu_inverse[out_index, row] * gain_row
-                    if out_index >= 0
-                    else 0.0
-                )
-            contributions[name][k] += psd * float(np.abs(transfer) ** 2)
+                transfer = y[:, row] * gain_row
+            contributions[name] += psd * np.abs(transfer) ** 2
 
     total = np.zeros(frequencies.size)
     for density in contributions.values():

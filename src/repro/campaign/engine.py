@@ -53,6 +53,7 @@ def run_campaign(
     executor: Optional[Executor] = None,
     cache: Optional[ResultCache] = None,
     telemetry: Optional[CampaignTelemetry] = None,
+    kernel: str = "loop",
 ) -> DetectabilityDataset:
     """Run a fault × configuration campaign through the engine.
 
@@ -60,7 +61,8 @@ def run_campaign(
     :func:`repro.faults.simulator.simulate_faults` (and, with
     ``engine="fast"``, of
     :func:`repro.faults.fast_simulator.simulate_faults_fast`) — the
-    returned dataset is bit-identical for every executor and chunking.
+    returned dataset is bit-identical for every executor, chunking
+    and solve ``kernel`` (``"loop"`` or ``"stacked"``).
     """
     plan = plan_campaign(
         mcc,
@@ -69,6 +71,7 @@ def run_campaign(
         configs=configs,
         engine=engine,
         chunk_size=chunk_size,
+        kernel=kernel,
     )
     return execute_plan(
         plan, executor=executor, cache=cache, telemetry=telemetry
@@ -138,6 +141,7 @@ def assemble_dataset(
     nominal = {}
     results: Dict[Tuple[int, str], DetectabilityResult] = {}
     n_solves = 0
+    n_factorizations = 0
     for unit in plan.units:
         outcome = outcomes[unit.unit_id]
         result = outcome.result
@@ -151,6 +155,8 @@ def assemble_dataset(
             results[(unit.config_index, label)] = result.results[label]
         if not outcome.from_cache:
             n_solves += result.n_solves
+            # campaign-v1 cache entries predate the counter
+            n_factorizations += getattr(result, "n_factorizations", 0)
     return DetectabilityDataset(
         configs=plan.configs,
         fault_labels=plan.fault_labels,
@@ -158,6 +164,7 @@ def assemble_dataset(
         nominal=nominal,
         results=results,
         n_solves=n_solves,
+        n_factorizations=n_factorizations,
     )
 
 

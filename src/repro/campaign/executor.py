@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..analysis.ac import FrequencyResponse
+from ..analysis.kernel import KernelStats
 from ..core.detectability import DetectabilityResult
 from ..faults.fast_simulator import simulate_configuration_fast
 from ..faults.simulator import simulate_configuration
@@ -49,6 +50,9 @@ class UnitResult:
     nominal: FrequencyResponse
     results: Dict[str, DetectabilityResult]
     n_solves: int
+    #: LU factorizations performed by the stacked kernel (0 under the
+    #: loop kernel; absent in campaign-v1 cache entries)
+    n_factorizations: int = 0
 
 
 @dataclass
@@ -74,14 +78,24 @@ class UnitOutcome:
 
 
 def execute_unit(unit: WorkUnit) -> UnitResult:
-    """Simulate one work unit (runs in the parent or a worker process)."""
+    """Simulate one work unit (runs in the parent or a worker process).
+
+    The unit's ``kernel`` picks the solve dispatch; a
+    :class:`~repro.analysis.kernel.KernelStats` accumulator feeds the
+    factorization counter back into the result so campaign telemetry
+    can report it.
+    """
+    kernel = getattr(unit, "kernel", "loop")
+    stats = KernelStats()
     if unit.engine == FAST:
         nominal, results, n_solves = simulate_configuration_fast(
-            unit.circuit, unit.output, unit.faults, unit.labels, unit.setup
+            unit.circuit, unit.output, unit.faults, unit.labels,
+            unit.setup, kernel=kernel, stats=stats,
         )
     else:
         nominal, results, n_solves = simulate_configuration(
-            unit.circuit, unit.output, unit.faults, unit.labels, unit.setup
+            unit.circuit, unit.output, unit.faults, unit.labels,
+            unit.setup, kernel=kernel, stats=stats,
         )
     return UnitResult(
         key=unit.key,
@@ -90,6 +104,7 @@ def execute_unit(unit: WorkUnit) -> UnitResult:
         nominal=nominal,
         results=results,
         n_solves=n_solves,
+        n_factorizations=stats.factorizations,
     )
 
 

@@ -33,6 +33,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..analysis.kernel import validate_kernel
 from ..circuit.netlist import Circuit
 from ..dft.configuration import Configuration
 from ..dft.transform import MultiConfigurationCircuit
@@ -43,7 +44,8 @@ from ..faults.universe import check_unique_names
 
 #: bumped whenever the unit result layout or key recipe changes, so stale
 #: cache entries from older library versions can never be misread
-PLAN_FORMAT = "campaign-v1"
+#: (v2: unit results grew the ``n_factorizations`` counter)
+PLAN_FORMAT = "campaign-v2"
 
 #: supported simulation engines for a work unit
 STANDARD = "standard"
@@ -92,6 +94,13 @@ class WorkUnit:
     engine:
         ``"standard"`` (one AC sweep per fault) or ``"fast"``
         (Sherman–Morrison rank-1 batch with per-fault fallback).
+    kernel:
+        ``"loop"`` or ``"stacked"`` — the solve-dispatch strategy the
+        unit's sweeps use (:mod:`repro.analysis.kernel`).  The kernel
+        is deliberately **not** part of the content key: both kernels
+        produce bit-identical results (enforced by the ``stacked ≡
+        loop`` verification invariant), so cached results are shared
+        across kernels.
     key:
         SHA-256 content hash; the cache address of the unit's result.
     """
@@ -105,6 +114,7 @@ class WorkUnit:
     labels: Tuple[str, ...]
     setup: SimulationSetup
     engine: str = STANDARD
+    kernel: str = "loop"
     key: str = ""
 
     @property
@@ -157,6 +167,7 @@ class CampaignPlan:
     units: Tuple[WorkUnit, ...]
     engine: str
     chunk_size: Optional[int]
+    kernel: str = "loop"
 
     @property
     def n_units(self) -> int:
@@ -179,7 +190,8 @@ class CampaignPlan:
         return (
             f"campaign plan: {self.n_configs} configuration(s) x "
             f"{self.n_faults} fault(s) -> {self.n_units} unit(s) "
-            f"(chunk {chunk}, engine {self.engine})"
+            f"(chunk {chunk}, engine {self.engine}, "
+            f"kernel {self.kernel})"
         )
 
 
@@ -198,18 +210,22 @@ def plan_campaign(
     configs: Optional[Sequence[Configuration]] = None,
     engine: str = STANDARD,
     chunk_size: Optional[int] = None,
+    kernel: str = "loop",
 ) -> CampaignPlan:
     """Decompose a fault-simulation campaign into hashed work units.
 
     Parameters mirror :func:`repro.faults.simulator.simulate_faults`;
-    ``engine`` selects the per-unit simulation strategy and
+    ``engine`` selects the per-unit simulation strategy,
     ``chunk_size`` bounds the number of faults per unit (``None`` keeps
-    each configuration whole).
+    each configuration whole) and ``kernel`` picks the solve dispatch
+    (``"loop"`` or ``"stacked"``; results are bit-identical either
+    way, so the kernel does not enter the unit content keys).
     """
     if engine not in ENGINES:
         raise CampaignError(
             f"unknown campaign engine {engine!r}; use one of {ENGINES}"
         )
+    validate_kernel(kernel)
     if chunk_size is not None and chunk_size < 1:
         raise CampaignError(f"chunk_size must be >= 1, got {chunk_size}")
     check_unique_names(faults)
@@ -252,6 +268,7 @@ def plan_campaign(
                     labels=chunk_labels,
                     setup=setup,
                     engine=engine,
+                    kernel=kernel,
                     key=unit_key(
                         emulated,
                         output,
@@ -270,4 +287,5 @@ def plan_campaign(
         units=tuple(units),
         engine=engine,
         chunk_size=chunk_size,
+        kernel=kernel,
     )

@@ -56,6 +56,7 @@ class CampaignTelemetry:
             "units_done": 0,
             "cache_hits": 0,
             "solves": 0,
+            "factorizations": 0,
             "retries": 0,
             "failures": 0,
         }
@@ -115,6 +116,7 @@ class CampaignTelemetry:
                     "faults": plan.n_faults,
                     "engine": plan.engine,
                     "chunk_size": plan.chunk_size,
+                    "kernel": getattr(plan, "kernel", "loop"),
                     "executor": executor_name,
                     "jobs": jobs,
                 },
@@ -130,6 +132,9 @@ class CampaignTelemetry:
                 counters["cache_hits"] += 1
             elif outcome.result is not None:
                 counters["solves"] += outcome.result.n_solves
+                counters["factorizations"] += getattr(
+                    outcome.result, "n_factorizations", 0
+                )
             fields = {
                 "unit": outcome.unit.unit_id,
                 "config": outcome.unit.config_label,
@@ -138,6 +143,11 @@ class CampaignTelemetry:
                 "cache_hit": outcome.from_cache,
                 "solves": (
                     outcome.result.n_solves
+                    if outcome.result is not None and not outcome.from_cache
+                    else 0
+                ),
+                "factorizations": (
+                    getattr(outcome.result, "n_factorizations", 0)
                     if outcome.result is not None and not outcome.from_cache
                     else 0
                 ),

@@ -141,6 +141,7 @@ def _campaign(circuit: Circuit, args):
             executor=executor,
             cache=cache,
             telemetry=telemetry,
+            kernel=getattr(args, "kernel", "loop"),
         )
     finally:
         if telemetry is not None:
@@ -201,7 +202,8 @@ def cmd_campaign(args) -> int:
     setup = SimulationSetup(grid=grid, epsilon=args.epsilon)
 
     plan = plan_campaign(
-        mcc, faults, setup, engine=args.engine, chunk_size=args.chunk
+        mcc, faults, setup, engine=args.engine, chunk_size=args.chunk,
+        kernel=getattr(args, "kernel", "loop"),
     )
     executor, cache, _ = _campaign_parts(args)
     telemetry = CampaignTelemetry(
@@ -474,6 +476,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--progress", action="store_true",
             help="paint a live progress line on stderr",
+        )
+        p.add_argument(
+            "--kernel", choices=["loop", "stacked"], default="loop",
+            help="solve dispatch: per-frequency loop or stacked batched "
+            "LAPACK calls (bit-identical results; default loop)",
         )
 
     p_faultsim = sub.add_parser(

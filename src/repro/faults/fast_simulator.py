@@ -24,6 +24,15 @@ plus one unit vector per faulted node pair — replaces the per-fault
 sweeps entirely.  For the biquad campaign this turns 63 sweeps into 7,
 and the advantage grows linearly with the fault count.
 
+The sweeps themselves are dispatched through the stacked kernel
+(:mod:`repro.analysis.kernel`): with ``kernel="loop"`` each
+configuration's multi-RHS sweep is one batched solve over its
+frequency grid; with ``kernel="stacked"`` *every* configuration's
+sweep — plus every per-fault fallback sweep — is assembled up front
+and stacked into shared LAPACK dispatches across configurations.
+Either way the results are bit-identical (the ``stacked ≡ loop``
+verification invariant enforces exact equality).
+
 Faults outside the supported class (``MultipleFault``, faults on
 branch-based inductors whose replacement changes the matrix structure)
 fall back transparently to the exact per-fault engine, so
@@ -39,7 +48,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.ac import FrequencyResponse
-from ..analysis.mna import MnaSystem
+from ..analysis.kernel import (
+    KernelStats,
+    solve_requests,
+    validate_kernel,
+)
+from ..analysis.mna import MnaSystem, shared_system
 from ..circuit.components import Capacitor, Resistor
 from ..circuit.netlist import Circuit
 from ..core.detectability import evaluate_detectability
@@ -51,6 +65,7 @@ from .simulator import (
     DetectabilityDataset,
     SimulationSetup,
     _fault_label,
+    _sweep_values_from,
 )
 from .universe import check_unique_names
 
@@ -93,27 +108,41 @@ def _admittance_change(
     return element.n1, element.n2, y_new - y_old
 
 
-def _sweep_with_updates(
+def _split_faults(
     circuit: Circuit,
-    output: str,
-    frequencies: np.ndarray,
+    faults: Sequence[Fault],
+    labels: Sequence[str],
+    omega: np.ndarray,
+) -> Tuple[
+    List[Tuple[str, Tuple[str, str, np.ndarray]]],
+    List[Tuple[Fault, str]],
+]:
+    """Partition a fault chunk into rank-1 updates and slow fallbacks."""
+    rank1: List[Tuple[str, Tuple[str, str, np.ndarray]]] = []
+    slow: List[Tuple[Fault, str]] = []
+    for fault, label in zip(faults, labels):
+        change = _admittance_change(fault, circuit, omega)
+        if change is None:
+            slow.append((fault, label))
+        else:
+            rank1.append((label, change))
+    return rank1, slow
+
+
+def _rank1_prepare(
+    system: MnaSystem,
     rank1_faults: Sequence[Tuple[str, Tuple[str, str, np.ndarray]]],
-) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
-    """Nominal response plus every rank-1-faulty response in one pass.
+) -> Tuple[Dict[Tuple[str, str], int], np.ndarray, np.ndarray]:
+    """Unit node-pair vectors and the multi-RHS block of one sweep.
 
-    Returns ``(nominal_values, {fault_label: faulty_values})``.
+    Returns ``(pair_column, u_vectors, rhs)`` where ``rhs[:, 0]`` is
+    the nominal excitation and ``rhs[:, k]`` (``k ≥ 1``) is the unit
+    difference vector of the *k*-th distinct faulted node pair.
     """
-    system = MnaSystem(circuit)
-    out_index = system.index_of(output)
-    omega = 2.0 * np.pi * frequencies
     n = system.size
-
-    # Unique node pairs -> unit-difference vectors.
-    pair_of_label: Dict[str, Tuple[str, str]] = {}
     pairs: List[Tuple[str, str]] = []
-    for label, (n1, n2, _) in rank1_faults:
+    for _, (n1, n2, _) in rank1_faults:
         pair = (n1, n2)
-        pair_of_label[label] = pair
         if pair not in pairs:
             pairs.append(pair)
     pair_column = {pair: k + 1 for k, pair in enumerate(pairs)}
@@ -129,68 +158,95 @@ def _sweep_with_updates(
         if j >= 0:
             u_vectors[j, column - 1] -= 1.0
         rhs[:, column] = u_vectors[:, column - 1]
+    return pair_column, u_vectors, rhs
 
-    nominal = np.empty(frequencies.size, dtype=complex)
-    faulty = {
-        label: np.empty(frequencies.size, dtype=complex)
-        for label, _ in rank1_faults
-    }
 
-    chunk = max(1, int(2_000_000 // max(n * n, 1)))
-    two_pi_j = 2j * np.pi
-    for start in range(0, frequencies.size, chunk):
-        freqs = frequencies[start:start + chunk]
-        f_slice = slice(start, start + freqs.size)
-        matrices = (
-            system.G[np.newaxis, :, :]
-            + (two_pi_j * freqs)[:, np.newaxis, np.newaxis]
-            * system.C[np.newaxis, :, :]
-        )
-        try:
-            solutions = np.linalg.solve(
-                matrices,
-                np.broadcast_to(rhs, (freqs.size,) + rhs.shape),
-            )
-        except np.linalg.LinAlgError:
+def _rank1_responses(
+    solutions: np.ndarray,
+    out_index: int,
+    rank1_faults: Sequence[Tuple[str, Tuple[str, str, np.ndarray]]],
+    pair_column: Dict[Tuple[str, str], int],
+    u_vectors: np.ndarray,
+    title: str,
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Sherman–Morrison evaluation of one solved multi-RHS sweep.
+
+    ``solutions`` is the kernel's ``(F, n, 1+P)`` array: the nominal
+    solve in column 0 and ``A⁻¹U`` in the rest.  Returns
+    ``(nominal_values, {fault_label: faulty_values})``; raises the loop
+    engine's exact errors for singular rank-1 denominators and
+    non-finite nominal responses.
+    """
+    x = solutions[:, :, 0]
+    w = solutions[:, :, 1:]
+    n_freq = x.shape[0]
+    x_out = x[:, out_index] if out_index >= 0 else np.zeros(n_freq)
+
+    # u^T x and u^T A^-1 u per pair (einsum over the node axis).
+    ut_x = np.einsum("np,fn->fp", u_vectors, x)
+    ut_w = np.einsum("np,fnp->fp", u_vectors, w)
+    w_out = (
+        w[:, out_index, :]
+        if out_index >= 0
+        else np.zeros((n_freq, u_vectors.shape[1]))
+    )
+
+    faulty: Dict[str, np.ndarray] = {}
+    for label, (n1, n2, delta) in rank1_faults:
+        column = pair_column[(n1, n2)] - 1
+        denominator = 1.0 + delta * ut_w[:, column]
+        if np.any(np.abs(denominator) < 1e-300):
             raise SingularCircuitError(
-                f"{circuit.title}: singular within "
-                f"[{freqs[0]:g}, {freqs[-1]:g}] Hz"
-            ) from None
-        x = solutions[:, :, 0]                  # (F, n) nominal
-        w = solutions[:, :, 1:]                 # (F, n, P) = A^-1 U
-        x_out = (
-            x[:, out_index] if out_index >= 0 else np.zeros(freqs.size)
-        )
-        nominal[f_slice] = x_out
+                f"{title}: rank-1 update singular for {label}"
+            )
+        faulty[label] = x_out - (
+            delta * ut_x[:, column] / denominator
+        ) * w_out[:, column]
 
-        # u^T x and u^T A^-1 u per pair (einsum over the node axis).
-        ut_x = np.einsum("np,fn->fp", u_vectors, x)
-        ut_w = np.einsum("np,fnp->fp", u_vectors, w)
-        w_out = (
-            w[:, out_index, :]
-            if out_index >= 0
-            else np.zeros((freqs.size, len(pairs)))
-        )
+    if not np.all(np.isfinite(x_out)):
+        raise SingularCircuitError(f"{title}: non-finite nominal response")
+    return x_out, faulty
 
-        omega_slice = omega[f_slice]
-        for label, (n1, n2, delta) in rank1_faults:
-            column = pair_column[(n1, n2)] - 1
-            d = delta[f_slice]
-            denominator = 1.0 + d * ut_w[:, column]
-            if np.any(np.abs(denominator) < 1e-300):
-                raise SingularCircuitError(
-                    f"{circuit.title}: rank-1 update singular for "
-                    f"{label}"
-                )
-            faulty[label][f_slice] = x_out - (
-                d * ut_x[:, column] / denominator
-            ) * w_out[:, column]
 
-    if not np.all(np.isfinite(nominal)):
-        raise SingularCircuitError(
-            f"{circuit.title}: non-finite nominal response"
-        )
-    return nominal, faulty
+def _sweep_with_updates(
+    circuit: Circuit,
+    output: str,
+    frequencies: np.ndarray,
+    rank1_faults: Sequence[Tuple[str, Tuple[str, str, np.ndarray]]],
+    stats: Optional[KernelStats] = None,
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Nominal response plus every rank-1-faulty response in one pass.
+
+    One multi-RHS sweep — dispatched through the stacked kernel — plus
+    pure-numpy Sherman–Morrison algebra.  Returns
+    ``(nominal_values, {fault_label: faulty_values})``.
+    """
+    system = shared_system(circuit)
+    out_index = system.index_of(output)
+    pair_column, u_vectors, rhs = _rank1_prepare(system, rank1_faults)
+    request = system.sweep_request(rhs)
+    request.singular_what = "singular"
+    outcome = solve_requests([request], frequencies, stats)[0]
+    if isinstance(outcome, SingularCircuitError):
+        raise outcome from None
+    return _rank1_responses(
+        outcome, out_index, rank1_faults, pair_column, u_vectors,
+        circuit.title,
+    )
+
+
+def _slow_fault_entries(
+    circuit: Circuit, output: str, slow: Sequence[Tuple[Fault, str]]
+):
+    """Sweep entries (title, out_index, request) for non-rank-1 faults."""
+    entries = []
+    for fault, _ in slow:
+        variant = fault.apply(circuit)
+        system = MnaSystem(variant)
+        out_index = system.index_of(output)
+        request = system.sweep_request() if out_index >= 0 else None
+        entries.append((variant.title, out_index, request))
+    return entries
 
 
 def simulate_configuration_fast(
@@ -199,6 +255,8 @@ def simulate_configuration_fast(
     faults: Sequence[Fault],
     labels: Sequence[str],
     setup: SimulationSetup,
+    kernel: str = "loop",
+    stats: Optional[KernelStats] = None,
 ) -> Tuple[FrequencyResponse, Dict[str, "DetectabilityResult"], int]:
     """One configuration's campaign share through the rank-1 fast path.
 
@@ -206,24 +264,26 @@ def simulate_configuration_fast(
     outside the rank-1 class fall back to per-fault exact sweeps.  Both
     :func:`simulate_faults_fast` and the campaign engine's ``"fast"``
     work units run through here.
+
+    ``kernel="stacked"`` batches the configuration's multi-RHS sweep
+    *and* every slow-fault fallback sweep into one kernel dispatch;
+    ``stats`` accumulates solve/factorization counters when given.
     """
     if output is None:
         raise AnalysisError("no output node designated")
+    validate_kernel(kernel)
     grid = setup.grid
     frequencies = grid.frequencies_hz
     omega = 2.0 * np.pi * frequencies
+    rank1, slow = _split_faults(circuit, faults, labels, omega)
 
-    rank1: List[Tuple[str, Tuple[str, str, np.ndarray]]] = []
-    slow: List[Tuple[Fault, str]] = []
-    for fault, label in zip(faults, labels):
-        change = _admittance_change(fault, circuit, omega)
-        if change is None:
-            slow.append((fault, label))
-        else:
-            rank1.append((label, change))
+    if kernel == "stacked":
+        return _simulate_configuration_fast_stacked(
+            circuit, output, rank1, slow, setup, stats
+        )
 
     nominal_values, faulty_values = _sweep_with_updates(
-        circuit, output, frequencies, rank1
+        circuit, output, frequencies, rank1, stats
     )
     n_solves = 1
     nominal_response = FrequencyResponse(
@@ -257,6 +317,172 @@ def simulate_configuration_fast(
     return nominal_response, results, n_solves
 
 
+def _simulate_configuration_fast_stacked(
+    circuit: Circuit,
+    output: str,
+    rank1,
+    slow,
+    setup: SimulationSetup,
+    stats: Optional[KernelStats] = None,
+) -> Tuple[FrequencyResponse, Dict[str, "DetectabilityResult"], int]:
+    """Stacked-kernel twin of the fast per-configuration path."""
+    grid = setup.grid
+    frequencies = grid.frequencies_hz
+
+    system = shared_system(circuit)
+    out_index = system.index_of(output)
+    pair_column, u_vectors, rhs = _rank1_prepare(system, rank1)
+    main = system.sweep_request(rhs)
+    main.singular_what = "singular"
+    slow_entries = _slow_fault_entries(circuit, output, slow)
+    requests = [main] + [r for (_, _, r) in slow_entries if r is not None]
+
+    outcomes = iter(solve_requests(requests, frequencies, stats))
+    main_outcome = next(outcomes)
+    if isinstance(main_outcome, SingularCircuitError):
+        raise main_outcome from None
+    nominal_values, faulty_values = _rank1_responses(
+        main_outcome, out_index, rank1, pair_column, u_vectors,
+        circuit.title,
+    )
+    nominal_response = FrequencyResponse(
+        grid=grid,
+        values=nominal_values,
+        label=f"{circuit.title}:V({output})",
+    )
+
+    results: Dict[str, "DetectabilityResult"] = {}
+    for label, values in faulty_values.items():
+        results[label] = evaluate_detectability(
+            nominal_response,
+            FrequencyResponse(grid=grid, values=values),
+            setup.epsilon,
+            setup.criterion,
+        )
+    n_solves = 1
+    for (fault_label, entry) in zip(
+        [label for _, label in slow], slow_entries
+    ):
+        title, slow_out_index, request = entry
+        if request is None:
+            values = np.zeros(frequencies.shape, dtype=complex)
+        else:
+            values = _sweep_values_from(
+                next(outcomes), slow_out_index, title
+            )
+        n_solves += 1
+        results[fault_label] = evaluate_detectability(
+            nominal_response,
+            FrequencyResponse(
+                grid=grid, values=values, label=f"{title}:V({output})"
+            ),
+            setup.epsilon,
+            setup.criterion,
+        )
+    return nominal_response, results, n_solves
+
+
+def _simulate_faults_fast_stacked(
+    mcc: MultiConfigurationCircuit,
+    faults: Sequence[Fault],
+    setup: SimulationSetup,
+    configs: Sequence[Configuration],
+    labels: Sequence[str],
+) -> DetectabilityDataset:
+    """Whole-campaign stacked fast path: every configuration's
+    Sherman–Morrison sweep (and slow-fault fallback) in one kernel
+    dispatch sequence.
+    """
+    stats = KernelStats()
+    grid = setup.grid
+    frequencies = grid.frequencies_hz
+    omega = 2.0 * np.pi * frequencies
+
+    requests = []
+    per_config = []
+    for config in configs:
+        emulated = mcc.emulate(config)
+        output = setup.output or emulated.output or mcc.base.output
+        if output is None:
+            raise AnalysisError("no output node designated")
+        rank1, slow = _split_faults(emulated, faults, labels, omega)
+        system = shared_system(emulated)
+        out_index = system.index_of(output)
+        pair_column, u_vectors, rhs = _rank1_prepare(system, rank1)
+        main = system.sweep_request(rhs)
+        main.singular_what = "singular"
+        requests.append(main)
+        slow_entries = _slow_fault_entries(emulated, output, slow)
+        requests.extend(r for (_, _, r) in slow_entries if r is not None)
+        per_config.append(
+            (
+                config, emulated, output, out_index,
+                rank1, slow, pair_column, u_vectors, slow_entries,
+            )
+        )
+
+    outcomes = iter(solve_requests(requests, frequencies, stats))
+
+    nominal: Dict[int, FrequencyResponse] = {}
+    results = {}
+    n_solves = 0
+    for (
+        config, emulated, output, out_index,
+        rank1, slow, pair_column, u_vectors, slow_entries,
+    ) in per_config:
+        main_outcome = next(outcomes)
+        if isinstance(main_outcome, SingularCircuitError):
+            raise main_outcome from None
+        nominal_values, faulty_values = _rank1_responses(
+            main_outcome, out_index, rank1, pair_column, u_vectors,
+            emulated.title,
+        )
+        nominal_response = FrequencyResponse(
+            grid=grid,
+            values=nominal_values,
+            label=f"{emulated.title}:V({output})",
+        )
+        nominal[config.index] = nominal_response
+        n_solves += 1
+        for label, values in faulty_values.items():
+            results[(config.index, label)] = evaluate_detectability(
+                nominal_response,
+                FrequencyResponse(grid=grid, values=values),
+                setup.epsilon,
+                setup.criterion,
+            )
+        for (fault_label, entry) in zip(
+            [label for _, label in slow], slow_entries
+        ):
+            title, slow_out_index, request = entry
+            if request is None:
+                values = np.zeros(frequencies.shape, dtype=complex)
+            else:
+                values = _sweep_values_from(
+                    next(outcomes), slow_out_index, title
+                )
+            n_solves += 1
+            results[(config.index, fault_label)] = evaluate_detectability(
+                nominal_response,
+                FrequencyResponse(
+                    grid=grid, values=values,
+                    label=f"{title}:V({output})",
+                ),
+                setup.epsilon,
+                setup.criterion,
+            )
+
+    return DetectabilityDataset(
+        configs=tuple(configs),
+        fault_labels=tuple(labels),
+        setup=setup,
+        nominal=nominal,
+        results=results,
+        n_solves=n_solves,
+        n_factorizations=stats.factorizations,
+    )
+
+
 def simulate_faults_fast(
     mcc: MultiConfigurationCircuit,
     faults: Sequence[Fault],
@@ -266,6 +492,7 @@ def simulate_faults_fast(
     cache=None,
     telemetry=None,
     chunk_size: Optional[int] = None,
+    kernel: str = "loop",
 ) -> DetectabilityDataset:
     """Drop-in fast variant of :func:`~repro.faults.simulator.simulate_faults`.
 
@@ -278,7 +505,13 @@ def simulate_faults_fast(
     Passing any of ``executor`` / ``cache`` / ``telemetry`` /
     ``chunk_size`` routes the run through the campaign engine (see
     :mod:`repro.campaign`) with ``engine="fast"``.
+
+    ``kernel="stacked"`` additionally stacks every configuration's
+    multi-RHS sweep into shared LAPACK dispatches
+    (:mod:`repro.analysis.kernel`) — bit-identical results, one batched
+    solve sequence for the whole campaign.
     """
+    validate_kernel(kernel)
     if (
         executor is not None
         or cache is not None
@@ -297,6 +530,7 @@ def simulate_faults_fast(
             executor=executor,
             cache=cache,
             telemetry=telemetry,
+            kernel=kernel,
         )
 
     check_unique_names(faults)
@@ -313,6 +547,11 @@ def simulate_faults_fast(
     if len(set(labels)) != len(labels):
         raise AnalysisError(
             "fault labels collide; use fault_name_style='full'"
+        )
+
+    if kernel == "stacked":
+        return _simulate_faults_fast_stacked(
+            mcc, faults, setup, configs, labels
         )
 
     nominal: Dict[int, FrequencyResponse] = {}

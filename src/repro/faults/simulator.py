@@ -23,12 +23,19 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.ac import FrequencyResponse, ac_analysis
+from ..analysis.kernel import (
+    KernelStats,
+    SweepRequest,
+    solve_requests,
+    validate_kernel,
+)
+from ..analysis.mna import MnaSystem, shared_system
 from ..analysis.sweep import FrequencyGrid
 from ..core.detectability import DetectabilityResult, evaluate_detectability
 from ..core.matrix import FaultDetectabilityMatrix, OmegaDetectabilityTable
 from ..dft.configuration import Configuration
 from ..dft.transform import MultiConfigurationCircuit
-from ..errors import AnalysisError
+from ..errors import AnalysisError, SingularCircuitError
 from .model import Fault
 from .universe import check_unique_names
 
@@ -90,6 +97,9 @@ class DetectabilityDataset:
     nominal: Dict[int, FrequencyResponse]
     results: Dict[Tuple[int, str], DetectabilityResult]
     n_solves: int = 0
+    #: LU factorizations performed by the stacked kernel (0 under the
+    #: historical loop kernel, which does not meter its LAPACK calls)
+    n_factorizations: int = 0
     _matrix: Optional[FaultDetectabilityMatrix] = field(
         default=None, repr=False
     )
@@ -177,7 +187,111 @@ class DetectabilityDataset:
                 if key[0] in keep_indices
             },
             n_solves=self.n_solves,
+            n_factorizations=self.n_factorizations,
         )
+
+
+def _sweep_values_from(
+    outcome, out_index: int, title: str
+) -> np.ndarray:
+    """Output row of one kernel outcome, with the loop engine's checks.
+
+    Raises the :class:`SingularCircuitError` the kernel recorded for a
+    singular sweep, and applies ``MnaSystem.sweep_voltage``'s
+    finiteness guard with its exact message.
+    """
+    if isinstance(outcome, SingularCircuitError):
+        raise outcome from None
+    values = outcome[:, out_index, 0]
+    if not np.all(np.isfinite(values)):
+        raise SingularCircuitError(f"{title}: non-finite response in sweep")
+    return values
+
+
+def _stacked_requests(circuit, output: Optional[str], faults):
+    """Sweep entries for one configuration: nominal plus every fault.
+
+    Returns ``(title, probe, out_index, request)`` tuples in the loop
+    engine's evaluation order — the nominal circuit first, then each
+    faulty variant — each with its own assembled MNA system.  A sweep
+    probing ground (``out_index < 0``) carries no request and later
+    yields zeros without solving, exactly like
+    :meth:`~repro.analysis.mna.MnaSystem.sweep_voltage`.  The nominal
+    system comes from the per-process :func:`shared_system` cache so
+    fault chunks of one campaign configuration share a single assembly.
+    """
+    entries = []
+    variants = [circuit] + [fault.apply(circuit) for fault in faults]
+    for variant in variants:
+        probe = output or variant.output
+        if probe is None:
+            raise AnalysisError(
+                f"{variant.title}: no output node designated for AC "
+                "analysis"
+            )
+        system = (
+            shared_system(variant)
+            if variant is circuit
+            else MnaSystem(variant)
+        )
+        out_index = system.index_of(probe)
+        request = system.sweep_request() if out_index >= 0 else None
+        entries.append((variant.title, probe, out_index, request))
+    return entries
+
+
+def _responses_from_entries(
+    entries, outcomes, grid: FrequencyGrid
+) -> list:
+    """Frequency responses of one configuration's sweep entries.
+
+    ``outcomes`` is an iterator over the kernel results of every entry
+    that carries a request; walking entries in order raises the first
+    error exactly where the loop engine would.
+    """
+    responses = []
+    for title, probe, out_index, request in entries:
+        if request is None:
+            values = np.zeros(grid.frequencies_hz.shape, dtype=complex)
+        else:
+            values = _sweep_values_from(next(outcomes), out_index, title)
+        responses.append(
+            FrequencyResponse(
+                grid=grid, values=values, label=f"{title}:V({probe})"
+            )
+        )
+    return responses
+
+
+def _simulate_configuration_stacked(
+    circuit,
+    output: Optional[str],
+    faults: Sequence[Fault],
+    labels: Sequence[str],
+    setup: SimulationSetup,
+    stats: Optional[KernelStats] = None,
+) -> Tuple[FrequencyResponse, Dict[str, DetectabilityResult], int]:
+    """Stacked-kernel twin of :func:`simulate_configuration`.
+
+    The nominal and every faulty sweep of the configuration go through
+    one :func:`~repro.analysis.kernel.solve_requests` dispatch; results
+    are bit-identical to the loop path.
+    """
+    grid = setup.grid
+    entries = _stacked_requests(circuit, output, faults)
+    requests = [r for (_, _, _, r) in entries if r is not None]
+    outcomes = iter(solve_requests(requests, grid.frequencies_hz, stats))
+    responses = _responses_from_entries(entries, outcomes, grid)
+    nominal_response = responses[0]
+    results: Dict[str, DetectabilityResult] = {}
+    for label, faulty_response in zip(labels, responses[1:]):
+        results[label] = evaluate_detectability(
+            nominal_response,
+            faulty_response,
+            setup.epsilon,
+            setup.criterion,
+        )
+    return nominal_response, results, 1 + len(faults)
 
 
 def simulate_configuration(
@@ -186,6 +300,8 @@ def simulate_configuration(
     faults: Sequence[Fault],
     labels: Sequence[str],
     setup: SimulationSetup,
+    kernel: str = "loop",
+    stats: Optional[KernelStats] = None,
 ) -> Tuple[FrequencyResponse, Dict[str, DetectabilityResult], int]:
     """One configuration's share of a campaign: nominal + per-fault sweeps.
 
@@ -193,7 +309,16 @@ def simulate_configuration(
     the work performed per configuration by :func:`simulate_faults` and
     per work unit by the campaign engine — keeping both paths on the
     same code guarantees bit-identical results.
+
+    ``kernel="stacked"`` batches the nominal and every faulty sweep
+    into one stacked LAPACK dispatch (bit-identical results, far fewer
+    Python-level solve calls); ``stats`` accumulates the kernel's solve
+    and factorization counters when given.
     """
+    if validate_kernel(kernel) == "stacked":
+        return _simulate_configuration_stacked(
+            circuit, output, faults, labels, setup, stats
+        )
     nominal_response = ac_analysis(circuit, setup.grid, output=output)
     n_solves = 1
     results: Dict[str, DetectabilityResult] = {}
@@ -212,6 +337,68 @@ def simulate_configuration(
     return nominal_response, results, n_solves
 
 
+def _simulate_faults_stacked(
+    mcc: MultiConfigurationCircuit,
+    faults: Sequence[Fault],
+    setup: SimulationSetup,
+    configs: Sequence[Configuration],
+    labels: Sequence[str],
+) -> DetectabilityDataset:
+    """Whole-campaign stacked solve: every (configuration × fault ×
+    frequency) system in one kernel dispatch sequence.
+
+    All ``configs × (faults + 1)`` MNA pencils are assembled up front
+    and handed to :func:`~repro.analysis.kernel.solve_requests`, which
+    stacks equal-size systems across configurations as well as across
+    frequencies.  Results (and error messages, raised in loop order)
+    are bit-identical to the per-configuration loop.
+    """
+    stats = KernelStats()
+    grid = setup.grid
+    per_config = []
+    for config in configs:
+        emulated = mcc.emulate(config)
+        output = setup.output or emulated.output or mcc.base.output
+        per_config.append(
+            (config, _stacked_requests(emulated, output, faults))
+        )
+
+    all_requests = [
+        request
+        for _, entries in per_config
+        for (_, _, _, request) in entries
+        if request is not None
+    ]
+    outcomes = iter(
+        solve_requests(all_requests, grid.frequencies_hz, stats)
+    )
+
+    nominal: Dict[int, FrequencyResponse] = {}
+    results: Dict[Tuple[int, str], DetectabilityResult] = {}
+    n_solves = 0
+    for config, entries in per_config:
+        responses = _responses_from_entries(entries, outcomes, grid)
+        nominal[config.index] = responses[0]
+        n_solves += 1 + len(faults)
+        for label, faulty_response in zip(labels, responses[1:]):
+            results[(config.index, label)] = evaluate_detectability(
+                responses[0],
+                faulty_response,
+                setup.epsilon,
+                setup.criterion,
+            )
+
+    return DetectabilityDataset(
+        configs=tuple(configs),
+        fault_labels=tuple(labels),
+        setup=setup,
+        nominal=nominal,
+        results=results,
+        n_solves=n_solves,
+        n_factorizations=stats.factorizations,
+    )
+
+
 def simulate_faults(
     mcc: MultiConfigurationCircuit,
     faults: Sequence[Fault],
@@ -221,6 +408,7 @@ def simulate_faults(
     cache=None,
     telemetry=None,
     chunk_size: Optional[int] = None,
+    kernel: str = "loop",
 ) -> DetectabilityDataset:
     """Run the full fault × configuration campaign.
 
@@ -242,7 +430,14 @@ def simulate_faults(
         planned, parallelisable, resumable and observable — producing a
         bit-identical dataset.  All ``None`` (the default) keeps the
         historical in-process loop.
+    kernel:
+        ``"loop"`` (default) solves one AC sweep at a time;
+        ``"stacked"`` assembles every (configuration × fault ×
+        frequency) system of the campaign and dispatches them as
+        stacked LAPACK batches — bit-identical results, enforced by
+        the ``stacked ≡ loop`` verification invariant.
     """
+    validate_kernel(kernel)
     if (
         executor is not None
         or cache is not None
@@ -261,6 +456,7 @@ def simulate_faults(
             executor=executor,
             cache=cache,
             telemetry=telemetry,
+            kernel=kernel,
         )
 
     check_unique_names(faults)
@@ -278,6 +474,11 @@ def simulate_faults(
         raise AnalysisError(
             "fault labels collide; use fault_name_style='full' for "
             "universes with several faults per component"
+        )
+
+    if kernel == "stacked":
+        return _simulate_faults_stacked(
+            mcc, faults, setup, configs, labels
         )
 
     nominal: Dict[int, FrequencyResponse] = {}

@@ -27,6 +27,11 @@ definitions and from physics:
   from the stored masks.
 * **cover-strategy ordering** — the exact branch-and-bound cover is
   never larger than the greedy one and both reach maximum coverage.
+* **stacked ≡ loop** — re-simulating with ``kernel="stacked"`` (the
+  batched LAPACK dispatch of :mod:`repro.analysis.kernel`) reproduces
+  the loop engine's detectability matrix, ω-table and nominal sweeps
+  **exactly** — zero tolerance, for both the standard and the fast
+  engine.
 """
 
 from __future__ import annotations
@@ -463,6 +468,98 @@ def check_cover_strategies(
     return mismatches
 
 
+def _dataset_delta(reference, candidate) -> Optional[Tuple[str, float]]:
+    """First exact-equality violation between two datasets, if any.
+
+    Returns ``(what, error)`` or ``None``.  Equality is bitwise — the
+    stacked kernel's contract is *exact* reproduction, not closeness.
+    """
+    ref_matrix = reference.detectability_matrix().data
+    cand_matrix = candidate.detectability_matrix().data
+    if not np.array_equal(ref_matrix, cand_matrix):
+        return (
+            "detectability matrix differs",
+            float(np.count_nonzero(ref_matrix != cand_matrix)),
+        )
+    ref_table = reference.omega_table().data
+    cand_table = candidate.omega_table().data
+    if not np.array_equal(ref_table, cand_table):
+        return (
+            "omega table differs",
+            float(np.max(np.abs(ref_table - cand_table))),
+        )
+    for index in reference.nominal:
+        delta = np.abs(
+            reference.nominal[index].values
+            - candidate.nominal[index].values
+        )
+        if np.any(delta != 0.0):
+            return (
+                f"nominal sweep differs in configuration {index}",
+                float(np.max(delta)),
+            )
+    return None
+
+
+def check_stacked_kernel(
+    case: "VerifyCase",
+    dataset: DetectabilityDataset,
+    tol: Optional["Tolerances"] = None,
+) -> List:
+    """``kernel="stacked"`` reproduces the loop engine bit-for-bit.
+
+    Both engines are exercised: the standard per-fault engine is
+    compared against the supplied loop-kernel ``dataset``, and the fast
+    Sherman–Morrison engine is simulated once per kernel.  Any nonzero
+    difference — in the Definition 1 matrix, the Definition 2 ω-table
+    or any nominal sweep — is a mismatch with tolerance 0.
+    """
+    from ..faults.fast_simulator import simulate_faults_fast
+
+    mismatches: List = []
+    comparisons = [
+        (
+            "standard",
+            dataset,
+            simulate_faults(
+                case.mcc(), list(case.faults), case.setup,
+                kernel="stacked",
+            ),
+        ),
+        (
+            "fast",
+            simulate_faults_fast(
+                case.mcc(), list(case.faults), case.setup
+            ),
+            simulate_faults_fast(
+                case.mcc(), list(case.faults), case.setup,
+                kernel="stacked",
+            ),
+        ),
+    ]
+    for engine, reference, candidate in comparisons:
+        delta = _dataset_delta(reference, candidate)
+        if delta is not None:
+            what, error = delta
+            mismatches.append(
+                _mismatch(
+                    check="invariant-stacked-kernel",
+                    circuit=case.name,
+                    config=engine,
+                    fault=None,
+                    frequency_hz=None,
+                    error=error,
+                    tolerance=0.0,
+                    seed=case.seed,
+                    detail=(
+                        f"stacked kernel deviates from the loop kernel "
+                        f"({engine} engine): {what}"
+                    ),
+                )
+            )
+    return mismatches
+
+
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
@@ -490,6 +587,7 @@ def run_invariants(
     mismatches += check_grid_refinement(case, tol=tol)
     mismatches += check_matrix_table_consistency(case, dataset, tol)
     mismatches += check_cover_strategies(case, dataset, tol)
+    mismatches += check_stacked_kernel(case, dataset, tol)
     n_checks = (
         2  # functional + transparent
         + 3  # epsilon ladder
@@ -497,5 +595,6 @@ def run_invariants(
         + 2  # grid refinement
         + len(dataset.configs) * len(dataset.fault_labels)  # consistency
         + 2  # cover strategies
+        + 2  # stacked == loop, standard + fast engines
     )
     return mismatches, n_checks

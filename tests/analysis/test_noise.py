@@ -177,3 +177,32 @@ class TestValidationAndHelpers:
         assert 0 < narrow < wide
         with pytest.raises(AnalysisError):
             result.integrated_rms(1e5, 2e5)
+
+
+class TestSingularHandling:
+    """Regression: the adjoint solve must fail loudly, not via inv().
+
+    The historical implementation used ``np.linalg.inv`` per frequency,
+    which can silently return garbage for nearly singular systems; the
+    solve-based path raises the typed error instead.
+    """
+
+    def singular_circuit(self):
+        # R1's far end floats: the conductance block is singular at
+        # every frequency, yet R1 still registers as a noise generator.
+        circuit = Circuit("floaty", output="a")
+        circuit.current_source("I1", "0", "a")
+        circuit.resistor("R1", "a", "b", 1e3)
+        return circuit
+
+    def test_singular_matrix_raises_typed_error(self):
+        with pytest.raises(AnalysisError, match="singular at .* Hz"):
+            noise_analysis(
+                self.singular_circuit(), FrequencyGrid(10, 100, 5)
+            )
+
+    def test_error_names_circuit(self):
+        with pytest.raises(AnalysisError, match="floaty"):
+            noise_analysis(
+                self.singular_circuit(), FrequencyGrid(10, 100, 5)
+            )

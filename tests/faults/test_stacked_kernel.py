@@ -1,0 +1,212 @@
+"""Stacked-kernel equivalence tests.
+
+The stacked kernel's contract is exact reproduction: for every engine,
+executor and chunking, ``kernel="stacked"`` must return the same
+detectability matrix, ω-table and nominal sweeps as the historical
+per-frequency loop — bit for bit, not merely within tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import decade_grid
+from repro.campaign import (
+    CampaignTelemetry,
+    ResultCache,
+    plan_campaign,
+    run_campaign,
+)
+from repro.circuit import Circuit
+from repro.circuits import benchmark_biquad, build
+from repro.errors import AnalysisError, SingularCircuitError
+from repro.faults import (
+    SimulationSetup,
+    deviation_faults,
+    simulate_faults,
+    simulate_faults_fast,
+)
+from repro.faults.simulator import simulate_configuration
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return benchmark_biquad()
+
+
+@pytest.fixture(scope="module")
+def mcc(bench):
+    return bench.dft()
+
+
+@pytest.fixture(scope="module")
+def faults(bench):
+    return deviation_faults(bench.circuit, 0.20)
+
+
+@pytest.fixture(scope="module")
+def setup(bench):
+    grid = decade_grid(bench.f0_hz, 2, 2, points_per_decade=20)
+    return SimulationSetup(grid=grid)
+
+
+def assert_identical(reference, candidate):
+    assert np.array_equal(
+        reference.detectability_matrix().data,
+        candidate.detectability_matrix().data,
+    )
+    assert np.array_equal(
+        reference.omega_table().data, candidate.omega_table().data
+    )
+    for index in reference.nominal:
+        assert np.array_equal(
+            reference.nominal[index].values,
+            candidate.nominal[index].values,
+        )
+
+
+class TestStandardEngine:
+    def test_bit_identical_to_loop(self, mcc, faults, setup):
+        loop = simulate_faults(mcc, faults, setup)
+        stacked = simulate_faults(mcc, faults, setup, kernel="stacked")
+        assert_identical(loop, stacked)
+
+    def test_solve_count_unchanged(self, mcc, faults, setup):
+        loop = simulate_faults(mcc, faults, setup)
+        stacked = simulate_faults(mcc, faults, setup, kernel="stacked")
+        assert stacked.n_solves == loop.n_solves
+
+    def test_factorizations_accounted(self, mcc, faults, setup):
+        loop = simulate_faults(mcc, faults, setup)
+        stacked = simulate_faults(mcc, faults, setup, kernel="stacked")
+        assert loop.n_factorizations == 0
+        # one LU per (configuration, variant, frequency) point
+        n_points = setup.grid.frequencies_hz.size
+        assert stacked.n_factorizations == stacked.n_solves * n_points
+
+    def test_unknown_kernel_rejected(self, mcc, faults, setup):
+        with pytest.raises(AnalysisError, match="unknown solve kernel"):
+            simulate_faults(mcc, faults, setup, kernel="warp")
+
+    def test_restricted_keeps_factorizations(self, mcc, faults, setup):
+        stacked = simulate_faults(mcc, faults, setup, kernel="stacked")
+        keep = [stacked.configs[0]]
+        assert (
+            stacked.restricted(keep).n_factorizations
+            == stacked.n_factorizations
+        )
+
+
+class TestFastEngine:
+    def test_bit_identical_to_loop(self, mcc, faults, setup):
+        loop = simulate_faults_fast(mcc, faults, setup)
+        stacked = simulate_faults_fast(
+            mcc, faults, setup, kernel="stacked"
+        )
+        assert_identical(loop, stacked)
+        assert stacked.n_solves == loop.n_solves
+
+    def test_catalog_parity(self, setup):
+        # A circuit with slow (non-rank-1) faults exercises the batched
+        # fallback sweeps too.
+        bench = build("leapfrog")
+        mcc = bench.dft()
+        faults = deviation_faults(bench.circuit, 0.20)
+        grid = decade_grid(bench.f0_hz, 2, 2, points_per_decade=10)
+        setup = SimulationSetup(grid=grid)
+        loop = simulate_faults_fast(mcc, faults, setup)
+        stacked = simulate_faults_fast(
+            mcc, faults, setup, kernel="stacked"
+        )
+        assert_identical(loop, stacked)
+
+
+class TestCampaignIntegration:
+    def test_run_campaign_stacked_identical(self, mcc, faults, setup):
+        loop = run_campaign(mcc, faults, setup)
+        stacked = run_campaign(mcc, faults, setup, kernel="stacked")
+        assert_identical(loop, stacked)
+
+    def test_plan_records_kernel(self, mcc, faults, setup):
+        plan = plan_campaign(mcc, faults, setup, kernel="stacked")
+        assert plan.kernel == "stacked"
+        assert "kernel stacked" in plan.describe()
+        assert all(unit.kernel == "stacked" for unit in plan.units)
+
+    def test_kernel_not_in_unit_key(self, mcc, faults, setup):
+        # Results are bit-identical across kernels, so cached results
+        # are shared: the stacked plan addresses the loop plan's keys.
+        loop_plan = plan_campaign(mcc, faults, setup)
+        stacked_plan = plan_campaign(mcc, faults, setup, kernel="stacked")
+        assert loop_plan.keys == stacked_plan.keys
+
+    def test_cache_shared_across_kernels(
+        self, tmp_path, mcc, faults, setup
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign(mcc, faults, setup, cache=cache)
+        telemetry = CampaignTelemetry()
+        warm = run_campaign(
+            mcc,
+            faults,
+            setup,
+            cache=cache,
+            telemetry=telemetry,
+            kernel="stacked",
+        )
+        counters = telemetry.counters
+        assert counters["cache_hits"] == counters["units_total"]
+        assert counters["solves"] == 0
+        assert warm.n_solves == 0
+
+    def test_telemetry_counts_factorizations(self, mcc, faults, setup):
+        telemetry = CampaignTelemetry()
+        stacked = run_campaign(
+            mcc, faults, setup, telemetry=telemetry, kernel="stacked"
+        )
+        assert (
+            telemetry.counters["factorizations"]
+            == stacked.n_factorizations
+        )
+        assert telemetry.counters["factorizations"] > 0
+
+    def test_loop_kernel_reports_zero_factorizations(
+        self, mcc, faults, setup
+    ):
+        telemetry = CampaignTelemetry()
+        run_campaign(mcc, faults, setup, telemetry=telemetry)
+        assert telemetry.counters["factorizations"] == 0
+
+
+class TestSingularSemantics:
+    def singular_circuit(self):
+        # R1's far end floats, so the conductance matrix has a
+        # zero-determinant 2x2 block at every frequency.
+        circuit = Circuit("sick", output="a")
+        circuit.current_source("I1", "0", "a")
+        circuit.resistor("R1", "a", "b", 1e3)
+        return circuit
+
+    def test_same_error_both_kernels(self, setup):
+        circuit = self.singular_circuit()
+        faults = deviation_faults(circuit, 0.20)
+        labels = [fault.short_name for fault in faults]
+        messages = {}
+        for kernel in ("loop", "stacked"):
+            with pytest.raises(SingularCircuitError) as excinfo:
+                simulate_configuration(
+                    circuit, "a", faults, labels, setup, kernel=kernel
+                )
+            messages[kernel] = str(excinfo.value)
+        assert messages["loop"] == messages["stacked"]
+        assert "sick" in messages["loop"]
+
+    def test_healthy_configuration_unaffected(self, setup, bench):
+        # The kernel isolates a singular request: healthy requests in
+        # the same stacked dispatch still complete (exercised at the
+        # kernel layer in tests/analysis/test_kernel.py); here the whole
+        # healthy campaign must succeed with the singular circuit's
+        # requests absent.
+        mcc = bench.dft()
+        faults = deviation_faults(bench.circuit, 0.20)
+        dataset = simulate_faults(mcc, faults, setup, kernel="stacked")
+        assert dataset.n_solves > 0

@@ -1,0 +1,193 @@
+"""Tolerance-engine benchmarks: loop vs stacked ε-calibration.
+
+Measures Monte Carlo tolerance analysis (the inner loop of the
+ε-calibration campaign) on a catalog circuit and records the timings as
+JSON — in each bench's ``extra_info``, as a printed summary line, and as
+a ``BENCH_tolerance.json`` artifact next to this file (machine spec and
+commit hash included) that CI uploads.
+
+Paths covered:
+
+* ``loop``       — the seed path: one ``with_scaled`` rebuild plus one
+  per-frequency sweep per Monte Carlo sample;
+* ``stacked``    — the batched kernel: one stamp-program replay building
+  the full ``(samples x frequencies)`` stack of ``G + jωC`` systems,
+  solved in shared LAPACK dispatches.  The acceptance floor is 3x over
+  ``loop`` at 200 samples;
+* ``warm_cache`` — a fully cached campaign re-run (zero solves), which
+  holds on any hardware.
+
+``BENCH_SMOKE=1`` shrinks the sample count and rounds so CI can afford
+the run; the speedup floor relaxes (small stacks amortise less assembly)
+while the correctness assertion — bit-identical deviations across
+kernels — stays strict.
+"""
+
+import json
+import os
+import platform
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro.analysis import decade_grid, monte_carlo_tolerance
+from repro.campaign import (
+    CampaignTelemetry,
+    run_tolerance_campaign,
+    tolerance_cache,
+)
+from repro.circuits import build
+
+#: CI smoke mode: fewer samples, single round, relaxed speedup floor
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+CIRCUIT = "sallen_key"
+POINTS_PER_DECADE = 6
+N_SAMPLES = 50 if SMOKE else 200
+ROUNDS = 1 if SMOKE else 3
+SEED = 2026
+
+RECORD = {}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    bench = build(CIRCUIT)
+    grid = decade_grid(
+        bench.f0_hz, 1, 1, points_per_decade=POINTS_PER_DECADE
+    )
+    return bench.circuit, grid
+
+
+def _run(circuit, grid, kernel):
+    return monte_carlo_tolerance(
+        circuit,
+        grid,
+        tolerance=0.05,
+        n_samples=N_SAMPLES,
+        seed=SEED,
+        kernel=kernel,
+    )
+
+
+def test_bench_tolerance_loop(benchmark, workload):
+    circuit, grid = workload
+    analysis = benchmark.pedantic(
+        _run,
+        args=(circuit, grid, "loop"),
+        rounds=ROUNDS,
+        iterations=1,
+    )
+    RECORD["loop_s"] = benchmark.stats.stats.min
+    RECORD["deviations"] = analysis.deviations
+    benchmark.extra_info["samples"] = N_SAMPLES
+    benchmark.extra_info["frequencies"] = len(grid)
+    assert analysis.suggested_epsilon(95.0) > 0.0
+
+
+def test_bench_tolerance_stacked(benchmark, workload):
+    """The acceptance benchmark: the stacked kernel must clear 3x over
+    the per-sample loop at 200 samples on a catalog circuit."""
+    circuit, grid = workload
+    analysis = benchmark.pedantic(
+        _run,
+        args=(circuit, grid, "stacked"),
+        rounds=ROUNDS,
+        iterations=1,
+    )
+    RECORD["stacked_s"] = benchmark.stats.stats.min
+
+    # Correctness everywhere: bit-identical to the loop path.
+    assert np.array_equal(analysis.deviations, RECORD["deviations"])
+
+    speedup = RECORD["loop_s"] / RECORD["stacked_s"]
+    benchmark.extra_info["speedup_vs_loop"] = round(speedup, 2)
+    floor = 1.5 if SMOKE else 3.0
+    assert speedup >= floor, (
+        f"stacked tolerance speedup {speedup:.2f}x < {floor}x floor "
+        f"({N_SAMPLES} samples, {len(grid)} frequencies)"
+    )
+
+
+def test_bench_tolerance_warm_cache(benchmark, tmp_path):
+    """A warm ε-calibration campaign re-run performs zero solves."""
+    cache = tolerance_cache(tmp_path / "cache")
+    kwargs = dict(
+        names=[CIRCUIT],
+        n_samples=N_SAMPLES,
+        seed=SEED,
+        points_per_decade=POINTS_PER_DECADE,
+        cache=cache,
+    )
+    cold = run_tolerance_campaign(**kwargs)  # fill outside timed region
+    RECORD["suggested_epsilon"] = cold.rows[0].suggested_epsilon
+
+    telemetry = CampaignTelemetry()
+    report = benchmark.pedantic(
+        run_tolerance_campaign,
+        kwargs={**kwargs, "telemetry": telemetry},
+        rounds=ROUNDS,
+        iterations=1,
+    )
+    RECORD["warm_s"] = benchmark.stats.stats.min
+
+    counters = telemetry.counters
+    assert counters["cache_hits"] == counters["units_total"]
+    assert counters["solves"] == 0
+    assert report.n_solves == 0
+    assert report.rows[0].suggested_epsilon == RECORD["suggested_epsilon"]
+
+
+def _machine_spec():
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        commit = "unknown"
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+        "commit": commit,
+    }
+
+
+def test_bench_tolerance_record(workload):
+    """Fold the measured timings into the BENCH_tolerance.json artifact."""
+    required = ("loop_s", "stacked_s", "warm_s")
+    missing = [k for k in required if k not in RECORD]
+    if missing:
+        pytest.skip(f"benches did not run: {missing}")
+
+    _, grid = workload
+    loop = RECORD["loop_s"]
+    summary = {
+        "circuit": CIRCUIT,
+        "samples": N_SAMPLES,
+        "frequencies": len(grid),
+        "seed": SEED,
+        "smoke": SMOKE,
+        "loop_s": round(loop, 4),
+        "stacked_s": round(RECORD["stacked_s"], 4),
+        "warm_cache_s": round(RECORD["warm_s"], 4),
+        "stacked_speedup": round(loop / RECORD["stacked_s"], 2),
+        "suggested_epsilon": RECORD["suggested_epsilon"],
+        "machine": _machine_spec(),
+    }
+    out_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "BENCH_tolerance.json",
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    print()
+    print("tolerance-bench:", json.dumps(summary))

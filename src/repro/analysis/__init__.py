@@ -1,6 +1,13 @@
 """Linear AC analysis engine (the HSPICE replacement)."""
 
 from .ac import FrequencyResponse, ac_analysis, dc_gain, transfer_at
+from .batched import (
+    StampProgram,
+    band_deviation_rows,
+    relative_deviation_rows,
+    scaled_responses,
+    scaled_values,
+)
 from .corners import CornerAnalysis, corner_analysis
 from .kernel import (
     KERNELS,
@@ -11,9 +18,11 @@ from .kernel import (
 )
 from .mna import MnaSystem, Solution, shared_system
 from .montecarlo import (
+    DISTRIBUTIONS,
     ToleranceAnalysis,
     epsilon_headroom,
     monte_carlo_tolerance,
+    sample_factors,
 )
 from .noise import (
     BOLTZMANN,
@@ -51,11 +60,13 @@ __all__ = [
     "BOLTZMANN",
     "BiquadParameters",
     "CornerAnalysis",
+    "DISTRIBUTIONS",
     "FrequencyGrid",
     "FrequencyResponse",
     "KERNELS",
     "KernelStats",
     "MnaSystem",
+    "StampProgram",
     "SweepRequest",
     "NoiseResult",
     "RationalTransferFunction",
@@ -65,6 +76,7 @@ __all__ = [
     "TransientResult",
     "ac_analysis",
     "aggregate_sensitivity",
+    "band_deviation_rows",
     "biquad_parameters",
     "circuit_poles",
     "component_sensitivity",
@@ -81,6 +93,10 @@ __all__ = [
     "multitone",
     "pulse",
     "rank_components",
+    "relative_deviation_rows",
+    "sample_factors",
+    "scaled_responses",
+    "scaled_values",
     "sensitivity_map",
     "shared_system",
     "sine",

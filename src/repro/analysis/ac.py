@@ -15,6 +15,7 @@ import numpy as np
 
 from ..circuit.netlist import Circuit
 from ..errors import AnalysisError
+from .kernel import KernelStats
 from .mna import MnaSystem
 from .sweep import FrequencyGrid
 
@@ -140,6 +141,7 @@ def ac_analysis(
     grid: FrequencyGrid,
     output: Optional[str] = None,
     label: Optional[str] = None,
+    stats: Optional["KernelStats"] = None,
 ) -> FrequencyResponse:
     """Sweep ``circuit`` over ``grid`` and return ``V(output)``.
 
@@ -154,6 +156,9 @@ def ac_analysis(
         Probe node; defaults to ``circuit.output``.
     label:
         Label stored on the response; defaults to ``title:V(output)``.
+    stats:
+        Optional :class:`~repro.analysis.kernel.KernelStats` accumulating
+        the sweep's solve / factorization counts.
     """
     probe = output or circuit.output
     if probe is None:
@@ -161,7 +166,7 @@ def ac_analysis(
             f"{circuit.title}: no output node designated for AC analysis"
         )
     system = MnaSystem(circuit)
-    values = system.sweep_voltage(probe, grid.frequencies_hz)
+    values = system.sweep_voltage(probe, grid.frequencies_hz, stats)
     return FrequencyResponse(
         grid=grid,
         values=values,

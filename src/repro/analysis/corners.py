@@ -6,9 +6,19 @@ component pinned at ``±tolerance`` — which bounds the worst case exactly
 for monotone responses and is the classic EDA complement for small
 component counts (``2^n`` corners; capped).
 
-The result feeds the same ε discussion as the Monte Carlo module: the
-corner envelope is the *guaranteed* fault-free deviation band, so any
-detection threshold at or below it is certain to cost yield.
+The result feeds the same ε discussion as the Monte Carlo module, and
+— crucially — in the same units: corner deviations are the paper's
+Definition 1 point-wise ``|ΔT/T|``, exactly what
+:func:`~repro.analysis.montecarlo.monte_carlo_tolerance` records, so
+:meth:`CornerAnalysis.epsilon_floor` and
+:meth:`~repro.analysis.montecarlo.ToleranceAnalysis.suggested_epsilon`
+are directly comparable.  The tolerance-band normalisation
+(``|ΔT| / max|T|``, the paper's Figure 2 picture) remains available
+under the explicit ``band_*`` names.
+
+Like the Monte Carlo module, the ``2^n`` corner sweeps can run through
+the per-corner loop or the stacked batched kernel
+(:mod:`repro.analysis.batched`) — bit-identical either way.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ from ..analysis.ac import ac_analysis
 from ..analysis.sweep import FrequencyGrid
 from ..circuit.netlist import Circuit
 from ..errors import AnalysisError
+from .kernel import KernelStats, validate_kernel
 
 #: refuse to enumerate more corners than this (2^14 = 16384 sweeps)
 MAX_COMPONENTS = 14
@@ -35,10 +46,16 @@ class CornerAnalysis:
     grid: FrequencyGrid
     tolerance: float
     components: Tuple[str, ...]
-    #: per-corner worst |ΔT|/max|T| deviation, keyed by the sign pattern
+    #: per-corner worst Definition 1 deviation ``|ΔT/T|``, keyed by the
+    #: sign pattern
     corner_deviation: Dict[Tuple[int, ...], float]
-    #: point-wise envelope of |ΔT|/max|T| over all corners
+    #: point-wise envelope of ``|ΔT/T|`` over all corners
     envelope: np.ndarray
+    #: per-corner worst band deviation ``|ΔT|/max|T|`` (explicitly
+    #: band-normalised; not comparable with Definition 1 quantities)
+    band_corner_deviation: Dict[Tuple[int, ...], float]
+    #: point-wise envelope of ``|ΔT|/max|T|`` over all corners
+    band_envelope: np.ndarray
 
     @property
     def n_corners(self) -> int:
@@ -51,8 +68,13 @@ class CornerAnalysis:
 
     @property
     def worst_deviation(self) -> float:
-        """The guaranteed fault-free deviation bound."""
+        """The guaranteed fault-free Definition 1 deviation bound."""
         return self.corner_deviation[self.worst_corner]
+
+    @property
+    def worst_band_deviation(self) -> float:
+        """Worst tolerance-band (``|ΔT|/max|T|``) deviation over corners."""
+        return max(self.band_corner_deviation.values())
 
     def describe_worst(self) -> str:
         pattern = self.worst_corner
@@ -61,13 +83,23 @@ class CornerAnalysis:
             for name, sign in zip(self.components, pattern)
         ]
         return (
-            f"worst corner ({100 * self.worst_deviation:.1f}% band "
+            f"worst corner ({100 * self.worst_deviation:.1f}% relative "
             f"deviation): " + " ".join(parts)
         )
 
     def epsilon_floor(self) -> float:
-        """Smallest ε guaranteed not to fail any in-tolerance circuit."""
+        """Smallest ε guaranteed not to fail any in-tolerance circuit.
+
+        A Definition 1 (point-wise ``|ΔT/T|``) quantity — the same
+        normalisation as
+        :meth:`~repro.analysis.montecarlo.ToleranceAnalysis.suggested_epsilon`,
+        so the two compare directly on a shared circuit.
+        """
         return self.worst_deviation
+
+    def band_epsilon_floor(self) -> float:
+        """ε floor in the tolerance-band normalisation (``|ΔT|/max|T|``)."""
+        return self.worst_band_deviation
 
 
 def corner_analysis(
@@ -76,15 +108,27 @@ def corner_analysis(
     tolerance: float = 0.05,
     components: Optional[Sequence[str]] = None,
     output: Optional[str] = None,
+    kernel: str = "loop",
+    stats: Optional[KernelStats] = None,
 ) -> CornerAnalysis:
     """Evaluate every ``±tolerance`` corner of the component box.
 
-    Deviations use the tolerance-band normalisation (``|ΔT| / max|T|``),
-    matching the detection criterion, so :meth:`CornerAnalysis.epsilon_floor`
-    compares directly against the campaign's ε.
+    Deviations use the paper's Definition 1 criterion (point-wise
+    ``|ΔT/T|``), matching :func:`~repro.analysis.montecarlo.monte_carlo_tolerance`,
+    so :meth:`CornerAnalysis.epsilon_floor` compares directly against
+    the Monte Carlo ε suggestion; the band-normalised values ride along
+    under the ``band_*`` names.  ``kernel="stacked"`` batches all ``2^n``
+    corner sweeps through the stacked MNA kernel, bit-identically.
     """
     if tolerance <= 0:
         raise AnalysisError("tolerance must be > 0")
+    if tolerance >= 1.0:
+        raise AnalysisError(
+            f"tolerance must be < 1 for corner analysis (got "
+            f"{tolerance:g}: the -tolerance vertex would scale a "
+            "component to a non-positive value)"
+        )
+    validate_kernel(kernel)
     if components is None:
         components = [e.name for e in circuit.passives()]
     names = tuple(components)
@@ -97,23 +141,46 @@ def corner_analysis(
             "monte_carlo_tolerance"
         )
 
-    nominal = ac_analysis(circuit, grid, output=output)
-    reference = float(np.max(nominal.magnitude))
-    if reference <= 0:
+    nominal = ac_analysis(circuit, grid, output=output, stats=stats)
+    if float(np.max(nominal.magnitude)) <= 0:
         raise AnalysisError("nominal response is identically zero")
 
-    corner_deviation: Dict[Tuple[int, ...], float] = {}
-    envelope = np.zeros(grid.n_points)
-    for signs in product((-1, +1), repeat=len(names)):
-        corner = circuit
-        for name, sign in zip(names, signs):
-            corner = corner.with_scaled(name, 1.0 + sign * tolerance)
-        response = ac_analysis(corner, grid, output=output)
-        deviation = (
-            np.abs(response.magnitude - nominal.magnitude) / reference
+    sign_patterns = list(product((-1, +1), repeat=len(names)))
+    if kernel == "stacked":
+        from .batched import (
+            band_deviation_rows,
+            relative_deviation_rows,
+            scaled_values,
         )
+
+        factors = 1.0 + np.asarray(sign_patterns, dtype=float) * tolerance
+        values = scaled_values(
+            circuit, grid, names, factors, output=output, stats=stats
+        )
+        deviation_rows = relative_deviation_rows(nominal, values)
+        band_rows = band_deviation_rows(nominal, values)
+    else:
+        deviation_list = []
+        band_list = []
+        for signs in sign_patterns:
+            corner = circuit
+            for name, sign in zip(names, signs):
+                corner = corner.with_scaled(name, 1.0 + sign * tolerance)
+            response = ac_analysis(corner, grid, output=output, stats=stats)
+            deviation_list.append(nominal.relative_deviation(response))
+            band_list.append(nominal.band_deviation(response))
+        deviation_rows = np.vstack(deviation_list)
+        band_rows = np.vstack(band_list)
+
+    corner_deviation: Dict[Tuple[int, ...], float] = {}
+    band_corner_deviation: Dict[Tuple[int, ...], float] = {}
+    envelope = np.zeros(grid.n_points)
+    band_envelope = np.zeros(grid.n_points)
+    for signs, deviation, band in zip(sign_patterns, deviation_rows, band_rows):
         corner_deviation[signs] = float(np.max(deviation))
+        band_corner_deviation[signs] = float(np.max(band))
         np.maximum(envelope, deviation, out=envelope)
+        np.maximum(band_envelope, band, out=band_envelope)
 
     return CornerAnalysis(
         grid=grid,
@@ -121,4 +188,6 @@ def corner_analysis(
         components=names,
         corner_deviation=corner_deviation,
         envelope=envelope,
+        band_corner_deviation=band_corner_deviation,
+        band_envelope=band_envelope,
     )

@@ -282,16 +282,24 @@ def _solve_block(
                 request.rhs, (freqs.size,) + request.rhs.shape
             )
         else:
-            matrices = np.empty(
-                (len(block), freqs.size, n, n), dtype=complex
-            )
+            # One broadcast expression assembles every request's stack —
+            # elementwise the same ``G + (2jπf)·C`` arithmetic as
+            # :func:`assemble_stack`, so per-request assembly and this
+            # batched form are bit-identical.
+            G_stack = np.stack([request.G for request in block])
+            C_stack = np.stack([request.C for request in block])
+            omega = (2j * np.pi * freqs)[
+                np.newaxis, :, np.newaxis, np.newaxis
+            ]
+            matrices = (
+                G_stack[:, np.newaxis, :, :]
+                + omega * C_stack[:, np.newaxis, :, :]
+            ).reshape(len(block) * freqs.size, n, n)
             rhs = np.zeros(
                 (len(block), freqs.size, n, k_max), dtype=complex
             )
             for b, request in enumerate(block):
-                matrices[b] = assemble_stack(request.G, request.C, freqs)
                 rhs[b, :, :, : request.n_rhs] = request.rhs[np.newaxis]
-            matrices = matrices.reshape(len(block) * freqs.size, n, n)
             rhs = rhs.reshape(len(block) * freqs.size, n, k_max)
 
         stats.stacked_calls += 1

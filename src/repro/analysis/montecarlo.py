@@ -6,6 +6,13 @@ environment".  This module makes that choice quantitative: sample every
 passive component within its process tolerance, record the envelope of the
 fault-free response family, and derive the smallest ``ε`` that would not
 flag a within-tolerance circuit as faulty.
+
+Two solve kernels are available.  ``kernel="loop"`` builds and sweeps one
+circuit per sample; ``kernel="stacked"`` assembles the whole sample
+family into 3-D ``G + jωC`` stacks (:mod:`repro.analysis.batched`) and
+dispatches a few batched LAPACK calls.  Both consume the same PRNG
+stream and produce **bit-identical** deviations for the same seed — the
+``tolerance stacked ≡ loop`` invariant of :mod:`repro.verify`.
 """
 
 from __future__ import annotations
@@ -18,7 +25,11 @@ import numpy as np
 from ..circuit.netlist import Circuit
 from ..errors import AnalysisError
 from .ac import ac_analysis
+from .kernel import KernelStats, validate_kernel
 from .sweep import FrequencyGrid
+
+#: recognised Monte Carlo sampling distributions
+DISTRIBUTIONS = ("uniform", "normal")
 
 
 @dataclass(frozen=True)
@@ -57,10 +68,38 @@ class ToleranceAnalysis:
 
         A detection threshold below this value would produce yield loss:
         fault-free circuits within process tolerance would be flagged.
+        The value is a Definition 1 (point-wise ``|ΔT/T|``) quantity,
+        directly comparable with
+        :meth:`~repro.analysis.corners.CornerAnalysis.epsilon_floor`.
         """
         return float(
             np.percentile(self.max_deviation_per_sample(), percentile)
         )
+
+
+def sample_factors(
+    rng: np.random.Generator,
+    n_samples: int,
+    n_components: int,
+    tolerance: float,
+    distribution: str,
+) -> np.ndarray:
+    """``(n_samples, n_components)`` matrix of component scale factors.
+
+    The matrix is filled in C order — sample-major, component-minor —
+    which consumes the generator stream in exactly the order the
+    historical per-sample loop drew its scalars, so a given seed selects
+    the same sampled circuits under either kernel.
+    """
+    if distribution == "uniform":
+        return 1.0 + rng.uniform(
+            -tolerance, tolerance, size=(n_samples, n_components)
+        )
+    # σ = tolerance/3 (3-sigma at the bound), clipped to a sane range.
+    factors = 1.0 + rng.normal(
+        0.0, tolerance / 3.0, size=(n_samples, n_components)
+    )
+    return np.clip(factors, 0.1, 1.9)
 
 
 def monte_carlo_tolerance(
@@ -72,6 +111,8 @@ def monte_carlo_tolerance(
     output: Optional[str] = None,
     distribution: str = "uniform",
     seed: Optional[int] = 2026,
+    kernel: str = "loop",
+    stats: Optional[KernelStats] = None,
 ) -> ToleranceAnalysis:
     """Sample component values within ``tolerance`` and collect deviations.
 
@@ -82,7 +123,9 @@ def monte_carlo_tolerance(
     grid:
         Frequency grid for the responses.
     tolerance:
-        Relative process tolerance (0.05 = ±5%).
+        Relative process tolerance (0.05 = ±5%).  Must be below 1 under
+        the uniform distribution — a unit tolerance could scale a
+        component to a non-positive value.
     n_samples:
         Number of Monte Carlo samples.
     components:
@@ -93,40 +136,61 @@ def monte_carlo_tolerance(
     seed:
         PRNG seed — runs are reproducible by default; ``None`` draws a
         fresh :func:`numpy.random.default_rng` stream.
+    kernel:
+        ``"loop"`` sweeps one sample at a time; ``"stacked"`` batches
+        the whole family through :mod:`repro.analysis.batched`.  The
+        deviations are bit-identical either way for the same seed.
+    stats:
+        Optional :class:`~repro.analysis.kernel.KernelStats` accumulating
+        the solve / factorization counts of every sweep.
     """
     if tolerance <= 0:
         raise AnalysisError("tolerance must be > 0")
+    if distribution not in DISTRIBUTIONS:
+        raise AnalysisError(
+            f"unknown distribution {distribution!r}; use one of "
+            f"{DISTRIBUTIONS}"
+        )
+    if distribution == "uniform" and tolerance >= 1.0:
+        raise AnalysisError(
+            f"tolerance must be < 1 under the uniform distribution "
+            f"(got {tolerance:g}: a -100% draw would scale a component "
+            "to a non-positive value)"
+        )
     if n_samples < 1:
         raise AnalysisError("n_samples must be >= 1")
+    validate_kernel(kernel)
     if components is None:
         components = [e.name for e in circuit.passives()]
     if not components:
         raise AnalysisError(f"{circuit.title}: no components to vary")
 
     rng = np.random.default_rng(seed)
-    nominal = ac_analysis(circuit, grid, output=output)
+    factors = sample_factors(
+        rng, n_samples, len(components), tolerance, distribution
+    )
+    nominal = ac_analysis(circuit, grid, output=output, stats=stats)
 
-    rows = []
-    for _ in range(n_samples):
-        sample = circuit
-        for name in components:
-            if distribution == "uniform":
-                factor = 1.0 + rng.uniform(-tolerance, tolerance)
-            elif distribution == "normal":
-                factor = 1.0 + rng.normal(0.0, tolerance / 3.0)
-                # Clip to a physically sane range.
-                factor = float(np.clip(factor, 0.1, 1.9))
-            else:
-                raise AnalysisError(
-                    f"unknown distribution {distribution!r}"
-                )
-            sample = sample.with_scaled(name, factor)
-        response = ac_analysis(sample, grid, output=output)
-        rows.append(nominal.relative_deviation(response))
+    if kernel == "stacked":
+        from .batched import relative_deviation_rows, scaled_values
+
+        values = scaled_values(
+            circuit, grid, components, factors, output=output, stats=stats
+        )
+        deviations = relative_deviation_rows(nominal, values)
+    else:
+        rows = []
+        for s in range(n_samples):
+            sample = circuit
+            for k, name in enumerate(components):
+                sample = sample.with_scaled(name, float(factors[s, k]))
+            response = ac_analysis(sample, grid, output=output, stats=stats)
+            rows.append(nominal.relative_deviation(response))
+        deviations = np.vstack(rows)
 
     return ToleranceAnalysis(
         grid=grid,
-        deviations=np.vstack(rows),
+        deviations=deviations,
         tolerance=tolerance,
     )
 

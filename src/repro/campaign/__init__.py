@@ -48,6 +48,19 @@ from .plan import (
     unit_key,
 )
 from .telemetry import CampaignTelemetry
+from .tolerance import (
+    TOLERANCE,
+    TolerancePlan,
+    ToleranceReport,
+    ToleranceUnit,
+    ToleranceUnitResult,
+    execute_tolerance_plan,
+    execute_tolerance_unit,
+    plan_tolerance_campaign,
+    run_tolerance_campaign,
+    tolerance_cache,
+    tolerance_unit_key,
+)
 
 __all__ = [
     "CampaignPlan",
@@ -57,14 +70,25 @@ __all__ = [
     "ParallelExecutor",
     "ResultCache",
     "SerialExecutor",
+    "TOLERANCE",
+    "TolerancePlan",
+    "ToleranceReport",
+    "ToleranceUnit",
+    "ToleranceUnitResult",
     "UnitOutcome",
     "UnitResult",
     "assemble_dataset",
     "execute_plan",
+    "execute_tolerance_plan",
+    "execute_tolerance_unit",
     "execute_unit",
     "fault_signature",
     "make_executor",
     "plan_campaign",
+    "plan_tolerance_campaign",
     "run_campaign",
+    "run_tolerance_campaign",
+    "tolerance_cache",
+    "tolerance_unit_key",
     "unit_key",
 ]

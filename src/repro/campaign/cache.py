@@ -40,11 +40,20 @@ class ResultCache:
         Cache root; created on first use.  Entries are sharded by the
         first two hex digits of the key (``ab/abcdef....pkl``) to keep
         directories small on big campaigns.
+    payload_type:
+        The result class entries must be instances of; anything else is
+        treated as corruption.  Defaults to
+        :class:`~repro.campaign.executor.UnitResult`; the tolerance
+        campaign stores
+        :class:`~repro.campaign.tolerance.ToleranceUnitResult`.
     """
 
-    def __init__(self, directory: Union[str, Path]):
+    def __init__(
+        self, directory: Union[str, Path], payload_type: type = UnitResult
+    ):
         self.directory = Path(directory) / f"v{CACHE_VERSION}"
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.payload_type = payload_type
         self.hits = 0
         self.misses = 0
         self.writes = 0
@@ -55,33 +64,50 @@ class ResultCache:
         return self.directory / key[:2] / f"{key}.pkl"
 
     def __contains__(self, key: str) -> bool:
-        return self.path_for(key).exists()
+        """Whether ``get(key)`` would hit.
+
+        Runs the same validation as :meth:`get` — an entry that exists
+        on disk but is corrupt does **not** count as present, so
+        membership tests and retrievals can never disagree.  Counters
+        are untouched (a probe is not a hit or a miss), except that a
+        corrupt entry found this way is evicted and counted as such.
+        """
+        return self._read(key) is not None
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*/*.pkl"))
 
     # ------------------------------------------------------------------
-    def get(self, key: str) -> Optional[UnitResult]:
-        """The stored result for ``key``, or ``None`` (miss).
+    def _read(self, key: str) -> Optional[UnitResult]:
+        """Load and validate ``key``, evicting corrupt entries.
 
-        Corrupted entries — unpicklable bytes, wrong payload type, or a
-        key mismatch — count as misses, are evicted, and never raise.
+        Shared by :meth:`get` and :meth:`__contains__`; does not touch
+        the hit/miss counters.
         """
         path = self.path_for(key)
         try:
             with open(path, "rb") as handle:
                 result = pickle.load(handle)
         except FileNotFoundError:
-            self.misses += 1
             return None
         except Exception:
             self._evict(path)
             self.corrupt += 1
-            self.misses += 1
             return None
-        if not isinstance(result, UnitResult) or result.key != key:
+        if not isinstance(result, self.payload_type) or result.key != key:
             self._evict(path)
             self.corrupt += 1
+            return None
+        return result
+
+    def get(self, key: str) -> Optional[UnitResult]:
+        """The stored result for ``key``, or ``None`` (miss).
+
+        Corrupted entries — unpicklable bytes, wrong payload type, or a
+        key mismatch — count as misses, are evicted, and never raise.
+        """
+        result = self._read(key)
+        if result is None:
             self.misses += 1
             return None
         self.hits += 1
@@ -107,11 +133,19 @@ class ResultCache:
         self.writes += 1
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry; returns the number removed.
+
+        Also sweeps stale ``.tmp`` files — the residue of writers killed
+        between :func:`tempfile.mkstemp` and :func:`os.replace` — which
+        the entry glob would otherwise leak forever.  Only ``.pkl``
+        entries count toward the return value.
+        """
         removed = 0
         for path in self.directory.glob("*/*.pkl"):
             self._evict(path)
             removed += 1
+        for path in self.directory.glob("*/*.tmp"):
+            self._evict(path)
         return removed
 
     # ------------------------------------------------------------------

@@ -85,6 +85,10 @@ def execute_unit(unit: WorkUnit) -> UnitResult:
     factorization counter back into the result so campaign telemetry
     can report it.
     """
+    if getattr(unit, "engine", None) == "tolerance":
+        from .tolerance import execute_tolerance_unit
+
+        return execute_tolerance_unit(unit)
     kernel = getattr(unit, "kernel", "loop")
     stats = KernelStats()
     if unit.engine == FAST:
@@ -255,7 +259,8 @@ class ParallelExecutor(Executor):
 
         outcomes: List[UnitOutcome] = []
         broken = False
-        with pool:
+        abandoned = False
+        try:
             futures = [
                 (unit, pool.submit(execute_unit, unit)) for unit in units
             ]
@@ -265,14 +270,23 @@ class ParallelExecutor(Executor):
                         unit, 1 + self.retries, degraded=True
                     )
                 else:
-                    outcome, broken = self._harvest(unit, future)
+                    outcome, broken, timed_out = self._harvest(unit, future)
+                    abandoned = abandoned or timed_out
                 outcomes.append(outcome)
                 if callback is not None:
                     callback(outcome)
+        finally:
+            self._shutdown(pool, abandoned)
         return outcomes
 
     def _harvest(self, unit, future):
-        """Collect one future; fall back to the parent on any trouble."""
+        """Collect one future; fall back to the parent on any trouble.
+
+        Returns ``(outcome, broken, timed_out)``: ``broken`` poisons the
+        pool for every remaining unit; ``timed_out`` marks a unit whose
+        worker may still be running it, which forces the final shutdown
+        to abandon the pool rather than join a hung worker.
+        """
         start = time.perf_counter()
         try:
             result = future.result(timeout=self.timeout)
@@ -284,19 +298,28 @@ class ParallelExecutor(Executor):
                     wall_s=time.perf_counter() - start,
                 ),
                 False,
+                False,
             )
         except concurrent.futures.TimeoutError as exc:
-            future.cancel()
+            # cancel() only succeeds while the unit is still queued; a
+            # future already *running* keeps its worker busy regardless,
+            # so flag the pool as abandoned in that case.
+            timed_out = not future.cancel()
             return (
                 _attempt(
                     unit, self.retries, 1, degraded=True, last_error=exc
                 ),
                 False,
+                timed_out,
             )
         except concurrent.futures.process.BrokenProcessPool:
             # The pool is unusable; this unit and all remaining ones run
             # serially in the parent.
-            return _attempt(unit, 1 + self.retries, degraded=True), True
+            return (
+                _attempt(unit, 1 + self.retries, degraded=True),
+                True,
+                False,
+            )
         except Exception as exc:
             # The worker raised a genuine simulation error; grant the
             # retry budget in-parent (deterministic errors fail again
@@ -306,7 +329,30 @@ class ParallelExecutor(Executor):
                     unit, self.retries, 1, degraded=True, last_error=exc
                 ),
                 False,
+                False,
             )
+
+    @staticmethod
+    def _shutdown(pool, abandoned: bool) -> None:
+        """Dispose of the pool; never block on a hung worker.
+
+        A clean run joins the workers as usual.  After a timeout whose
+        unit was already executing, joining would block until the hung
+        worker returns — potentially forever — so the pool is abandoned:
+        queued futures are cancelled, the join is skipped, and the
+        worker processes are terminated so the interpreter's atexit
+        handler cannot block on them either.
+        """
+        if not abandoned:
+            pool.shutdown(wait=True)
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 — best-effort teardown
+                pass
 
     def _all_serial(self, units, callback):
         outcomes = []

@@ -10,6 +10,7 @@
     python -m repro verify --random 25 --seed 0   # differential oracle
     python -m repro escape filter.sp --seed 7     # escape / yield-loss MC
     python -m repro montecarlo filter.sp          # process-tolerance MC
+    python -m repro tolerance --kernel stacked    # catalog eps-calibration
     python -m repro catalog                       # library circuits
     python -m repro demo biquad                   # flow on a library circuit
 
@@ -386,6 +387,63 @@ def cmd_montecarlo(args) -> int:
     return 0
 
 
+def cmd_tolerance(args) -> int:
+    """Catalog-scale ε-calibration campaign (suggested ε per circuit)."""
+    from .campaign import (
+        CampaignTelemetry,
+        execute_tolerance_plan,
+        make_executor,
+        plan_tolerance_campaign,
+        tolerance_cache,
+    )
+
+    names = (
+        [n.strip() for n in args.circuits.split(",") if n.strip()]
+        if args.circuits is not None
+        else None
+    )
+    plan = plan_tolerance_campaign(
+        names=names,
+        tolerance=args.tolerance,
+        n_samples=args.samples,
+        distribution=args.distribution,
+        seed=args.seed,
+        percentile=args.percentile,
+        decades=args.decades,
+        points_per_decade=args.ppd,
+        corners=not args.no_corners,
+        max_corner_components=args.max_corner_components,
+        kernel=args.kernel,
+    )
+    executor = None
+    if args.jobs is not None:
+        executor = make_executor(jobs=args.jobs, timeout=args.timeout)
+    cache_dir = args.cache_dir
+    if args.resume and cache_dir is None:
+        cache_dir = DEFAULT_CACHE_DIR
+    # a dedicated factory: tolerance payloads are not UnitResults
+    cache = tolerance_cache(cache_dir) if cache_dir is not None else None
+    telemetry = CampaignTelemetry(
+        trace_path=args.trace, progress=args.progress
+    )
+    try:
+        report = execute_tolerance_plan(
+            plan, executor=executor, cache=cache, telemetry=telemetry
+        )
+    finally:
+        telemetry.close()
+    print(report.render())
+    if cache is not None:
+        print(f"cache: {cache!r}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+        print(f"tolerance report written to {args.json}")
+    return 0
+
+
 def cmd_catalog(args) -> int:
     from .circuits import build, catalog
 
@@ -596,6 +654,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     seed_flag(p_montecarlo)
     p_montecarlo.set_defaults(handler=cmd_montecarlo)
+
+    p_tolerance = sub.add_parser(
+        "tolerance",
+        help="catalog-scale epsilon-calibration campaign (batched "
+        "tolerance engine)",
+    )
+    p_tolerance.add_argument(
+        "--circuits", default=None,
+        help="comma-separated catalog names (default: whole catalog)",
+    )
+    p_tolerance.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="component tolerance to sample (default 0.05)",
+    )
+    p_tolerance.add_argument(
+        "--samples", type=int, default=200,
+        help="Monte Carlo samples per circuit (default 200)",
+    )
+    p_tolerance.add_argument(
+        "--distribution", choices=["uniform", "normal"],
+        default="uniform", help="sampling distribution (default uniform)",
+    )
+    p_tolerance.add_argument(
+        "--percentile", type=float, default=95.0,
+        help="percentile of per-sample maxima for the suggested epsilon "
+        "(default 95)",
+    )
+    p_tolerance.add_argument(
+        "--seed", type=int, default=2026,
+        help="PRNG seed (fixed by default so cached units resume)",
+    )
+    p_tolerance.add_argument(
+        "--decades", type=float, default=1.0,
+        help="decades each side of each circuit's f0 (default 1)",
+    )
+    p_tolerance.add_argument(
+        "--ppd", type=int, default=10,
+        help="grid points per decade (default 10)",
+    )
+    p_tolerance.add_argument(
+        "--no-corners", action="store_true",
+        help="skip the 2^n corner-analysis pass",
+    )
+    p_tolerance.add_argument(
+        "--max-corner-components", type=int, default=10,
+        help="skip corners for circuits with more passives (default 10)",
+    )
+    p_tolerance.add_argument(
+        "--json", default=None,
+        help="write the calibration report as JSON to this file",
+    )
+    campaign_flags(p_tolerance)
+    p_tolerance.set_defaults(handler=cmd_tolerance)
 
     p_optimize = sub.add_parser(
         "optimize", help="full optimization flow + test program"

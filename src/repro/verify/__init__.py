@@ -37,6 +37,8 @@ from .invariants import (
     check_grid_refinement,
     check_impedance_scaling,
     check_matrix_table_consistency,
+    check_stacked_kernel,
+    check_tolerance_kernel,
     check_transparent_configuration,
     run_invariants,
 )
@@ -62,6 +64,8 @@ __all__ = [
     "check_grid_refinement",
     "check_impedance_scaling",
     "check_matrix_table_consistency",
+    "check_stacked_kernel",
+    "check_tolerance_kernel",
     "check_transparent_configuration",
     "perturbed_circuit",
     "random_cases",

@@ -32,6 +32,11 @@ definitions and from physics:
   the loop engine's detectability matrix, ω-table and nominal sweeps
   **exactly** — zero tolerance, for both the standard and the fast
   engine.
+* **tolerance stacked ≡ loop** — the ε-calibration analyses obey the
+  same contract: Monte Carlo deviations
+  (:func:`~repro.analysis.montecarlo.monte_carlo_tolerance`) and corner
+  envelopes (:func:`~repro.analysis.corners.corner_analysis`) are
+  bit-identical under both kernels for the same seed.
 """
 
 from __future__ import annotations
@@ -560,6 +565,100 @@ def check_stacked_kernel(
     return mismatches
 
 
+def check_tolerance_kernel(
+    case: "VerifyCase", tol: Optional["Tolerances"] = None
+) -> List:
+    """ε-calibration analyses agree bit-for-bit across solve kernels.
+
+    Monte Carlo tolerance deviations (same seed, both kernels) and the
+    corner-analysis envelopes / per-corner deviation maps must be
+    *exactly* equal — the stacked kernel's contract is bitwise
+    reproduction, so any nonzero difference is a mismatch with
+    tolerance 0.
+    """
+    from ..analysis.corners import corner_analysis
+    from ..analysis.montecarlo import monte_carlo_tolerance
+
+    mismatches: List = []
+    grid = case.setup.grid
+    output = case.setup.output or case.circuit.output
+    # catalog cases carry seed=None, which would draw a fresh PRNG
+    # stream per call — pin one so both kernels sample the same family
+    seed = case.seed if case.seed is not None else 2026
+
+    mc = {
+        kernel: monte_carlo_tolerance(
+            case.circuit,
+            grid,
+            n_samples=16,
+            output=output,
+            seed=seed,
+            kernel=kernel,
+        )
+        for kernel in ("loop", "stacked")
+    }
+    if not np.array_equal(mc["loop"].deviations, mc["stacked"].deviations):
+        mismatches.append(
+            _mismatch(
+                check="invariant-tolerance-kernel",
+                circuit=case.name,
+                config="monte-carlo",
+                fault=None,
+                frequency_hz=None,
+                error=float(
+                    np.count_nonzero(
+                        mc["loop"].deviations != mc["stacked"].deviations
+                    )
+                ),
+                tolerance=0.0,
+                seed=case.seed,
+                detail=(
+                    "stacked Monte Carlo deviations deviate from the "
+                    "loop kernel for the same seed"
+                ),
+            )
+        )
+
+    names = [e.name for e in case.circuit.passives()][:6]
+    corners = {
+        kernel: corner_analysis(
+            case.circuit,
+            grid,
+            components=names,
+            output=output,
+            kernel=kernel,
+        )
+        for kernel in ("loop", "stacked")
+    }
+    loop, stacked = corners["loop"], corners["stacked"]
+    equal = (
+        np.array_equal(loop.envelope, stacked.envelope)
+        and np.array_equal(loop.band_envelope, stacked.band_envelope)
+        and loop.corner_deviation == stacked.corner_deviation
+        and loop.band_corner_deviation == stacked.band_corner_deviation
+    )
+    if not equal:
+        mismatches.append(
+            _mismatch(
+                check="invariant-tolerance-kernel",
+                circuit=case.name,
+                config="corners",
+                fault=None,
+                frequency_hz=None,
+                error=float(
+                    np.max(np.abs(loop.envelope - stacked.envelope))
+                ),
+                tolerance=0.0,
+                seed=case.seed,
+                detail=(
+                    "stacked corner analysis deviates from the loop "
+                    "kernel"
+                ),
+            )
+        )
+    return mismatches
+
+
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
@@ -588,6 +687,7 @@ def run_invariants(
     mismatches += check_matrix_table_consistency(case, dataset, tol)
     mismatches += check_cover_strategies(case, dataset, tol)
     mismatches += check_stacked_kernel(case, dataset, tol)
+    mismatches += check_tolerance_kernel(case, tol)
     n_checks = (
         2  # functional + transparent
         + 3  # epsilon ladder
@@ -596,5 +696,6 @@ def run_invariants(
         + len(dataset.configs) * len(dataset.fault_labels)  # consistency
         + 2  # cover strategies
         + 2  # stacked == loop, standard + fast engines
+        + 2  # tolerance stacked == loop, Monte Carlo + corners
     )
     return mismatches, n_checks

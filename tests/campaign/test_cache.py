@@ -51,6 +51,21 @@ class TestStore:
         assert cache.clear() == 7
         assert len(cache) == 0
 
+    def test_clear_sweeps_stale_tmp_files(
+        self, cache, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        """A writer killed mid-``put`` leaves a ``.tmp`` behind; ``clear``
+        must sweep it rather than leak it forever."""
+        run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, cache=cache
+        )
+        shard = sorted(cache.directory.glob("*/*.pkl"))[0].parent
+        stale = shard / "orphaned0000.tmp"
+        stale.write_bytes(b"half-written entry")
+        assert cache.clear() == 7  # .tmp files don't count as entries
+        assert not stale.exists()
+        assert list(cache.directory.glob("*/*")) == []
+
 
 class TestResume:
     def test_warm_rerun_is_all_hits_and_zero_solves(
@@ -206,6 +221,34 @@ class TestCorruption:
         second.write_bytes(first.read_bytes())
         assert cache.get(second.stem) is None
         assert cache.corrupt == 1
+
+    def test_contains_agrees_with_get_on_corrupt_entry(
+        self, cache, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        """``key in cache`` must never promise a hit that ``get`` would
+        then refuse: membership runs the same validation."""
+        run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, cache=cache
+        )
+        path = self._any_entry(cache)
+        key = path.stem
+        assert key in cache  # healthy entry: both agree it is present
+        path.write_bytes(b"\x80\x04 not a pickle")
+        assert key not in cache  # corrupt: membership says absent...
+        assert cache.get(key) is None  # ...exactly as get() does
+        assert not path.exists()  # and the probe evicted it
+
+    def test_contains_does_not_skew_hit_miss_counters(
+        self, cache, campaign_mcc, campaign_faults, campaign_setup
+    ):
+        run_campaign(
+            campaign_mcc, campaign_faults, campaign_setup, cache=cache
+        )
+        hits, misses = cache.hits, cache.misses
+        key = self._any_entry(cache).stem
+        assert key in cache
+        assert ("f" * 64) not in cache
+        assert (cache.hits, cache.misses) == (hits, misses)
 
     def test_unreadable_entry_is_a_miss(
         self, cache, campaign_mcc, campaign_faults, campaign_setup

@@ -1,6 +1,9 @@
 """Executor behaviour: retries, failures, and graceful degradation."""
 
 import concurrent.futures
+import multiprocessing
+import os
+import time
 
 import pytest
 
@@ -48,6 +51,25 @@ class FlakyWorker:
             results=results,
             n_solves=n_solves,
         )
+
+
+class HangingWorker:
+    """Hangs (nearly) forever — but only for one unit, and only inside a
+    worker process; the parent's in-process retry completes normally."""
+
+    HANG_S = 300.0
+
+    def __init__(self, poison_id):
+        self.poison_id = poison_id
+        self.parent_pid = os.getpid()
+
+    def __call__(self, unit):
+        if (
+            unit.unit_id == self.poison_id
+            and os.getpid() != self.parent_pid
+        ):
+            time.sleep(self.HANG_S)
+        return FlakyWorker._real(unit)
 
 
 class TestSerialExecutor:
@@ -172,6 +194,31 @@ class TestParallelExecutor:
         outcomes = Broken(jobs=2, retries=1).execute(plan.units[:3])
         assert all(o.ok for o in outcomes)
         assert all(o.degraded for o in outcomes)
+
+    def test_hung_worker_does_not_block_shutdown(self, plan, monkeypatch):
+        """A worker stuck inside a unit must not hang pool shutdown.
+
+        ``Future.cancel()`` is a no-op once the unit is running, so the
+        executor has to abandon the pool (non-blocking shutdown +
+        terminate) instead of joining the hung worker.  Before the fix
+        this test blocked for ``HANG_S`` seconds at the end of
+        ``execute``.
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork to share the monkeypatched worker")
+        worker = HangingWorker(poison_id="C0#0")
+        monkeypatch.setattr(executor_module, "execute_unit", worker)
+        executor = ParallelExecutor(
+            jobs=2, timeout=1.0, retries=1, start_method="fork"
+        )
+        start = time.perf_counter()
+        outcomes = executor.execute(plan.units[:3])
+        elapsed = time.perf_counter() - start
+        assert elapsed < HangingWorker.HANG_S / 4
+        assert all(o.ok for o in outcomes)
+        hung = {o.unit.unit_id: o for o in outcomes}["C0#0"]
+        assert hung.degraded
+        assert hung.attempts >= 2
 
     def test_callback_sees_every_outcome(self, plan):
         seen = []

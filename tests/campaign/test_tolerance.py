@@ -1,0 +1,201 @@
+"""Tolerance campaign: plan determinism, caching, kernel equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignTelemetry,
+    SerialExecutor,
+    execute_tolerance_plan,
+    execute_unit,
+    plan_tolerance_campaign,
+    run_tolerance_campaign,
+    tolerance_cache,
+)
+from repro.errors import CampaignError
+
+NAMES = ["biquad", "state_variable"]
+FAST = dict(n_samples=12, points_per_decade=8)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return tolerance_cache(tmp_path / "cache")
+
+
+class TestPlan:
+    def test_deterministic(self):
+        a = plan_tolerance_campaign(names=NAMES, **FAST)
+        b = plan_tolerance_campaign(names=NAMES, **FAST)
+        assert a.keys == b.keys
+        assert [u.unit_id for u in a.units] == NAMES
+
+    def test_kernel_not_in_keys(self):
+        loop = plan_tolerance_campaign(names=NAMES, kernel="loop", **FAST)
+        stacked = plan_tolerance_campaign(
+            names=NAMES, kernel="stacked", **FAST
+        )
+        assert loop.keys == stacked.keys
+
+    def test_seed_and_tolerance_invalidate(self):
+        base = plan_tolerance_campaign(names=NAMES, **FAST)
+        reseeded = plan_tolerance_campaign(names=NAMES, seed=1, **FAST)
+        retoleranced = plan_tolerance_campaign(
+            names=NAMES, tolerance=0.01, **FAST
+        )
+        assert set(base.keys).isdisjoint(reseeded.keys)
+        assert set(base.keys).isdisjoint(retoleranced.keys)
+
+    def test_default_names_cover_catalog(self):
+        from repro.circuits import catalog
+
+        plan = plan_tolerance_campaign(**FAST)
+        assert [u.circuit_name for u in plan.units] == list(catalog())
+
+    def test_corner_pass_capped_by_component_count(self):
+        plan = plan_tolerance_campaign(
+            names=["biquad", "leapfrog"], **FAST
+        )
+        by_name = {u.circuit_name: u for u in plan.units}
+        assert by_name["biquad"].corners  # 8 passives
+        assert not by_name["leapfrog"].corners  # 17 passives
+
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            plan_tolerance_campaign(names=NAMES, tolerance=-1.0)
+        with pytest.raises(CampaignError):
+            plan_tolerance_campaign(names=NAMES, tolerance=1.0)
+        with pytest.raises(CampaignError):
+            plan_tolerance_campaign(names=NAMES, distribution="levy")
+        with pytest.raises(CampaignError):
+            plan_tolerance_campaign(names=NAMES, n_samples=0)
+        with pytest.raises(CampaignError):
+            plan_tolerance_campaign(names=NAMES, percentile=0.0)
+        with pytest.raises(CampaignError):
+            plan_tolerance_campaign(names=[])
+
+    def test_telemetry_compatible_properties(self):
+        plan = plan_tolerance_campaign(names=NAMES, **FAST)
+        assert plan.n_units == plan.n_configs == 2
+        assert plan.n_faults == 0
+        assert plan.chunk_size is None
+        unit = plan.units[0]
+        assert unit.config_label == unit.circuit_name
+        assert unit.n_faults == 0
+
+
+class TestExecute:
+    def test_executor_dispatch(self):
+        """The shared ``execute_unit`` entry point routes tolerance units
+        to the tolerance engine (this is what worker processes call)."""
+        plan = plan_tolerance_campaign(names=["biquad"], **FAST)
+        result = execute_unit(plan.units[0])
+        assert result.key == plan.units[0].key
+        assert result.suggested_epsilon > 0.0
+        assert result.n_solves == 1 + 12 + 1 + result.n_corners
+
+    def test_report_assembles_in_plan_order(self):
+        report = run_tolerance_campaign(names=NAMES, **FAST)
+        assert [row.circuit_name for row in report.rows] == NAMES
+        assert report.n_solves > 0
+        rendered = report.render()
+        for name in NAMES:
+            assert name in rendered
+        payload = report.to_json()
+        assert len(payload["circuits"]) == 2
+        assert payload["circuits"][0]["suggested_epsilon"] > 0.0
+
+    def test_kernels_produce_identical_reports(self):
+        loop = run_tolerance_campaign(names=NAMES, kernel="loop", **FAST)
+        stacked = run_tolerance_campaign(
+            names=NAMES, kernel="stacked", **FAST
+        )
+        for a, b in zip(loop.rows, stacked.rows):
+            assert a.suggested_epsilon == b.suggested_epsilon
+            assert a.max_deviation == b.max_deviation
+            assert a.epsilon_floor == b.epsilon_floor
+            assert a.band_epsilon_floor == b.band_epsilon_floor
+            assert a.n_solves == b.n_solves
+        assert loop.n_solves == stacked.n_solves
+        assert stacked.n_factorizations > 0
+
+    def test_warm_cache_resumes_with_zero_solves(self, cache):
+        telemetry = CampaignTelemetry()
+        cold = run_tolerance_campaign(
+            names=NAMES, cache=cache, telemetry=telemetry, **FAST
+        )
+        assert cache.writes == 2
+        warm_telemetry = CampaignTelemetry()
+        warm = run_tolerance_campaign(
+            names=NAMES, cache=cache, telemetry=warm_telemetry, **FAST
+        )
+        assert warm.n_solves == 0
+        assert warm.n_factorizations == 0
+        counters = warm_telemetry.counters
+        assert counters["cache_hits"] == counters["units_total"] == 2
+        assert counters["solves"] == 0
+        for a, b in zip(cold.rows, warm.rows):
+            assert a.suggested_epsilon == b.suggested_epsilon
+
+    def test_stacked_results_resume_a_loop_plan(self, cache):
+        """Kernel is excluded from the keys: results computed by one
+        kernel satisfy the other kernel's plan from the cache."""
+        run_tolerance_campaign(
+            names=["biquad"], kernel="stacked", cache=cache, **FAST
+        )
+        telemetry = CampaignTelemetry()
+        warm = run_tolerance_campaign(
+            names=["biquad"],
+            kernel="loop",
+            cache=cache,
+            telemetry=telemetry,
+            **FAST,
+        )
+        assert warm.n_solves == 0
+        assert telemetry.counters["cache_hits"] == 1
+
+    def test_wrong_payload_type_is_a_miss(self, cache):
+        """A fault-simulation ``UnitResult`` squatting on a tolerance key
+        is corruption, not a hit."""
+        import pickle
+
+        plan = plan_tolerance_campaign(names=["biquad"], **FAST)
+        key = plan.units[0].key
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"not": "a tolerance result"}))
+        assert key not in cache
+        report = execute_tolerance_plan(plan, cache=cache)
+        assert report.n_solves > 0
+        assert cache.corrupt == 1
+
+    def test_failed_unit_raises_campaign_error(self, monkeypatch):
+        from repro.campaign import tolerance as tolerance_module
+
+        def explode(unit):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(
+            tolerance_module, "monte_carlo_tolerance", explode
+        )
+        plan = plan_tolerance_campaign(names=["biquad"], **FAST)
+        with pytest.raises(CampaignError, match="tolerance unit"):
+            execute_tolerance_plan(plan, executor=SerialExecutor())
+
+    def test_suggested_epsilon_matches_direct_analysis(self):
+        """The campaign reports exactly what the analysis layer computes
+        — no re-derivation drift."""
+        from repro.analysis import decade_grid, monte_carlo_tolerance
+        from repro.circuits import build
+
+        report = run_tolerance_campaign(names=["biquad"], **FAST)
+        bench = build("biquad")
+        grid = decade_grid(bench.f0_hz, 1, 1, points_per_decade=8)
+        direct = monte_carlo_tolerance(
+            bench.circuit, grid, tolerance=0.05, n_samples=12, seed=2026
+        )
+        row = report.row_for("biquad")
+        assert row.suggested_epsilon == direct.suggested_epsilon(95.0)
+        assert row.max_deviation == float(
+            np.max(direct.max_deviation_per_sample())
+        )

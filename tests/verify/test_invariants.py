@@ -14,6 +14,7 @@ from repro.verify.invariants import (
     check_grid_refinement,
     check_impedance_scaling,
     check_matrix_table_consistency,
+    check_tolerance_kernel,
     check_transparent_configuration,
 )
 
@@ -58,6 +59,11 @@ class TestInvariantsHold:
 
     def test_grid_refinement_triple(self, small_case):
         assert check_grid_refinement(small_case, factor=3) == []
+
+    def test_tolerance_kernel_equivalence(self, small_case):
+        """Monte Carlo and corner analyses are bit-identical across
+        kernels — the ``tolerance stacked ≡ loop`` invariant."""
+        assert check_tolerance_kernel(small_case) == []
 
 
 class TestInvariantsFire:

@@ -151,7 +151,7 @@ def test_bench_campaign_warm_cache(benchmark, flf_plan, tmp_path):
     )
     RECORD["warm_s"] = benchmark.stats.stats.min
 
-    counters = telemetry.counters
+    counters = telemetry.snapshot()
     assert counters["cache_hits"] == counters["units_total"]
     assert counters["solves"] == 0
     assert dataset.n_solves == 0

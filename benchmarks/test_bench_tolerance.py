@@ -132,7 +132,7 @@ def test_bench_tolerance_warm_cache(benchmark, tmp_path):
     )
     RECORD["warm_s"] = benchmark.stats.stats.min
 
-    counters = telemetry.counters
+    counters = telemetry.snapshot()
     assert counters["cache_hits"] == counters["units_total"]
     assert counters["solves"] == 0
     assert report.n_solves == 0

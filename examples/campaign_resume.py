@@ -31,7 +31,7 @@ from repro.faults import SimulationSetup, deviation_faults
 
 
 def report(label, telemetry):
-    c = telemetry.counters
+    c = telemetry.snapshot()
     print(
         f"{label:<22} {c['units_done']:>3}/{c['units_total']} units | "
         f"{c['cache_hits']:>3} cache hits | "
@@ -77,7 +77,7 @@ def main() -> None:
         with CampaignTelemetry() as telemetry:
             execute_plan(plan, cache=cache, telemetry=telemetry)
             report("warm re-run:", telemetry)
-            assert telemetry.counters["solves"] == 0
+            assert telemetry.snapshot()["solves"] == 0
 
     print()
     matrix = dataset.detectability_matrix()

@@ -172,10 +172,18 @@ def make_executor(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    persistent: bool = False,
 ) -> Executor:
-    """Executor factory used by the CLI: serial for 1 job, else parallel."""
+    """Executor factory used by the CLI: serial for 1 job, else parallel.
+
+    ``persistent=True`` keeps the process pool warm across
+    ``execute()`` calls — the job server's mode; call
+    ``executor.close()`` to release the workers.
+    """
     if jobs is not None and jobs < 1:
         raise CampaignError(f"jobs must be >= 1, got {jobs}")
     if jobs is None or jobs == 1:
         return SerialExecutor()
-    return ParallelExecutor(jobs=jobs, timeout=timeout, retries=retries)
+    return ParallelExecutor(
+        jobs=jobs, timeout=timeout, retries=retries, persistent=persistent
+    )

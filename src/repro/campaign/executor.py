@@ -211,6 +211,12 @@ class ParallelExecutor(Executor):
     start_method:
         Force a multiprocessing start method (``"fork"``, ``"spawn"``,
         ``"forkserver"``); default picks fork when the platform has it.
+    persistent:
+        Keep the process pool alive across :meth:`execute` calls.  A
+        long-running service amortises worker startup (and any per-
+        worker warmup) over its whole lifetime instead of paying it per
+        job; call :meth:`close` to release the workers.  A broken or
+        abandoned pool is discarded and rebuilt on the next call.
     """
 
     name = "parallel"
@@ -221,6 +227,7 @@ class ParallelExecutor(Executor):
         timeout: Optional[float] = None,
         retries: int = 1,
         start_method: Optional[str] = None,
+        persistent: bool = False,
     ):
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -230,6 +237,8 @@ class ParallelExecutor(Executor):
         self.timeout = timeout
         self.retries = retries
         self.start_method = start_method
+        self.persistent = persistent
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
     def _context(self):
@@ -238,6 +247,26 @@ class ParallelExecutor(Executor):
             "fork" if "fork" in methods else "spawn"
         )
         return multiprocessing.get_context(method)
+
+    def _acquire_pool(self, n_units: int):
+        """The pool to run on: cached when persistent, fresh otherwise."""
+        if self.persistent:
+            if self._pool is None:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    mp_context=self._context(),
+                )
+            return self._pool
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.jobs, n_units),
+            mp_context=self._context(),
+        )
+
+    def close(self) -> None:
+        """Release a persistent pool's workers (no-op otherwise)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def execute(
         self,
@@ -248,10 +277,7 @@ class ParallelExecutor(Executor):
         if not units:
             return []
         try:
-            pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(units)),
-                mp_context=self._context(),
-            )
+            pool = self._acquire_pool(len(units))
         except Exception:
             # The platform cannot host a process pool at all: degrade the
             # whole campaign to the serial path.
@@ -260,6 +286,8 @@ class ParallelExecutor(Executor):
         outcomes: List[UnitOutcome] = []
         broken = False
         abandoned = False
+        aborted = False
+        futures = []
         try:
             futures = [
                 (unit, pool.submit(execute_unit, unit)) for unit in units
@@ -274,9 +302,21 @@ class ParallelExecutor(Executor):
                     abandoned = abandoned or timed_out
                 outcomes.append(outcome)
                 if callback is not None:
-                    callback(outcome)
+                    try:
+                        callback(outcome)
+                    except BaseException:
+                        # A raising callback is the cooperative-abort
+                        # channel (job cancellation / deadline in
+                        # repro.service): stop harvesting, drop the
+                        # not-yet-running remainder, and let the
+                        # exception reach the caller.
+                        aborted = True
+                        raise
         finally:
-            self._shutdown(pool, abandoned)
+            if aborted:
+                for _unit, future in futures:
+                    future.cancel()
+            self._release_pool(pool, broken, abandoned, aborted)
         return outcomes
 
     def _harvest(self, unit, future):
@@ -332,27 +372,49 @@ class ParallelExecutor(Executor):
                 False,
             )
 
-    @staticmethod
-    def _shutdown(pool, abandoned: bool) -> None:
-        """Dispose of the pool; never block on a hung worker.
+    def _release_pool(
+        self, pool, broken: bool, abandoned: bool, aborted: bool
+    ) -> None:
+        """Dispose of (or retain) the pool; never block on a hung worker.
 
-        A clean run joins the workers as usual.  After a timeout whose
-        unit was already executing, joining would block until the hung
-        worker returns — potentially forever — so the pool is abandoned:
-        queued futures are cancelled, the join is skipped, and the
-        worker processes are terminated so the interpreter's atexit
-        handler cannot block on them either.
+        A clean non-persistent run joins the workers as usual.  A clean
+        persistent run keeps the warm pool for the next
+        :meth:`execute`.  Exceptional endings:
+
+        * **abandoned** — a timed-out unit may still be running in a
+          worker; joining would block until it returns (potentially
+          forever), so queued futures are cancelled, the join is
+          skipped, and the worker processes are terminated so the
+          interpreter's atexit handler cannot block on them either.
+          A persistent pool is discarded and rebuilt on the next call.
+        * **broken** — the pool is unusable; discard it.
+        * **aborted** — a callback raised (cooperative cancellation):
+          queued futures were already cancelled; a persistent pool
+          stays warm (in-flight units bleed to completion in the
+          workers, then the workers idle), a one-shot pool is released
+          without waiting.
         """
-        if not abandoned:
-            pool.shutdown(wait=True)
+        if abandoned:
+            if pool is self._pool:
+                self._pool = None
+            processes = list(
+                (getattr(pool, "_processes", None) or {}).values()
+            )
+            pool.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                try:
+                    process.terminate()
+                except Exception:  # noqa: BLE001 — best-effort teardown
+                    pass
             return
-        processes = list((getattr(pool, "_processes", None) or {}).values())
-        pool.shutdown(wait=False, cancel_futures=True)
-        for process in processes:
-            try:
-                process.terminate()
-            except Exception:  # noqa: BLE001 — best-effort teardown
-                pass
+        if broken:
+            if pool is self._pool:
+                self._pool = None
+            pool.shutdown(wait=False, cancel_futures=True)
+            return
+        if pool is self._pool:
+            return
+        pool.shutdown(wait=not aborted, cancel_futures=aborted)
 
     def _all_serial(self, units, callback):
         outcomes = []

@@ -170,8 +170,24 @@ class CampaignTelemetry:
             self._finish_progress_locked()
 
     # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A lock-consistent copy of the counters dict.
+
+        This is the supported way to read the counters from another
+        thread — the ``/metrics`` endpoint of :mod:`repro.service`
+        scrapes a telemetry instance that campaign worker threads are
+        concurrently updating, and a plain ``dict(telemetry.counters)``
+        could observe a half-applied outcome.
+        """
+        with self._lock:
+            return dict(self.counters)
+
     def summary(self) -> dict:
-        """Aggregate counters plus wall/CPU time (for the end event)."""
+        """Aggregate counters plus wall/CPU time (for the end event).
+
+        Called with :attr:`_lock` held from :meth:`campaign_end`; use
+        :meth:`snapshot` for a race-free read from other threads.
+        """
         summary = dict(self.counters)
         summary["wall_s"] = self._elapsed()
         summary["cpu_s"] = round(time.process_time() - self._cpu0, 6)

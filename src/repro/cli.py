@@ -51,18 +51,9 @@ def _load_circuit(path: str) -> Circuit:
 
 
 def _center_frequency(circuit: Circuit, override: Optional[float]) -> float:
-    if override is not None:
-        return override
-    import numpy as np
+    from .service.jobs import center_frequency
 
-    poles = [p for p in circuit_poles(circuit) if abs(p) > 0]
-    if not poles:
-        raise ReproError(
-            "circuit has no poles; pass --f0 to place the reference region"
-        )
-    magnitudes = [abs(p) for p in poles]
-    geometric = float(np.sqrt(min(magnitudes) * max(magnitudes)))
-    return geometric / (2.0 * 3.141592653589793)
+    return center_frequency(circuit, override)
 
 
 def _grid(circuit: Circuit, args) -> object:
@@ -98,16 +89,41 @@ def cmd_analyze(args) -> int:
 DEFAULT_CACHE_DIR = ".repro-campaign-cache"
 
 
-def _campaign_parts(args):
-    """(executor, cache, telemetry) from the campaign CLI flags.
+def _resolve_cache_dir(args) -> Optional[str]:
+    """The cache directory the campaign flags ask for (or ``None``).
 
-    All three are ``None`` when no campaign flag was given, keeping the
-    historical in-process path.
+    ``--resume`` without an explicit ``--cache-dir`` falls back to
+    :data:`DEFAULT_CACHE_DIR`.
     """
-    jobs = getattr(args, "jobs", None)
     cache_dir = getattr(args, "cache_dir", None)
     if getattr(args, "resume", False) and cache_dir is None:
         cache_dir = DEFAULT_CACHE_DIR
+    return cache_dir
+
+
+def _campaign_parts(args, cache_factory=None, persistent=False):
+    """(executor, cache, telemetry) from the campaign CLI flags.
+
+    The one shared interpretation of ``campaign_flags`` — ``faultsim``,
+    ``optimize``, ``campaign``, ``tolerance`` and ``serve`` all build
+    their runtime pieces here, so the flags cannot drift between
+    subcommands.  All three are ``None`` when no campaign flag was
+    given, keeping the historical in-process path.
+
+    Parameters
+    ----------
+    cache_factory:
+        ``directory -> cache`` constructor (default
+        :class:`~repro.campaign.ResultCache`); the tolerance campaign
+        passes :func:`~repro.campaign.tolerance_cache` because its
+        payloads are not UnitResults.
+    persistent:
+        Build a parallel executor whose process pool survives across
+        runs (the job server's mode); call ``executor.close()`` when
+        done.
+    """
+    jobs = getattr(args, "jobs", None)
+    cache_dir = _resolve_cache_dir(args)
     trace = getattr(args, "trace", None)
     progress = bool(getattr(args, "progress", False))
 
@@ -116,17 +132,55 @@ def _campaign_parts(args):
         from .campaign import make_executor
 
         executor = make_executor(
-            jobs=jobs, timeout=getattr(args, "timeout", None)
+            jobs=jobs,
+            timeout=getattr(args, "timeout", None),
+            persistent=persistent,
         )
     if cache_dir is not None:
-        from .campaign import ResultCache
+        if cache_factory is None:
+            from .campaign import ResultCache as cache_factory
 
-        cache = ResultCache(cache_dir)
+        cache = cache_factory(cache_dir)
     if trace is not None or progress:
         from .campaign import CampaignTelemetry
 
         telemetry = CampaignTelemetry(trace_path=trace, progress=progress)
     return executor, cache, telemetry
+
+
+def campaign_flags(p):
+    """Attach the shared campaign flags (interpreted by
+    :func:`_campaign_parts`) to a subparser."""
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (>=2 enables the parallel executor)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed result cache directory",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from the cache "
+        f"(defaults --cache-dir to {DEFAULT_CACHE_DIR})",
+    )
+    p.add_argument(
+        "--trace", default=None,
+        help="append JSONL campaign telemetry to this file",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-work-unit timeout in seconds (parallel executor)",
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="paint a live progress line on stderr",
+    )
+    p.add_argument(
+        "--kernel", choices=["loop", "stacked"], default="loop",
+        help="solve dispatch: per-frequency loop or stacked batched "
+        "LAPACK calls (bit-identical results; default loop)",
+    )
 
 
 def _campaign(circuit: Circuit, args):
@@ -206,10 +260,9 @@ def cmd_campaign(args) -> int:
         mcc, faults, setup, engine=args.engine, chunk_size=args.chunk,
         kernel=getattr(args, "kernel", "loop"),
     )
-    executor, cache, _ = _campaign_parts(args)
-    telemetry = CampaignTelemetry(
-        trace_path=args.trace, progress=args.progress
-    )
+    executor, cache, telemetry = _campaign_parts(args)
+    if telemetry is None:
+        telemetry = CampaignTelemetry()
     try:
         dataset = execute_plan(
             plan, executor=executor, cache=cache, telemetry=telemetry
@@ -392,7 +445,6 @@ def cmd_tolerance(args) -> int:
     from .campaign import (
         CampaignTelemetry,
         execute_tolerance_plan,
-        make_executor,
         plan_tolerance_campaign,
         tolerance_cache,
     )
@@ -415,17 +467,12 @@ def cmd_tolerance(args) -> int:
         max_corner_components=args.max_corner_components,
         kernel=args.kernel,
     )
-    executor = None
-    if args.jobs is not None:
-        executor = make_executor(jobs=args.jobs, timeout=args.timeout)
-    cache_dir = args.cache_dir
-    if args.resume and cache_dir is None:
-        cache_dir = DEFAULT_CACHE_DIR
-    # a dedicated factory: tolerance payloads are not UnitResults
-    cache = tolerance_cache(cache_dir) if cache_dir is not None else None
-    telemetry = CampaignTelemetry(
-        trace_path=args.trace, progress=args.progress
+    # a dedicated cache factory: tolerance payloads are not UnitResults
+    executor, cache, telemetry = _campaign_parts(
+        args, cache_factory=tolerance_cache
     )
+    if telemetry is None:
+        telemetry = CampaignTelemetry()
     try:
         report = execute_tolerance_plan(
             plan, executor=executor, cache=cache, telemetry=telemetry
@@ -441,6 +488,42 @@ def cmd_tolerance(args) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_json(), handle, indent=2)
         print(f"tolerance report written to {args.json}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the long-running job server over the campaign stack."""
+    from .campaign import CampaignTelemetry
+    from .service import ReproService, ServiceRuntime
+
+    # the serve runtime is built from the exact same campaign flags the
+    # batch subcommands use, via the same helper — no drift possible
+    executor, _, _ = _campaign_parts(args, persistent=True)
+    telemetry = CampaignTelemetry(trace_path=args.trace)
+    runtime = ServiceRuntime(
+        executor=executor,
+        cache_dir=_resolve_cache_dir(args),
+        telemetry=telemetry,
+        default_kernel=args.kernel,
+    )
+    service = ReproService(
+        host=args.host,
+        port=args.port,
+        runtime=runtime,
+        queue_limit=args.queue_limit,
+        job_timeout=args.job_timeout,
+        retry_after_s=args.retry_after,
+        access_log=args.access_log,
+    )
+    jobs = getattr(executor, "jobs", 1) if executor is not None else 1
+    print(
+        f"repro service listening on {service.url} "
+        f"({jobs} worker(s), queue limit {args.queue_limit}, "
+        f"cache {_resolve_cache_dir(args) or 'disabled'})"
+    )
+    print("endpoints: /healthz /metrics /catalog /jobs (see docs/service.md)")
+    service.serve_forever()
+    print("service stopped")
     return 0
 
 
@@ -481,65 +564,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # flag defaults come from the service job specs, so a `faultsim`
+    # shell run and a submitted faultsim job can never disagree
+    from .service.jobs import FAULTSIM_PARAMS
+
+    def job_default(name):
+        return FAULTSIM_PARAMS[name][1]
+
     def common(p, netlist=True):
         if netlist:
             p.add_argument("netlist", help="netlist file")
         p.add_argument(
-            "--epsilon", type=float, default=0.10,
-            help="detection tolerance (default 0.10)",
+            "--epsilon", type=float, default=job_default("epsilon"),
+            help=f"detection tolerance (default {job_default('epsilon')})",
         )
         p.add_argument(
-            "--deviation", type=float, default=0.20,
-            help="fault deviation (default +0.20)",
+            "--deviation", type=float, default=job_default("deviation"),
+            help=f"fault deviation (default +{job_default('deviation')})",
         )
         p.add_argument(
             "--f0", type=float, default=None,
             help="reference-region centre in Hz (default: from poles)",
         )
         p.add_argument(
-            "--decades", type=float, default=2.0,
-            help="decades each side of f0 (default 2)",
+            "--decades", type=float, default=job_default("decades"),
+            help=f"decades each side of f0 "
+            f"(default {job_default('decades'):g})",
         )
         p.add_argument(
-            "--ppd", type=int, default=50,
-            help="grid points per decade (default 50)",
+            "--ppd", type=int, default=job_default("ppd"),
+            help=f"grid points per decade (default {job_default('ppd')})",
         )
 
     p_analyze = sub.add_parser("analyze", help="AC / pole / TF summary")
     common(p_analyze)
     p_analyze.set_defaults(handler=cmd_analyze)
-
-    def campaign_flags(p):
-        p.add_argument(
-            "--jobs", type=int, default=None,
-            help="worker processes (>=2 enables the parallel executor)",
-        )
-        p.add_argument(
-            "--cache-dir", default=None,
-            help="content-addressed result cache directory",
-        )
-        p.add_argument(
-            "--resume", action="store_true",
-            help="resume from the cache "
-            f"(defaults --cache-dir to {DEFAULT_CACHE_DIR})",
-        )
-        p.add_argument(
-            "--trace", default=None,
-            help="append JSONL campaign telemetry to this file",
-        )
-        p.add_argument(
-            "--timeout", type=float, default=None,
-            help="per-work-unit timeout in seconds (parallel executor)",
-        )
-        p.add_argument(
-            "--progress", action="store_true",
-            help="paint a live progress line on stderr",
-        )
-        p.add_argument(
-            "--kernel", choices=["loop", "stacked"], default="loop",
-            help="solve dispatch: per-frequency loop or stacked batched "
-            "LAPACK calls (bit-identical results; default loop)",
-        )
 
     p_faultsim = sub.add_parser(
         "faultsim", help="fault x configuration campaign"
@@ -727,6 +786,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_noise.set_defaults(handler=cmd_noise)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running job server (faultsim / tolerance / verify "
+        "jobs over HTTP; see docs/service.md)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8321,
+        help="TCP port (0 picks an ephemeral port; default 8321)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="queued jobs before submissions get 429 (default 16)",
+    )
+    p_serve.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="default per-job time budget in seconds (cooperative; "
+        "a job's timeout_s param overrides it)",
+    )
+    p_serve.add_argument(
+        "--retry-after", type=float, default=1.0,
+        help="Retry-After hint on 429 responses in seconds (default 1)",
+    )
+    p_serve.add_argument(
+        "--access-log", default=None,
+        help="append structured JSON access logs to this file",
+    )
+    campaign_flags(p_serve)
+    p_serve.set_defaults(handler=cmd_serve)
+
     p_catalog = sub.add_parser("catalog", help="list library circuits")
     p_catalog.set_defaults(handler=cmd_catalog)
 
@@ -739,16 +831,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    """Parse and dispatch; typed failures exit 1 with one line on stderr.
+
+    Every library error derives from :class:`~repro.errors.ReproError`
+    (:class:`~repro.errors.AnalysisError`,
+    :class:`~repro.errors.SingularCircuitError`, campaign, service and
+    netlist errors included), so no subcommand ever surfaces a
+    traceback for a malformed or unsolvable input — the error class
+    name prefixes the message so the failure mode stays identifiable.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
     except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        # unreadable netlists, unwritable reports, ports in use, ...
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -67,6 +67,43 @@ class CampaignError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The job service could not satisfy a request.
+
+    Base class for every error raised by :mod:`repro.service` — job
+    validation, admission control, cancellation and client-side
+    transport failures all derive from it.
+    """
+
+
+class JobValidationError(ServiceError):
+    """A submitted job payload is malformed (unknown kind, bad params)."""
+
+
+class JobNotFoundError(ServiceError):
+    """The requested job id is not known to the scheduler."""
+
+
+class QueueFullError(ServiceError):
+    """Admission control rejected a submission: the job queue is full.
+
+    ``retry_after_s`` is the server's backoff hint, surfaced over HTTP
+    as a ``Retry-After`` header on the 429 response.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class JobCancelledError(ServiceError):
+    """A job observed its cancellation flag and stopped cooperatively."""
+
+
+class JobTimeoutError(ServiceError):
+    """A job exceeded its deadline and was stopped cooperatively."""
+
+
 class OptimizationError(ReproError):
     """The covering/optimization layer could not produce a solution."""
 

@@ -1,0 +1,58 @@
+"""Service layer — a long-running job server over the campaign stack.
+
+The ROADMAP's north star is a traffic-serving system; PRs 1–4 built the
+compute (parallel executors, content-addressed caches, stacked kernels,
+telemetry) but every entry point was a one-shot CLI run that paid
+process startup, cold caches and cold worker pools per invocation.
+This package adds the serving tier, stdlib-only:
+
+* :mod:`~repro.service.jobs` — the job model: faultsim / tolerance /
+  verify payloads with validated params, content-hashed job records
+  persisted through :class:`~repro.campaign.cache.ResultCache` (a
+  restarted server answers repeat jobs from disk), and per-job
+  telemetry with cooperative cancellation and deadlines;
+* :mod:`~repro.service.scheduler` — :class:`ServiceRuntime` (one warm
+  executor + caches + telemetry shared by all jobs) and
+  :class:`JobScheduler` (bounded queue, 429 admission control,
+  graceful draining shutdown);
+* :mod:`~repro.service.metrics` — Prometheus text exposition: campaign
+  counters, queue depth, job states, per-route latency histograms;
+* :mod:`~repro.service.server` — the ``http.server`` API surface with
+  structured JSON access logs (:class:`ReproService`);
+* :mod:`~repro.service.client` — a urllib :class:`ServiceClient`
+  (submit / poll / wait / result / cancel) raising the same typed
+  errors the server does.
+
+Start one with ``python -m repro serve --port 8321 --jobs 4
+--cache-dir .repro-service`` and see ``docs/service.md`` for the API.
+"""
+
+from .client import ServiceClient
+from .jobs import (
+    JOB_KINDS,
+    PARAM_SPECS,
+    Job,
+    JobRecord,
+    JobTelemetry,
+    job_key,
+    normalize_params,
+)
+from .metrics import ServiceMetrics, parse_metrics
+from .scheduler import JobScheduler, ServiceRuntime
+from .server import ReproService
+
+__all__ = [
+    "JOB_KINDS",
+    "Job",
+    "JobRecord",
+    "JobScheduler",
+    "JobTelemetry",
+    "PARAM_SPECS",
+    "ReproService",
+    "ServiceClient",
+    "ServiceMetrics",
+    "ServiceRuntime",
+    "job_key",
+    "normalize_params",
+    "parse_metrics",
+]

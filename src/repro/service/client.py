@@ -1,0 +1,159 @@
+"""A thin urllib client for the repro job server.
+
+No third-party dependencies: :class:`ServiceClient` wraps the JSON API
+of :mod:`repro.service.server` with submit / poll / wait / result /
+cancel calls, re-raising server-side rejections as the same typed
+errors the server raised — a 429 becomes
+:class:`~repro.errors.QueueFullError` carrying the ``Retry-After``
+hint, a 400 becomes :class:`~repro.errors.JobValidationError`, a 404
+:class:`~repro.errors.JobNotFoundError` — so callers handle local and
+remote failures with one ``except`` ladder.
+
+>>> client = ServiceClient("http://127.0.0.1:8321")
+>>> job = client.submit("faultsim", {"target": "sallen_key", "ppd": 10})
+>>> done = client.wait(job["id"], timeout=120)
+>>> done["result"]["fault_coverage"]
+1.0
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+from ..errors import (
+    JobNotFoundError,
+    JobValidationError,
+    QueueFullError,
+    ServiceError,
+)
+from .jobs import TERMINAL_STATES
+
+
+class ServiceClient:
+    """Blocking JSON client for one server base URL.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a running server.
+    timeout:
+        Socket timeout per request in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        raw: bool = False,
+    ):
+        request = urllib.request.Request(
+            self.base_url + path, method=method
+        )
+        body = None
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(
+                request, data=body, timeout=self.timeout
+            ) as response:
+                data = response.read()
+        except urllib.error.HTTPError as exc:
+            self._raise_typed(exc)
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from exc
+        if raw:
+            return data.decode("utf-8")
+        return json.loads(data.decode("utf-8")) if data else {}
+
+    @staticmethod
+    def _raise_typed(exc: urllib.error.HTTPError) -> None:
+        try:
+            message = json.loads(exc.read().decode("utf-8"))["error"]
+        except Exception:  # noqa: BLE001 — body may be anything
+            message = f"HTTP {exc.code}"
+        if exc.code == 429:
+            retry_after = float(exc.headers.get("Retry-After") or 1.0)
+            raise QueueFullError(message, retry_after_s=retry_after) from exc
+        if exc.code == 400:
+            raise JobValidationError(message) from exc
+        if exc.code == 404:
+            raise JobNotFoundError(message) from exc
+        raise ServiceError(f"HTTP {exc.code}: {message}") from exc
+
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, params: Optional[dict] = None) -> dict:
+        """Submit one job; returns its API view (``id``, ``state``…)."""
+        return self._request(
+            "POST", "/jobs", {"kind": kind, "params": params or {}}
+        )
+
+    def job(self, job_id: str) -> dict:
+        """Current state + progress counters of one job."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list:
+        """Every job the server remembers."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        """The job view including its result (409 until terminal)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation (immediate if queued, cooperative else)."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll_s: float = 0.1
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns it with
+        its result attached.
+
+        Raises :class:`~repro.errors.ServiceError` if ``timeout``
+        elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["state"] in TERMINAL_STATES:
+                return self.result(job_id)
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {view['state']} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll_s)
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def catalog(self) -> list:
+        return self._request("GET", "/catalog")["circuits"]
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition document."""
+        return self._request("GET", "/metrics", raw=True)
+
+    def metrics(self) -> Dict[str, float]:
+        """Parsed ``sample-name -> value`` map of ``/metrics``."""
+        from .metrics import parse_metrics
+
+        return parse_metrics(self.metrics_text())
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and stop."""
+        return self._request("POST", "/shutdown")

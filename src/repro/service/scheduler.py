@@ -1,0 +1,410 @@
+"""Admission control and execution for service jobs.
+
+Two pieces:
+
+:class:`ServiceRuntime`
+    The shared compute substrate every job runs on — **one** executor
+    (optionally a persistent process pool that stays warm across jobs),
+    **one** set of result caches (campaign units, tolerance units, and
+    completed job records) and **one** server-wide
+    :class:`~repro.campaign.telemetry.CampaignTelemetry` feeding
+    ``/metrics``.  This replaces the per-invocation setup the CLI does:
+    a server that has simulated a circuit once answers the next
+    overlapping request from cache, whoever asks.
+
+:class:`JobScheduler`
+    A bounded FIFO queue in front of a worker thread.  Submissions
+    beyond ``queue_limit`` are rejected with
+    :class:`~repro.errors.QueueFullError` (HTTP 429 + ``Retry-After``);
+    identical re-submissions of completed deterministic jobs are
+    answered instantly from the job-record cache.  Running jobs are
+    cancelled cooperatively (the flag is observed between work units)
+    and budgeted by a per-job deadline.  :meth:`JobScheduler.shutdown`
+    stops admission and, when draining, lets every accepted job finish
+    before the worker exits — the graceful-shutdown path SIGTERM takes.
+
+Jobs execute strictly one at a time — parallelism lives *inside* a job
+(the runtime's executor fans units out over worker processes), which
+keeps the process pool contention-free and makes job wall-times
+predictable under load.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Union
+
+from ..campaign.cache import ResultCache
+from ..campaign.executor import Executor
+from ..campaign.telemetry import CampaignTelemetry
+from ..errors import (
+    JobNotFoundError,
+    JobCancelledError,
+    JobTimeoutError,
+    QueueFullError,
+    ReproError,
+    ServiceError,
+)
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobRecord,
+    JobTelemetry,
+    execute_job,
+    normalize_params,
+)
+
+
+class ServiceRuntime:
+    """Shared executor, caches and telemetry for every job.
+
+    Parameters
+    ----------
+    executor:
+        Campaign executor shared by all jobs (``None`` runs serially
+        in the scheduler's worker thread).  Pass a
+        :class:`~repro.campaign.executor.ParallelExecutor` constructed
+        with ``persistent=True`` so the process pool outlives
+        individual jobs.
+    cache_dir:
+        Root directory for the three result caches; ``None`` disables
+        persistence (jobs still share the executor and telemetry).
+        Layout: ``<dir>/units`` (fault-simulation unit results),
+        ``<dir>/tolerance`` (tolerance unit results), ``<dir>/jobs``
+        (completed job records).
+    telemetry:
+        Server-wide telemetry instance (defaults to a fresh one); give
+        it a ``trace_path`` to keep a JSONL event log of every unit the
+        server ever simulates.
+    default_kernel:
+        Solve kernel for jobs that do not pin one (``"loop"`` or
+        ``"stacked"``).
+    """
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        telemetry: Optional[CampaignTelemetry] = None,
+        default_kernel: str = "loop",
+    ):
+        self.executor = executor
+        self.telemetry = telemetry or CampaignTelemetry()
+        self.default_kernel = default_kernel
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.unit_cache: Optional[ResultCache] = ResultCache(
+                self.cache_dir / "units"
+            )
+            from ..campaign import ToleranceUnitResult
+
+            self.tolerance_cache: Optional[ResultCache] = ResultCache(
+                self.cache_dir / "tolerance",
+                payload_type=ToleranceUnitResult,
+            )
+            self.job_cache: Optional[ResultCache] = ResultCache(
+                self.cache_dir / "jobs", payload_type=JobRecord
+            )
+        else:
+            self.unit_cache = None
+            self.tolerance_cache = None
+            self.job_cache = None
+
+    def close(self) -> None:
+        """Release the executor's workers and close the telemetry."""
+        close = getattr(self.executor, "close", None)
+        if close is not None:
+            close()
+        self.telemetry.close()
+
+
+class JobScheduler:
+    """Bounded FIFO job queue with one worker thread.
+
+    Parameters
+    ----------
+    runtime:
+        The shared :class:`ServiceRuntime` jobs execute on.
+    queue_limit:
+        Maximum number of *queued* (not yet running) jobs; the next
+        submission beyond it raises
+        :class:`~repro.errors.QueueFullError`.
+    job_timeout:
+        Default per-job time budget in seconds (``None`` = unlimited);
+        a job's ``timeout_s`` param takes precedence.  Enforced
+        cooperatively between work units.
+    retry_after_s:
+        Backoff hint carried by queue-full rejections.
+    keep_jobs:
+        Completed jobs retained for ``GET /jobs`` before the oldest
+        terminal records are pruned from memory (their cached results
+        survive on disk).
+    """
+
+    def __init__(
+        self,
+        runtime: ServiceRuntime,
+        queue_limit: int = 16,
+        job_timeout: Optional[float] = None,
+        retry_after_s: float = 1.0,
+        keep_jobs: int = 256,
+    ):
+        if queue_limit < 1:
+            raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.runtime = runtime
+        self.queue_limit = queue_limit
+        self.job_timeout = job_timeout
+        self.retry_after_s = retry_after_s
+        self.keep_jobs = keep_jobs
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queue: Deque[Job] = collections.deque()
+        self._jobs: "collections.OrderedDict[str, Job]" = (
+            collections.OrderedDict()
+        )
+        self._running: Optional[Job] = None
+        self._accepting = True
+        self._draining = False
+        self._stopped = False
+        self._paused = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-scheduler", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # submission / lookup
+
+    def submit(self, kind: str, params: Optional[dict] = None) -> Job:
+        """Validate, admit and enqueue one job (or answer it from cache).
+
+        Raises
+        ------
+        JobValidationError
+            Malformed payload (HTTP 400).
+        QueueFullError
+            Admission control rejected the job (HTTP 429).
+        ServiceError
+            The scheduler is shutting down (HTTP 503).
+        """
+        job = Job(kind, normalize_params(kind, params))
+
+        record = None
+        if job.cacheable and self.runtime.job_cache is not None:
+            record = self.runtime.job_cache.get(job.key)
+        if record is not None:
+            job.state = DONE
+            job.result = record.result
+            job.from_cache = True
+            job.started_at = job.finished_at = time.time()
+            with self._lock:
+                self._remember(job)
+            return job
+
+        with self._lock:
+            if not self._accepting:
+                raise ServiceError(
+                    "the server is shutting down and no longer accepts jobs"
+                )
+            if len(self._queue) >= self.queue_limit:
+                raise QueueFullError(
+                    f"job queue is full ({self.queue_limit} queued); "
+                    f"retry after {self.retry_after_s:g}s",
+                    retry_after_s=self.retry_after_s,
+                )
+            self._remember(job)
+            self._queue.append(job)
+            self._wake.notify_all()
+        return job
+
+    def _remember(self, job: Job) -> None:
+        """Register a job, pruning the oldest terminal ones (locked)."""
+        self._jobs[job.id] = job
+        while len(self._jobs) > self.keep_jobs:
+            for job_id, old in self._jobs.items():
+                if old.done:
+                    del self._jobs[job_id]
+                    break
+            else:
+                break
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no such job: {job_id!r}")
+        return job
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def counts_by_state(self) -> Dict[str, int]:
+        """``state -> count`` over every remembered job (for metrics)."""
+        counts = {state: 0 for state in (QUEUED, RUNNING, DONE, FAILED,
+                                         CANCELLED)}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # cancellation / shutdown
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job immediately or a running one cooperatively.
+
+        Terminal jobs are returned unchanged (cancellation is
+        idempotent and never un-finishes work).
+        """
+        job = self.get(job_id)
+        with self._lock:
+            if job.state == QUEUED:
+                try:
+                    self._queue.remove(job)
+                except ValueError:
+                    pass
+                job.state = CANCELLED
+                job.finished_at = time.time()
+                job.error = "cancelled while queued"
+                self._idle.notify_all()
+                return job
+        # running: flip the flag; the job observes it between units
+        job.cancel_event.set()
+        return job
+
+    def pause(self) -> None:
+        """Hold the worker before its next job (testing / maintenance)."""
+        with self._lock:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._lock:
+            self._paused = False
+            self._wake.notify_all()
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None):
+        """Stop admission and bring the worker to rest.
+
+        ``drain=True`` (the SIGTERM path) lets the running job *and*
+        everything already queued finish; ``drain=False`` cancels the
+        queue and cooperatively cancels the running job.  Returns once
+        the worker thread has exited (or ``timeout`` elapsed).
+        """
+        with self._lock:
+            self._accepting = False
+            self._draining = drain
+            if not drain:
+                while self._queue:
+                    job = self._queue.popleft()
+                    job.state = CANCELLED
+                    job.finished_at = time.time()
+                    job.error = "cancelled by shutdown"
+                running = self._running
+            else:
+                running = None
+            self._paused = False
+            self._stopped = True
+            self._wake.notify_all()
+        if not drain and running is not None:
+            running.cancel_event.set()
+        self._worker.join(timeout=timeout)
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is queued or running (for tests)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._queue or self._running is not None:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(timeout=remaining)
+        return True
+
+    # ------------------------------------------------------------------
+    # the worker
+
+    def _next_job(self) -> Optional[Job]:
+        """Block for the next runnable job; ``None`` means exit."""
+        with self._lock:
+            while True:
+                if self._stopped and (not self._draining or not self._queue):
+                    return None
+                if self._queue and not self._paused:
+                    job = self._queue.popleft()
+                    job.state = RUNNING
+                    job.started_at = time.time()
+                    self._running = job
+                    return job
+                self._wake.wait(timeout=0.1)
+
+    def _run(self) -> None:
+        while True:
+            job = self._next_job()
+            if job is None:
+                return
+            self._execute(job)
+            with self._lock:
+                self._running = None
+                self._idle.notify_all()
+
+    def _execute(self, job: Job) -> None:
+        timeout_s = job.params.get("timeout_s")
+        if timeout_s is None:
+            timeout_s = self.job_timeout
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        telemetry = JobTelemetry(
+            job, shared=self.runtime.telemetry, deadline=deadline
+        )
+        job.telemetry = telemetry
+        try:
+            telemetry.checkpoint()
+            result = execute_job(job, self.runtime, telemetry)
+        except JobCancelledError as exc:
+            job.state = CANCELLED
+            job.error = str(exc)
+        except JobTimeoutError as exc:
+            job.state = FAILED
+            job.error = f"timeout: {exc}"
+        except ReproError as exc:
+            job.state = FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+        except Exception as exc:  # noqa: BLE001 — jobs must not kill the worker
+            job.state = FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+        else:
+            job.result = result
+            job.state = DONE
+            if job.cacheable and self.runtime.job_cache is not None:
+                try:
+                    self.runtime.job_cache.put(
+                        job.key,
+                        JobRecord(
+                            key=job.key,
+                            kind=job.kind,
+                            params=job.params,
+                            result=result,
+                            wall_s=job.wall_s,
+                        ),
+                    )
+                except OSError:
+                    pass  # a full/read-only disk must not fail the job
+        finally:
+            job.finished_at = time.time()
+            telemetry.close()

@@ -83,7 +83,7 @@ class TestResume:
             telemetry=telemetry,
         )
         assert warm.n_solves == 0
-        counters = telemetry.counters
+        counters = telemetry.snapshot()
         assert counters["cache_hits"] == counters["units_total"] == 7
         assert counters["solves"] == 0
         assert np.array_equal(
@@ -117,8 +117,8 @@ class TestResume:
             cache=cache,
             telemetry=telemetry,
         )
-        assert telemetry.counters["cache_hits"] == 3
-        assert telemetry.counters["solves"] == full.n_solves
+        assert telemetry.snapshot()["cache_hits"] == 3
+        assert telemetry.snapshot()["solves"] == full.n_solves
         expected = (len(configs) - 3) * (len(campaign_faults) + 1)
         assert full.n_solves == expected
 
@@ -139,7 +139,7 @@ class TestResume:
             cache=cache,
             telemetry=telemetry,
         )
-        assert telemetry.counters["cache_hits"] == 0
+        assert telemetry.snapshot()["cache_hits"] == 0
 
     def test_grid_change_invalidates(
         self,
@@ -165,7 +165,7 @@ class TestResume:
             cache=cache,
             telemetry=telemetry,
         )
-        assert telemetry.counters["cache_hits"] == 0
+        assert telemetry.snapshot()["cache_hits"] == 0
 
 
 class TestCorruption:
@@ -189,7 +189,7 @@ class TestCorruption:
             cache=cache,
             telemetry=telemetry,
         )
-        assert telemetry.counters["cache_hits"] == 6
+        assert telemetry.snapshot()["cache_hits"] == 6
         assert cache.corrupt == 1
         assert np.array_equal(
             recovered.detectability_matrix().data,

@@ -130,7 +130,7 @@ class TestCountersAndProgress:
             campaign_setup,
             telemetry=telemetry,
         )
-        counters = telemetry.counters
+        counters = telemetry.snapshot()
         assert counters["units_done"] == counters["units_total"] == 7
         assert counters["solves"] == 63
         assert counters["failures"] == 0

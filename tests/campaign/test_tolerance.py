@@ -131,7 +131,7 @@ class TestExecute:
         )
         assert warm.n_solves == 0
         assert warm.n_factorizations == 0
-        counters = warm_telemetry.counters
+        counters = warm_telemetry.snapshot()
         assert counters["cache_hits"] == counters["units_total"] == 2
         assert counters["solves"] == 0
         for a, b in zip(cold.rows, warm.rows):
@@ -152,7 +152,7 @@ class TestExecute:
             **FAST,
         )
         assert warm.n_solves == 0
-        assert telemetry.counters["cache_hits"] == 1
+        assert telemetry.snapshot()["cache_hits"] == 1
 
     def test_wrong_payload_type_is_a_miss(self, cache):
         """A fault-simulation ``UnitResult`` squatting on a tolerance key

@@ -153,7 +153,7 @@ class TestCampaignIntegration:
             telemetry=telemetry,
             kernel="stacked",
         )
-        counters = telemetry.counters
+        counters = telemetry.snapshot()
         assert counters["cache_hits"] == counters["units_total"]
         assert counters["solves"] == 0
         assert warm.n_solves == 0
@@ -164,17 +164,17 @@ class TestCampaignIntegration:
             mcc, faults, setup, telemetry=telemetry, kernel="stacked"
         )
         assert (
-            telemetry.counters["factorizations"]
+            telemetry.snapshot()["factorizations"]
             == stacked.n_factorizations
         )
-        assert telemetry.counters["factorizations"] > 0
+        assert telemetry.snapshot()["factorizations"] > 0
 
     def test_loop_kernel_reports_zero_factorizations(
         self, mcc, faults, setup
     ):
         telemetry = CampaignTelemetry()
         run_campaign(mcc, faults, setup, telemetry=telemetry)
-        assert telemetry.counters["factorizations"] == 0
+        assert telemetry.snapshot()["factorizations"] == 0
 
 
 class TestSingularSemantics:

@@ -1,0 +1,207 @@
+"""Job model tests: validation, content keys, records, telemetry."""
+
+import pytest
+
+from repro.campaign import ResultCache
+from repro.errors import JobCancelledError, JobTimeoutError, JobValidationError
+from repro.service.jobs import (
+    DONE,
+    JOB_KINDS,
+    PARAM_SPECS,
+    QUEUED,
+    Job,
+    JobRecord,
+    JobTelemetry,
+    is_cacheable,
+    job_key,
+    normalize_params,
+)
+
+
+class TestNormalizeParams:
+    def test_defaults_filled(self):
+        params = normalize_params("faultsim", {"target": "biquad"})
+        assert params["epsilon"] == 0.10
+        assert params["deviation"] == 0.20
+        assert params["ppd"] == 50
+        assert params["engine"] == "standard"
+
+    def test_unknown_kind(self):
+        with pytest.raises(JobValidationError, match="unknown job kind"):
+            normalize_params("mine-bitcoin", {})
+
+    def test_unknown_param(self):
+        with pytest.raises(JobValidationError, match="unknown param"):
+            normalize_params("faultsim", {"target": "biquad", "bogus": 1})
+
+    def test_type_coercion_and_mismatch(self):
+        params = normalize_params(
+            "faultsim", {"target": "biquad", "ppd": "25", "epsilon": "0.2"}
+        )
+        assert params["ppd"] == 25
+        assert params["epsilon"] == 0.2
+        with pytest.raises(JobValidationError, match="expects int"):
+            normalize_params("faultsim", {"target": "biquad", "ppd": "many"})
+
+    def test_faultsim_requires_exactly_one_target(self):
+        with pytest.raises(JobValidationError, match="exactly one"):
+            normalize_params("faultsim", {})
+        with pytest.raises(JobValidationError, match="exactly one"):
+            normalize_params(
+                "faultsim", {"target": "biquad", "netlist": "* x\n.end"}
+            )
+
+    def test_domain_checks(self):
+        with pytest.raises(JobValidationError, match="engine"):
+            normalize_params(
+                "faultsim", {"target": "biquad", "engine": "warp"}
+            )
+        with pytest.raises(JobValidationError, match="kernel"):
+            normalize_params(
+                "faultsim", {"target": "biquad", "kernel": "quantum"}
+            )
+        with pytest.raises(JobValidationError, match="epsilon must be > 0"):
+            normalize_params(
+                "faultsim", {"target": "biquad", "epsilon": -1}
+            )
+        with pytest.raises(JobValidationError, match="distribution"):
+            normalize_params("tolerance", {"distribution": "cauchy"})
+        with pytest.raises(JobValidationError, match="timeout_s"):
+            normalize_params(
+                "verify", {"circuits": [], "timeout_s": 0}
+            )
+
+    def test_circuits_accepts_list_and_csv(self):
+        as_list = normalize_params(
+            "tolerance", {"circuits": ["biquad", "leapfrog"]}
+        )
+        as_csv = normalize_params(
+            "tolerance", {"circuits": "biquad, leapfrog"}
+        )
+        assert as_list["circuits"] == as_csv["circuits"]
+
+    def test_every_kind_has_a_timeout_param(self):
+        for kind in JOB_KINDS:
+            assert "timeout_s" in PARAM_SPECS[kind]
+
+
+class TestJobKey:
+    def test_identical_params_same_key(self):
+        a = normalize_params("faultsim", {"target": "biquad"})
+        b = normalize_params("faultsim", {"target": "biquad"})
+        assert job_key("faultsim", a) == job_key("faultsim", b)
+
+    def test_different_params_different_key(self):
+        a = normalize_params("faultsim", {"target": "biquad"})
+        b = normalize_params("faultsim", {"target": "biquad", "ppd": 12})
+        assert job_key("faultsim", a) != job_key("faultsim", b)
+
+    def test_timeout_budget_is_not_identity(self):
+        a = normalize_params("faultsim", {"target": "biquad"})
+        b = normalize_params(
+            "faultsim", {"target": "biquad", "timeout_s": 5.0}
+        )
+        assert job_key("faultsim", a) == job_key("faultsim", b)
+
+    def test_kind_is_identity(self):
+        params = {"circuits": ["biquad"]}
+        assert job_key(
+            "tolerance", normalize_params("tolerance", params)
+        ) != job_key("verify", normalize_params("verify", params))
+
+
+class TestCacheability:
+    def test_deterministic_jobs_are_cacheable(self):
+        assert is_cacheable(
+            "faultsim", normalize_params("faultsim", {"target": "biquad"})
+        )
+        assert is_cacheable("tolerance", normalize_params("tolerance", {}))
+
+    def test_fresh_entropy_verify_is_not(self):
+        params = normalize_params("verify", {"random": 5})
+        assert not is_cacheable("verify", params)
+        seeded = normalize_params("verify", {"random": 5, "seed": 0})
+        assert is_cacheable("verify", seeded)
+
+
+class TestJobRecordCache:
+    def test_round_trip_through_result_cache(self, tmp_path):
+        cache = ResultCache(tmp_path, payload_type=JobRecord)
+        params = normalize_params("faultsim", {"target": "biquad"})
+        key = job_key("faultsim", params)
+        record = JobRecord(
+            key=key, kind="faultsim", params=params,
+            result={"fault_coverage": 1.0}, wall_s=1.5,
+        )
+        cache.put(key, record)
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.result == {"fault_coverage": 1.0}
+
+    def test_wrong_payload_type_is_a_miss(self, tmp_path):
+        from repro.campaign import UnitResult
+
+        cache = ResultCache(tmp_path, payload_type=JobRecord)
+        strict = ResultCache(tmp_path, payload_type=UnitResult)
+        params = normalize_params("verify", {"circuits": []})
+        key = job_key("verify", params)
+        cache.put(key, JobRecord(key=key, kind="verify", params=params,
+                                 result={}))
+        assert strict.get(key) is None
+
+
+class TestJobLifecycle:
+    def test_new_job_is_queued(self):
+        job = Job("faultsim", normalize_params(
+            "faultsim", {"target": "biquad"}
+        ))
+        assert job.state == QUEUED
+        assert not job.done
+        view = job.to_api()
+        assert view["state"] == QUEUED
+        assert "result" not in view
+
+    def test_api_view_with_result(self):
+        job = Job("verify", normalize_params("verify", {"circuits": []}))
+        job.state = DONE
+        job.result = {"passed": True}
+        view = job.to_api(include_result=True)
+        assert view["result"] == {"passed": True}
+
+
+class TestJobTelemetry:
+    def test_checkpoint_raises_on_cancel(self):
+        job = Job("verify", normalize_params("verify", {"circuits": []}))
+        telemetry = JobTelemetry(job)
+        telemetry.checkpoint()  # clean
+        job.cancel_event.set()
+        with pytest.raises(JobCancelledError):
+            telemetry.checkpoint()
+
+    def test_checkpoint_raises_past_deadline(self):
+        job = Job("verify", normalize_params("verify", {"circuits": []}))
+        telemetry = JobTelemetry(job, deadline=0.0)  # long past
+        with pytest.raises(JobTimeoutError):
+            telemetry.checkpoint()
+
+    def test_outcomes_tee_into_shared_telemetry(self):
+        from repro.campaign import CampaignTelemetry, UnitOutcome, UnitResult
+
+        shared = CampaignTelemetry()
+        job = Job("verify", normalize_params("verify", {"circuits": []}))
+        telemetry = JobTelemetry(job, shared=shared)
+
+        class _Unit:
+            unit_id = "u0"
+            config_label = "C0"
+            key = "k" * 64
+            n_faults = 1
+
+        result = UnitResult(
+            key="k" * 64, unit_id="u0", config_index=0,
+            nominal=None, results={}, n_solves=7,
+        )
+        outcome = UnitOutcome(unit=_Unit(), result=result)
+        telemetry.unit_outcome(outcome)
+        assert telemetry.snapshot()["solves"] == 7
+        assert shared.snapshot()["solves"] == 7

@@ -1,0 +1,252 @@
+"""Scheduler tests: admission, lifecycle, cancellation, shutdown.
+
+Deterministic runners are injected through ``repro.service.jobs.RUNNERS``
+(the ``verify`` slot — its params allow an empty payload), so these
+tests exercise the scheduling machinery without simulating circuits.
+"""
+
+import threading
+import time
+
+import pytest
+
+import repro.service.jobs as jobs_module
+from repro.errors import (
+    JobNotFoundError,
+    JobValidationError,
+    QueueFullError,
+    ServiceError,
+)
+from repro.service.jobs import CANCELLED, DONE, FAILED, QUEUED
+from repro.service.scheduler import JobScheduler, ServiceRuntime
+
+
+@pytest.fixture
+def runtime(tmp_path):
+    runtime = ServiceRuntime(cache_dir=tmp_path / "cache")
+    yield runtime
+    runtime.close()
+
+
+@pytest.fixture
+def scheduler(runtime):
+    scheduler = JobScheduler(runtime, queue_limit=2, retry_after_s=0.5)
+    yield scheduler
+    scheduler.shutdown(drain=False, timeout=5.0)
+
+
+def submit_stub(scheduler, monkeypatch, runner, params=None):
+    """Swap the verify runner for ``runner`` and submit one job."""
+    monkeypatch.setitem(jobs_module.RUNNERS, "verify", runner)
+    return scheduler.submit("verify", params or {"circuits": []})
+
+
+class TestSubmission:
+    def test_round_trip(self, scheduler, monkeypatch):
+        job = submit_stub(
+            scheduler, monkeypatch, lambda job, rt, tel: {"ok": True}
+        )
+        assert scheduler.wait_idle(timeout=10.0)
+        assert scheduler.get(job.id).state == DONE
+        assert job.result == {"ok": True}
+
+    def test_validation_rejected_before_queueing(self, scheduler):
+        with pytest.raises(JobValidationError):
+            scheduler.submit("verify", {"bogus": 1})
+        assert scheduler.queue_depth() == 0
+
+    def test_unknown_job_id(self, scheduler):
+        with pytest.raises(JobNotFoundError):
+            scheduler.get("feedfacecafe")
+
+    def test_queue_limit_raises_429_material(self, scheduler, monkeypatch):
+        scheduler.pause()
+        submit_stub(scheduler, monkeypatch, lambda j, r, t: {})
+        scheduler.submit("verify", {"circuits": []})
+        with pytest.raises(QueueFullError) as info:
+            scheduler.submit("verify", {"circuits": []})
+        assert info.value.retry_after_s == 0.5
+        scheduler.resume()
+        assert scheduler.wait_idle(timeout=10.0)
+
+    def test_failed_runner_marks_job_failed(self, scheduler, monkeypatch):
+        def boom(job, runtime, telemetry):
+            raise RuntimeError("kaput")
+
+        job = submit_stub(scheduler, monkeypatch, boom)
+        assert scheduler.wait_idle(timeout=10.0)
+        assert job.state == FAILED
+        assert "kaput" in job.error
+
+
+class TestJobRecordCache:
+    def test_resubmission_is_instant_cache_hit(
+        self, scheduler, monkeypatch
+    ):
+        calls = []
+
+        def runner(job, runtime, telemetry):
+            calls.append(job.id)
+            return {"n": len(calls)}
+
+        params = {"circuits": [], "seed": 0}
+        first = submit_stub(scheduler, monkeypatch, runner, params)
+        assert scheduler.wait_idle(timeout=10.0)
+        assert first.state == DONE and not first.from_cache
+
+        again = scheduler.submit("verify", params)
+        assert again.state == DONE
+        assert again.from_cache
+        assert again.result == {"n": 1}
+        assert calls == [first.id]  # the runner never ran twice
+
+    def test_cache_survives_scheduler_restart(self, runtime, monkeypatch):
+        scheduler = JobScheduler(runtime, queue_limit=2)
+        job = submit_stub(
+            scheduler, monkeypatch, lambda j, r, t: {"warm": True},
+            {"circuits": [], "seed": 1},
+        )
+        assert scheduler.wait_idle(timeout=10.0)
+        scheduler.shutdown(drain=True, timeout=5.0)
+
+        reborn = JobScheduler(runtime, queue_limit=2)
+        try:
+            again = reborn.submit("verify", {"circuits": [], "seed": 1})
+            assert again.from_cache
+            assert again.result == {"warm": True}
+            assert again.key == job.key
+        finally:
+            reborn.shutdown(drain=False, timeout=5.0)
+
+    def test_fresh_entropy_verify_never_cached(
+        self, scheduler, monkeypatch
+    ):
+        calls = []
+
+        def runner(job, runtime, telemetry):
+            calls.append(1)
+            return {"n": len(calls)}
+
+        params = {"circuits": [], "random": 3}  # seed None -> fresh
+        submit_stub(scheduler, monkeypatch, runner, params)
+        assert scheduler.wait_idle(timeout=10.0)
+        again = scheduler.submit("verify", params)
+        assert scheduler.wait_idle(timeout=10.0)
+        assert not again.from_cache
+        assert len(calls) == 2
+
+
+class TestCancellation:
+    def test_cancel_queued_job_is_immediate(self, scheduler, monkeypatch):
+        scheduler.pause()
+        job = submit_stub(scheduler, monkeypatch, lambda j, r, t: {})
+        cancelled = scheduler.cancel(job.id)
+        assert cancelled.state == CANCELLED
+        assert scheduler.queue_depth() == 0
+        scheduler.resume()
+        assert scheduler.wait_idle(timeout=5.0)
+        assert job.state == CANCELLED  # never ran
+
+    def test_cancel_running_job_cooperatively(
+        self, scheduler, monkeypatch
+    ):
+        started = threading.Event()
+
+        def runner(job, runtime, telemetry):
+            started.set()
+            for _ in range(500):
+                telemetry.checkpoint()
+                time.sleep(0.01)
+            return {"finished": True}
+
+        job = submit_stub(scheduler, monkeypatch, runner)
+        assert started.wait(timeout=10.0)
+        scheduler.cancel(job.id)
+        assert scheduler.wait_idle(timeout=10.0)
+        assert job.state == CANCELLED
+        assert job.result is None
+
+    def test_cancel_terminal_job_is_idempotent(
+        self, scheduler, monkeypatch
+    ):
+        job = submit_stub(scheduler, monkeypatch, lambda j, r, t: {})
+        assert scheduler.wait_idle(timeout=10.0)
+        assert scheduler.cancel(job.id).state == DONE
+
+
+class TestTimeout:
+    def test_deadline_fails_the_job(self, runtime, monkeypatch):
+        scheduler = JobScheduler(runtime, job_timeout=0.05)
+        try:
+            def runner(job, rt, telemetry):
+                for _ in range(500):
+                    telemetry.checkpoint()
+                    time.sleep(0.01)
+                return {}
+
+            job = submit_stub(scheduler, monkeypatch, runner)
+            assert scheduler.wait_idle(timeout=10.0)
+            assert job.state == FAILED
+            assert "timeout" in job.error
+        finally:
+            scheduler.shutdown(drain=False, timeout=5.0)
+
+    def test_param_overrides_server_default(self, runtime, monkeypatch):
+        scheduler = JobScheduler(runtime, job_timeout=0.05)
+        try:
+            job = submit_stub(
+                scheduler, monkeypatch,
+                lambda j, r, t: {"ok": True},
+                {"circuits": [], "timeout_s": 30.0},
+            )
+            assert scheduler.wait_idle(timeout=10.0)
+            assert job.state == DONE
+        finally:
+            scheduler.shutdown(drain=False, timeout=5.0)
+
+
+class TestShutdown:
+    def test_drain_finishes_running_and_queued(self, runtime, monkeypatch):
+        scheduler = JobScheduler(runtime, queue_limit=4)
+        scheduler.pause()
+        done = []
+        jobs = [
+            submit_stub(
+                scheduler, monkeypatch,
+                lambda j, r, t: done.append(j.id) or {"ok": True},
+                {"circuits": [], "seed": index},
+            )
+            for index in range(3)
+        ]
+        scheduler.resume()
+        scheduler.shutdown(drain=True, timeout=30.0)
+        assert [job.state for job in jobs] == [DONE, DONE, DONE]
+        assert len(done) == 3
+
+    def test_no_drain_cancels_queue(self, runtime, monkeypatch):
+        scheduler = JobScheduler(runtime, queue_limit=4)
+        scheduler.pause()
+        jobs = [
+            submit_stub(
+                scheduler, monkeypatch, lambda j, r, t: {"ok": True},
+                {"circuits": [], "seed": 100 + index},
+            )
+            for index in range(2)
+        ]
+        scheduler.shutdown(drain=False, timeout=10.0)
+        assert all(job.state == CANCELLED for job in jobs)
+
+    def test_no_admission_after_shutdown(self, runtime, monkeypatch):
+        scheduler = JobScheduler(runtime)
+        scheduler.shutdown(drain=True, timeout=10.0)
+        with pytest.raises(ServiceError):
+            scheduler.submit("verify", {"circuits": []})
+
+
+class TestStateCounts:
+    def test_counts_by_state(self, scheduler, monkeypatch):
+        submit_stub(scheduler, monkeypatch, lambda j, r, t: {})
+        assert scheduler.wait_idle(timeout=10.0)
+        counts = scheduler.counts_by_state()
+        assert counts[DONE] == 1
+        assert counts[QUEUED] == 0

@@ -1,0 +1,264 @@
+"""End-to-end service tests: a real server on an ephemeral port.
+
+Each test boots :class:`ReproService` in-process (``port=0``), talks to
+it exclusively through :class:`ServiceClient` over real HTTP, and runs
+real — deliberately tiny — simulation jobs against the benchmark
+catalog.  Covered acceptance criteria:
+
+* concurrent faultsim + tolerance submissions both complete;
+* queue overflow returns **429 with Retry-After** (typed client error);
+* a restarted server on the same cache directory answers an identical
+  submission from cache with ``repro_campaign_solves == 0``;
+* ``/metrics`` agrees with the runtime telemetry;
+* graceful shutdown drains in-flight jobs;
+* a persistent :class:`ParallelExecutor` leaves no workers behind.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import (
+    JobNotFoundError,
+    JobValidationError,
+    QueueFullError,
+    ServiceError,
+)
+from repro.service import ReproService, ServiceClient, ServiceRuntime
+from repro.service.jobs import CANCELLED, DONE
+
+FAULTSIM = {"target": "sallen_key", "ppd": 8}
+TOLERANCE = {
+    "circuits": ["sallen_key"],
+    "samples": 8,
+    "ppd": 4,
+    "corners": False,
+}
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = ReproService(
+        port=0,
+        runtime=ServiceRuntime(cache_dir=tmp_path / "cache"),
+        queue_limit=2,
+        retry_after_s=0.25,
+        access_log=tmp_path / "access.jsonl",
+    ).start()
+    yield svc
+    svc.stop(drain=False, timeout=10.0)
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service.url, timeout=10.0)
+
+
+class TestBasics:
+    def test_health_and_catalog(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["accepting"] is True
+        assert health["queue_depth"] == 0
+        assert "sallen_key" in client.catalog()
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(JobNotFoundError):
+            client._request("GET", "/nope")
+
+    def test_validation_error_maps_to_400(self, client):
+        with pytest.raises(JobValidationError, match="unknown param"):
+            client.submit("faultsim", {"target": "sallen_key", "bogus": 1})
+
+    def test_result_before_done_is_409(self, service, client):
+        service.scheduler.pause()
+        try:
+            job = client.submit("faultsim", FAULTSIM)
+            with pytest.raises(ServiceError, match="not ready"):
+                client.result(job["id"])
+        finally:
+            service.scheduler.resume()
+
+
+class TestJobsOverHttp:
+    def test_concurrent_faultsim_and_tolerance(self, client):
+        faultsim = client.submit("faultsim", FAULTSIM)
+        tolerance = client.submit("tolerance", TOLERANCE)
+        assert faultsim["state"] in ("queued", "running")
+
+        done_faultsim = client.wait(faultsim["id"], timeout=120.0)
+        done_tolerance = client.wait(tolerance["id"], timeout=120.0)
+
+        assert done_faultsim["state"] == DONE
+        result = done_faultsim["result"]
+        assert result["target"] == "sallen_key"
+        assert 0.0 <= result["fault_coverage"] <= 1.0
+        assert result["n_solves"] > 0
+
+        assert done_tolerance["state"] == DONE
+        report = done_tolerance["result"]
+        assert report["circuits"][0]["name"] == "sallen_key"
+        assert report["circuits"][0]["suggested_epsilon"] > 0.0
+
+        listed = {job["id"] for job in client.jobs()}
+        assert {faultsim["id"], tolerance["id"]} <= listed
+
+    def test_cancel_queued_job(self, service, client):
+        service.scheduler.pause()
+        try:
+            job = client.submit("faultsim", FAULTSIM)
+            view = client.cancel(job["id"])
+            assert view["state"] == CANCELLED
+        finally:
+            service.scheduler.resume()
+
+    def test_metrics_agree_with_runtime_telemetry(self, service, client):
+        job = client.submit("faultsim", FAULTSIM)
+        client.wait(job["id"], timeout=120.0)
+        metrics = client.metrics()
+        snapshot = service.runtime.telemetry.snapshot()
+        assert metrics["repro_campaign_solves"] == snapshot["solves"]
+        assert metrics["repro_campaign_units_done"] == snapshot["units_done"]
+        assert metrics["repro_queue_depth"] == 0.0
+        assert metrics['repro_jobs{state="done"}'] >= 1.0
+        assert (
+            'repro_http_requests_total'
+            '{method="POST",route="/jobs",status="202"}'
+        ) in metrics
+        name = "repro_http_request_duration_seconds"
+        assert metrics[f'{name}_count{{route="/jobs/{{id}}"}}'] >= 1.0
+
+
+class TestBackpressure:
+    def test_queue_overflow_is_429_with_retry_after(self, service, client):
+        service.scheduler.pause()
+        try:
+            client.submit("faultsim", FAULTSIM)
+            client.submit("tolerance", TOLERANCE)
+            with pytest.raises(QueueFullError) as info:
+                client.submit("faultsim", {"target": "biquad", "ppd": 8})
+            assert info.value.retry_after_s == 0.25
+            metrics = client.metrics()
+            assert metrics[
+                'repro_http_requests_total'
+                '{method="POST",route="/jobs",status="429"}'
+            ] == 1.0
+        finally:
+            service.scheduler.resume()
+
+
+class TestWarmRestart:
+    def test_restarted_server_answers_from_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+
+        cold = ReproService(
+            port=0, runtime=ServiceRuntime(cache_dir=cache_dir)
+        ).start()
+        try:
+            client = ServiceClient(cold.url, timeout=10.0)
+            first = client.wait(
+                client.submit("faultsim", FAULTSIM)["id"], timeout=120.0
+            )
+            assert first["state"] == DONE
+            assert not first["from_cache"]
+            cold_solves = client.metrics()["repro_campaign_solves"]
+            assert cold_solves > 0
+        finally:
+            cold.stop(drain=True, timeout=30.0)
+
+        warm = ReproService(
+            port=0, runtime=ServiceRuntime(cache_dir=cache_dir)
+        ).start()
+        try:
+            client = ServiceClient(warm.url, timeout=10.0)
+            again = client.submit("faultsim", FAULTSIM)
+            assert again["state"] == DONE
+            assert again["from_cache"]
+            result = client.result(again["id"])["result"]
+            assert result == first["result"]
+            # the restarted server simulated nothing
+            metrics = client.metrics()
+            assert metrics.get("repro_campaign_solves", 0.0) == 0.0
+        finally:
+            warm.stop(drain=True, timeout=30.0)
+
+
+class TestGracefulShutdown:
+    def test_shutdown_drains_in_flight_jobs(self, tmp_path):
+        service = ReproService(
+            port=0,
+            runtime=ServiceRuntime(cache_dir=tmp_path / "cache"),
+            queue_limit=4,
+        ).start()
+        client = ServiceClient(service.url, timeout=10.0)
+        jobs = [
+            client.submit("faultsim", {"target": "sallen_key", "ppd": ppd})
+            for ppd in (6, 7)
+        ]
+        assert client.shutdown() == {"status": "draining"}
+
+        deadline = time.monotonic() + 60.0
+        while not service._stopped.is_set() or (
+            service._thread is not None and service._thread.is_alive()
+        ):
+            if time.monotonic() > deadline:
+                pytest.fail("shutdown did not complete in time")
+            time.sleep(0.05)
+        service.scheduler._worker.join(timeout=30.0)
+
+        for submitted in jobs:
+            job = service.scheduler.get(submitted["id"])
+            assert job.state == DONE
+            assert job.result["fault_coverage"] >= 0.0
+
+    def test_rejects_submissions_while_draining(self, service, client):
+        service.scheduler.shutdown(drain=True, timeout=30.0)
+        with pytest.raises(ServiceError):
+            client.submit("faultsim", FAULTSIM)
+
+
+class TestAccessLog:
+    def test_structured_jsonl_records(self, tmp_path, service, client):
+        client.health()
+        job = client.submit("faultsim", FAULTSIM)
+        client.wait(job["id"], timeout=120.0)
+        service.stop(drain=True, timeout=30.0)
+
+        lines = (tmp_path / "access.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records, "access log is empty"
+        for record in records:
+            assert {"ts", "method", "path", "route", "status",
+                    "duration_ms", "bytes", "client"} <= set(record)
+        assert any(
+            record["method"] == "POST" and record["route"] == "/jobs"
+            and record["status"] == 202
+            for record in records
+        )
+        assert any(
+            record["route"] == "/jobs/{id}" for record in records
+        )
+
+
+class TestPersistentExecutor:
+    def test_parallel_pool_is_released_on_stop(self, tmp_path):
+        from repro.campaign import make_executor
+
+        executor = make_executor(jobs=2, persistent=True)
+        service = ReproService(
+            port=0,
+            runtime=ServiceRuntime(
+                executor=executor, cache_dir=tmp_path / "cache"
+            ),
+        ).start()
+        try:
+            client = ServiceClient(service.url, timeout=10.0)
+            done = client.wait(
+                client.submit("faultsim", FAULTSIM)["id"], timeout=180.0
+            )
+            assert done["state"] == DONE
+            assert executor._pool is not None  # warm between jobs
+        finally:
+            service.stop(drain=True, timeout=30.0)
+        assert executor._pool is None  # released, no orphaned workers

@@ -371,3 +371,53 @@ class TestMontecarlo:
             == 0
         )
         assert "suggested epsilon" in capsys.readouterr().out
+
+
+NETLIST_SUBCOMMANDS = [
+    "analyze", "faultsim", "campaign", "optimize", "noise",
+    "escape", "montecarlo",
+]
+
+
+class TestTypedErrorExits:
+    """Every subcommand turns typed errors into exit 1 + one stderr line.
+
+    No traceback, no Python exception dump — a single ``error: ...``
+    line a shell script can grep.
+    """
+
+    @pytest.mark.parametrize("subcommand", NETLIST_SUBCOMMANDS)
+    def test_missing_netlist_file(self, subcommand, capsys):
+        assert main([subcommand, "/nonexistent/filter.sp"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("subcommand", NETLIST_SUBCOMMANDS)
+    def test_unparseable_netlist(self, subcommand, tmp_path, capsys):
+        bad = tmp_path / "bad.sp"
+        bad.write_text("* broken\nR1 in\n.end\n")
+        assert main([subcommand, str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_unknown_circuit_in_tolerance(self, capsys):
+        assert main(["tolerance", "--circuits", "warp_core"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "warp_core" in err
+        assert "Traceback" not in err
+
+    def test_unknown_circuit_in_verify(self, capsys):
+        assert main(["verify", "--circuits", "warp_core"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_error_names_the_typed_error(self, capsys):
+        assert main(["analyze", "/nonexistent/filter.sp"]) == 1
+        err = capsys.readouterr().err
+        # OSError carries the strerror; typed errors carry their name
+        assert "No such file" in err or "Error" in err

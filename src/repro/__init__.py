@@ -17,6 +17,8 @@ F. Azaïs, Y. Bertrand — DATE 1998):
   Petrick's method, cost functions, and the ordered-requirement
   optimization pipeline, plus extensions (test-frequency selection,
   structural configuration pre-selection);
+* :mod:`repro.diagnosis` — parametric fault location: trajectory
+  dictionaries and nearest-trajectory matching with ambiguity sets;
 * :mod:`repro.circuits` — a library of opamp-based benchmark circuits;
 * :mod:`repro.data` — the paper's published matrices for exact replays;
 * :mod:`repro.experiments` — one driver per paper table and figure.
@@ -40,6 +42,7 @@ from . import (
     core,
     data,
     dft,
+    diagnosis,
     experiments,
     faults,
 )

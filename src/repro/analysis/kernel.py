@@ -282,19 +282,24 @@ def _solve_block(
                 request.rhs, (freqs.size,) + request.rhs.shape
             )
         else:
-            # One broadcast expression assembles every request's stack —
-            # elementwise the same ``G + (2jπf)·C`` arithmetic as
-            # :func:`assemble_stack`, so per-request assembly and this
-            # batched form are bit-identical.
+            # One broadcast assembly for every request's stack — the
+            # in-place form ``(2jπf)·C`` then ``+= G`` is elementwise
+            # the same ``G + (2jπf)·C`` arithmetic as
+            # :func:`assemble_stack` (IEEE addition is commutative), so
+            # per-request assembly and this batched form remain
+            # bit-identical while allocating one workspace instead of
+            # three.
             G_stack = np.stack([request.G for request in block])
             C_stack = np.stack([request.C for request in block])
             omega = (2j * np.pi * freqs)[
                 np.newaxis, :, np.newaxis, np.newaxis
             ]
-            matrices = (
-                G_stack[:, np.newaxis, :, :]
-                + omega * C_stack[:, np.newaxis, :, :]
-            ).reshape(len(block) * freqs.size, n, n)
+            matrices = np.empty(
+                (len(block), freqs.size, n, n), dtype=complex
+            )
+            np.multiply(omega, C_stack[:, np.newaxis, :, :], out=matrices)
+            matrices += G_stack[:, np.newaxis, :, :]
+            matrices = matrices.reshape(len(block) * freqs.size, n, n)
             rhs = np.zeros(
                 (len(block), freqs.size, n, k_max), dtype=complex
             )

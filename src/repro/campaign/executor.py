@@ -89,6 +89,10 @@ def execute_unit(unit: WorkUnit) -> UnitResult:
         from .tolerance import execute_tolerance_unit
 
         return execute_tolerance_unit(unit)
+    if getattr(unit, "engine", None) == "diagnosis":
+        from ..diagnosis.campaign import execute_diagnosis_unit
+
+        return execute_diagnosis_unit(unit)
     kernel = getattr(unit, "kernel", "loop")
     stats = KernelStats()
     if unit.engine == FAST:

@@ -223,28 +223,32 @@ def cmd_faultsim(args) -> int:
     return 0
 
 
-def cmd_campaign(args) -> int:
-    """Run a fault-simulation campaign through the campaign engine."""
+def _resolve_target(target: str, f0_override: Optional[float]):
+    """(circuit, f0) for a netlist path or catalog circuit name."""
     import os.path
-
-    from .campaign import CampaignTelemetry, plan_campaign, execute_plan
 
     from .circuits import catalog
 
-    if os.path.exists(args.target):
-        circuit = _load_circuit(args.target)
-        f0 = _center_frequency(circuit, args.f0)
-    elif args.target in catalog():
+    if os.path.exists(target):
+        circuit = _load_circuit(target)
+        return circuit, _center_frequency(circuit, f0_override)
+    if target in catalog():
         from .circuits import build
 
-        bench = build(args.target)
-        circuit = bench.circuit
-        f0 = args.f0 if args.f0 is not None else bench.f0_hz
-    else:
-        raise ReproError(
-            f"{args.target!r} is neither a netlist file nor a catalog "
-            f"circuit (see 'python -m repro catalog')"
-        )
+        bench = build(target)
+        f0 = f0_override if f0_override is not None else bench.f0_hz
+        return bench.circuit, f0
+    raise ReproError(
+        f"{target!r} is neither a netlist file nor a catalog "
+        f"circuit (see 'python -m repro catalog')"
+    )
+
+
+def cmd_campaign(args) -> int:
+    """Run a fault-simulation campaign through the campaign engine."""
+    from .campaign import CampaignTelemetry, plan_campaign, execute_plan
+
+    circuit, f0 = _resolve_target(args.target, args.f0)
 
     mcc = apply_multiconfiguration(circuit)
     faults = deviation_faults(circuit, deviation=args.deviation)
@@ -400,6 +404,7 @@ def cmd_escape(args) -> int:
         tolerance=args.tolerance,
         n_samples=args.samples,
         seed=args.seed,
+        kernel=args.kernel,
     )
     if args.seed is None:
         print("seed: fresh (pass --seed N for a reproducible run)")
@@ -421,6 +426,7 @@ def cmd_montecarlo(args) -> int:
         n_samples=args.samples,
         distribution=args.distribution,
         seed=args.seed,
+        kernel=args.kernel,
     )
     if args.seed is None:
         print("seed: fresh (pass --seed N for a reproducible run)")
@@ -488,6 +494,106 @@ def cmd_tolerance(args) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_json(), handle, indent=2)
         print(f"tolerance report written to {args.json}")
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    """Build a trajectory dictionary; optionally locate a seeded fault."""
+    from .campaign import CampaignTelemetry
+    from .diagnosis import (
+        deviation_grid,
+        diagnosis_cache,
+        execute_diagnosis_plan,
+        locate_fault,
+        plan_diagnosis_campaign,
+    )
+    from .faults.model import DeviationFault
+
+    if (args.component is None) != (args.fault_deviation is None):
+        raise ReproError(
+            "--component and --fault-deviation describe one seeded "
+            "fault and must be given together"
+        )
+
+    circuit, f0 = _resolve_target(args.target, args.f0)
+    mcc = apply_multiconfiguration(circuit)
+    grid = decade_grid(
+        f0,
+        decades_below=args.decades,
+        decades_above=args.decades,
+        points_per_decade=args.ppd,
+    )
+    deviations = deviation_grid(span=args.span, steps=args.steps)
+    plan = plan_diagnosis_campaign(
+        mcc, grid, deviations=deviations, kernel=args.kernel
+    )
+    # diagnosis payloads are not UnitResults: dedicated cache factory
+    executor, cache, telemetry = _campaign_parts(
+        args, cache_factory=diagnosis_cache
+    )
+    if telemetry is None:
+        telemetry = CampaignTelemetry()
+    try:
+        dictionary = execute_diagnosis_plan(
+            plan, executor=executor, cache=cache, telemetry=telemetry
+        )
+    finally:
+        telemetry.close()
+
+    print(plan.describe())
+    print(
+        f"{dictionary.describe()}; {dictionary.n_solves} AC solve(s), "
+        f"{dictionary.n_factorizations} factorization(s), deviation "
+        f"step {dictionary.deviation_step:g}"
+    )
+    if cache is not None:
+        print(f"cache: {cache!r}")
+
+    payload = {
+        "f0_hz": f0,
+        "kernel": args.kernel,
+        "distance": args.distance,
+        "n_configs": dictionary.n_configs,
+        "n_components": len(dictionary.components),
+        "n_deviations": len(dictionary.deviations),
+        "n_trajectory_points": dictionary.n_points,
+        "deviation_step": dictionary.deviation_step,
+        "n_solves": dictionary.n_solves,
+        "n_factorizations": dictionary.n_factorizations,
+        "diagnosis": None,
+    }
+    if args.component is not None:
+        if args.component not in dictionary.components:
+            raise ReproError(
+                f"component {args.component!r} is not a passive of the "
+                f"circuit (have {list(dictionary.components)})"
+            )
+        fault = DeviationFault(args.component, args.fault_deviation)
+        diagnosis = locate_fault(
+            dictionary,
+            mcc,
+            fault,
+            metric=args.distance,
+            ambiguity_tolerance=args.ambiguity,
+            epsilon=args.epsilon,
+        )
+        print()
+        print(
+            f"injected {args.component} {args.fault_deviation:+.1%}; "
+            "located:"
+        )
+        print(diagnosis.render())
+        report = diagnosis.to_json()
+        report["injected"] = diagnosis.evaluate(
+            args.component, args.fault_deviation
+        )
+        payload["diagnosis"] = report
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"diagnosis report written to {args.json}")
     return 0
 
 
@@ -637,6 +743,15 @@ def build_parser() -> argparse.ArgumentParser:
             "entropy)",
         )
 
+    def kernel_flag(p):
+        # the same knob campaign_flags carries, for the Monte Carlo
+        # subcommands that take no campaign flags
+        p.add_argument(
+            "--kernel", choices=["loop", "stacked"], default="loop",
+            help="solve dispatch: per-frequency loop or stacked batched "
+            "LAPACK calls (identical results; default loop)",
+        )
+
     p_verify = sub.add_parser(
         "verify",
         help="differential oracle: engines vs MNA vs transfer fit + "
@@ -692,6 +807,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte Carlo samples per fault (default 50)",
     )
     seed_flag(p_escape)
+    kernel_flag(p_escape)
     p_escape.set_defaults(handler=cmd_escape)
 
     p_montecarlo = sub.add_parser(
@@ -712,6 +828,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="uniform", help="sampling distribution (default uniform)",
     )
     seed_flag(p_montecarlo)
+    kernel_flag(p_montecarlo)
     p_montecarlo.set_defaults(handler=cmd_montecarlo)
 
     p_tolerance = sub.add_parser(
@@ -766,6 +883,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_flags(p_tolerance)
     p_tolerance.set_defaults(handler=cmd_tolerance)
+
+    # flag defaults come from the diagnose job spec, mirroring faultsim
+    from .service.jobs import DIAGNOSE_PARAMS
+
+    def diagnose_default(name):
+        return DIAGNOSE_PARAMS[name][1]
+
+    p_diagnose = sub.add_parser(
+        "diagnose",
+        help="parametric fault location: trajectory dictionary + "
+        "nearest-trajectory matcher (see docs/diagnosis.md)",
+    )
+    p_diagnose.add_argument(
+        "target", help="netlist file or catalog circuit name"
+    )
+    p_diagnose.add_argument(
+        "--component", default=None,
+        help="seed a fault on this component and locate it",
+    )
+    p_diagnose.add_argument(
+        "--fault-deviation", type=float, default=None,
+        help="relative deviation of the seeded fault (e.g. 0.33)",
+    )
+    p_diagnose.add_argument(
+        "--epsilon", type=float, default=diagnose_default("epsilon"),
+        help=f"detection tolerance for the fault-free test "
+        f"(default {diagnose_default('epsilon')})",
+    )
+    p_diagnose.add_argument(
+        "--span", type=float, default=diagnose_default("span"),
+        help=f"deviation-grid half-width "
+        f"(default {diagnose_default('span')})",
+    )
+    p_diagnose.add_argument(
+        "--steps", type=int, default=diagnose_default("steps"),
+        help=f"deviation-grid points per side "
+        f"(default {diagnose_default('steps')})",
+    )
+    p_diagnose.add_argument(
+        "--distance", choices=["relative", "band"],
+        default=diagnose_default("distance"),
+        help="trajectory distance metric (default relative, the "
+        "paper's point-wise |dT/T|)",
+    )
+    p_diagnose.add_argument(
+        "--ambiguity", type=float, default=diagnose_default("ambiguity"),
+        help=f"ambiguity-set tolerance band "
+        f"(default {diagnose_default('ambiguity')})",
+    )
+    p_diagnose.add_argument(
+        "--f0", type=float, default=None,
+        help="reference-region centre in Hz (default: from poles)",
+    )
+    p_diagnose.add_argument(
+        "--decades", type=float, default=diagnose_default("decades"),
+        help=f"decades each side of f0 "
+        f"(default {diagnose_default('decades'):g})",
+    )
+    p_diagnose.add_argument(
+        "--ppd", type=int, default=diagnose_default("ppd"),
+        help=f"grid points per decade "
+        f"(default {diagnose_default('ppd')})",
+    )
+    p_diagnose.add_argument(
+        "--json", default=None,
+        help="write the dictionary summary + diagnosis as JSON",
+    )
+    campaign_flags(p_diagnose)
+    p_diagnose.set_defaults(handler=cmd_diagnose)
 
     p_optimize = sub.add_parser(
         "optimize", help="full optimization flow + test program"

@@ -1,0 +1,77 @@
+"""Parametric fault diagnosis by nearest-trajectory location.
+
+The boolean/quantized signature layer of :mod:`repro.core.diagnosis`
+classifies a fault; this subsystem *locates* it — component and
+estimated deviation magnitude — following the fault-trajectory approach
+(Savioli et al., PAPERS.md):
+
+* :mod:`repro.diagnosis.trajectory` — dictionary construction: sweep
+  every component over a deviation grid in every DFT configuration,
+  through the loop or the stacked solve kernel (bit-identical);
+* :mod:`repro.diagnosis.matcher` — nearest-trajectory search with
+  pluggable distances, ranked candidates, ambiguity sets and the
+  bridge back to the boolean-signature verdicts;
+* :mod:`repro.diagnosis.campaign` — the build as content-hashed,
+  cacheable, parallel campaign units (``repro diagnose`` CLI and the
+  service's ``diagnose`` job run on top of this).
+
+See ``docs/diagnosis.md`` for the full walk-through.
+"""
+
+from .campaign import (
+    DIAGNOSIS,
+    DIAGNOSIS_FORMAT,
+    DiagnosisPlan,
+    DiagnosisUnit,
+    DiagnosisUnitResult,
+    diagnosis_cache,
+    diagnosis_unit_key,
+    execute_diagnosis_plan,
+    execute_diagnosis_unit,
+    plan_diagnosis_campaign,
+    run_diagnosis_campaign,
+)
+from .matcher import (
+    DISTANCES,
+    DISTANCE_METRICS,
+    TrajectoryDiagnosis,
+    TrajectoryMatch,
+    locate_fault,
+    match_response,
+    response_distance,
+)
+from .trajectory import (
+    TrajectoryDictionary,
+    build_trajectory_dictionary,
+    deviation_grid,
+    observe_fault,
+    trajectory_faults,
+    trajectory_responses,
+)
+
+__all__ = [
+    "DIAGNOSIS",
+    "DIAGNOSIS_FORMAT",
+    "DISTANCES",
+    "DISTANCE_METRICS",
+    "DiagnosisPlan",
+    "DiagnosisUnit",
+    "DiagnosisUnitResult",
+    "TrajectoryDiagnosis",
+    "TrajectoryDictionary",
+    "TrajectoryMatch",
+    "build_trajectory_dictionary",
+    "deviation_grid",
+    "diagnosis_cache",
+    "diagnosis_unit_key",
+    "execute_diagnosis_plan",
+    "execute_diagnosis_unit",
+    "locate_fault",
+    "match_response",
+    "observe_fault",
+    "plan_diagnosis_campaign",
+    "response_distance",
+    "run_diagnosis_campaign",
+    "trajectory_faults",
+    "trajectory_responses",
+]

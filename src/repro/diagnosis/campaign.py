@@ -1,0 +1,380 @@
+"""Dictionary construction as a resumable, parallel campaign.
+
+A trajectory dictionary is the expensive half of fault location — the
+matcher itself is a cheap array scan.  This module decomposes the build
+into one content-hashed :class:`DiagnosisUnit` per configuration and
+runs it through the shared campaign machinery, exactly like the fault
+simulator and the ε-calibration engine:
+
+* units execute through any :class:`~repro.campaign.executor.Executor`
+  (serial or process-parallel) via the shared
+  :func:`~repro.campaign.executor.execute_unit` dispatch (engine tag
+  ``"diagnosis"``);
+* a :class:`~repro.campaign.cache.ResultCache` constructed by
+  :func:`diagnosis_cache` resumes interrupted builds and answers
+  re-planned unchanged configurations without a single solve;
+* :class:`~repro.campaign.telemetry.CampaignTelemetry` observes unit
+  completions for traces, progress lines and the service's
+  ``/metrics``.
+
+The solve ``kernel`` is deliberately **not** part of the unit content
+keys: both kernels produce bit-identical trajectories (the
+``trajectory ≡ fault simulator`` invariant of :mod:`repro.verify`), so
+cached dictionaries are shared across kernels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.ac import FrequencyResponse
+from ..analysis.kernel import KernelStats, validate_kernel
+from ..analysis.sweep import FrequencyGrid
+from ..circuit.netlist import Circuit
+from ..dft.configuration import Configuration
+from ..dft.transform import MultiConfigurationCircuit
+from ..errors import AnalysisError, CampaignError
+from ..campaign.cache import ResultCache
+from ..campaign.executor import Executor, SerialExecutor, UnitOutcome
+from ..campaign.telemetry import CampaignTelemetry
+from .trajectory import (
+    TrajectoryDictionary,
+    _resolve_components,
+    deviation_grid,
+    trajectory_responses,
+    validate_deviations,
+)
+
+#: engine tag :func:`repro.campaign.executor.execute_unit` dispatches on
+DIAGNOSIS = "diagnosis"
+
+#: bumped whenever the result layout or key recipe changes
+DIAGNOSIS_FORMAT = "diagnosis-v1"
+
+
+@dataclass(frozen=True, eq=False)
+class DiagnosisUnit:
+    """One schedulable quantum: one configuration's trajectories.
+
+    Mirrors :class:`~repro.campaign.plan.WorkUnit` closely enough
+    (``unit_id`` / ``config_label`` / ``key`` / ``n_faults`` /
+    ``engine`` / ``kernel``) that executors, the cache and the
+    telemetry consume it unchanged.  ``circuit`` is the already-emulated
+    configuration, so workers need no DFT machinery.
+    """
+
+    unit_id: str
+    config_index: int
+    circuit: Circuit
+    output: Optional[str]
+    components: Tuple[str, ...]
+    deviations: Tuple[float, ...]
+    grid: FrequencyGrid
+    engine: str = DIAGNOSIS
+    kernel: str = "loop"
+    key: str = ""
+
+    @property
+    def config_label(self) -> str:
+        return self.unit_id
+
+    @property
+    def n_faults(self) -> int:
+        """Faulty sweeps this unit performs (telemetry accounting)."""
+        return len(self.components) * len(self.deviations)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiagnosisUnit({self.unit_id}, {self.n_faults} point(s), "
+            f"key={self.key[:8]})"
+        )
+
+
+@dataclass
+class DiagnosisUnitResult:
+    """One configuration's trajectories (cacheable payload)."""
+
+    key: str
+    unit_id: str
+    config_index: int
+    config_label: str
+    nominal: FrequencyResponse
+    responses: Dict[Tuple[str, float], FrequencyResponse]
+    n_solves: int
+    #: LU factorizations performed by the stacked kernel (0 under loop)
+    n_factorizations: int = 0
+
+
+def diagnosis_unit_key(
+    circuit: Circuit,
+    output: Optional[str],
+    grid: FrequencyGrid,
+    components: Sequence[str],
+    deviations: Sequence[float],
+) -> str:
+    """Content hash of one diagnosis unit (stable across processes).
+
+    The solve ``kernel`` is deliberately excluded: both kernels produce
+    bit-identical trajectories, so cached results are kernel-independent.
+    """
+    payload = "\n".join(
+        [
+            DIAGNOSIS_FORMAT,
+            f"output:{output}",
+            f"grid:{grid.f_start!r}:{grid.f_stop!r}:{grid.points_per_decade}",
+            "components:" + ",".join(components),
+            "deviations:" + ",".join(repr(d) for d in deviations),
+            circuit.netlist(),
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class DiagnosisPlan:
+    """A fully planned dictionary build: ordered units + shared context."""
+
+    units: Tuple[DiagnosisUnit, ...]
+    config_labels: Tuple[str, ...]
+    config_indices: Tuple[int, ...]
+    components: Tuple[str, ...]
+    deviations: Tuple[float, ...]
+    grid: FrequencyGrid
+    kernel: str = "loop"
+    engine: str = DIAGNOSIS
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def n_configs(self) -> int:
+        return len(self.units)
+
+    @property
+    def n_faults(self) -> int:
+        """Trajectory points per configuration (telemetry accounting)."""
+        return len(self.components) * len(self.deviations)
+
+    @property
+    def chunk_size(self) -> Optional[int]:
+        return None
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(unit.key for unit in self.units)
+
+    def describe(self) -> str:
+        return (
+            f"diagnosis plan: {self.n_units} configuration(s) x "
+            f"{len(self.components)} component(s) x "
+            f"{len(self.deviations)} deviation(s) "
+            f"(kernel {self.kernel})"
+        )
+
+
+def plan_diagnosis_campaign(
+    mcc: MultiConfigurationCircuit,
+    grid: FrequencyGrid,
+    components: Optional[Sequence[str]] = None,
+    deviations: Optional[Sequence[float]] = None,
+    configs: Optional[Sequence[Configuration]] = None,
+    output: Optional[str] = None,
+    kernel: str = "loop",
+) -> DiagnosisPlan:
+    """Decompose a dictionary build into hashed per-configuration units.
+
+    Defaults mirror :func:`~repro.diagnosis.trajectory.
+    build_trajectory_dictionary`: every passive component, the default
+    :func:`~repro.diagnosis.trajectory.deviation_grid`, every
+    non-transparent configuration.
+    """
+    validate_kernel(kernel)
+    resolved_components = _resolve_components(mcc.base, components)
+    resolved_deviations = validate_deviations(
+        deviations if deviations is not None else deviation_grid()
+    )
+    if configs is None:
+        configs = mcc.configurations(
+            include_functional=True, include_transparent=False
+        )
+    if not configs:
+        raise AnalysisError("no configurations to build trajectories for")
+
+    units: List[DiagnosisUnit] = []
+    for config in configs:
+        emulated = mcc.emulate(config)
+        probe = output or emulated.output or mcc.base.output
+        units.append(
+            DiagnosisUnit(
+                unit_id=config.label,
+                config_index=config.index,
+                circuit=emulated,
+                output=probe,
+                components=resolved_components,
+                deviations=resolved_deviations,
+                grid=grid,
+                kernel=kernel,
+                key=diagnosis_unit_key(
+                    emulated,
+                    probe,
+                    grid,
+                    resolved_components,
+                    resolved_deviations,
+                ),
+            )
+        )
+
+    return DiagnosisPlan(
+        units=tuple(units),
+        config_labels=tuple(c.label for c in configs),
+        config_indices=tuple(c.index for c in configs),
+        components=resolved_components,
+        deviations=resolved_deviations,
+        grid=grid,
+        kernel=kernel,
+    )
+
+
+def execute_diagnosis_unit(unit: DiagnosisUnit) -> DiagnosisUnitResult:
+    """Build one configuration's trajectories (parent or worker process)."""
+    stats = KernelStats()
+    nominal, responses, n_solves = trajectory_responses(
+        unit.circuit,
+        unit.output,
+        unit.components,
+        unit.deviations,
+        unit.grid,
+        kernel=unit.kernel,
+        stats=stats,
+    )
+    return DiagnosisUnitResult(
+        key=unit.key,
+        unit_id=unit.unit_id,
+        config_index=unit.config_index,
+        config_label=unit.config_label,
+        nominal=nominal,
+        responses=responses,
+        n_solves=n_solves,
+        n_factorizations=stats.factorizations,
+    )
+
+
+def diagnosis_cache(directory) -> ResultCache:
+    """A :class:`ResultCache` validating diagnosis payloads."""
+    return ResultCache(directory, payload_type=DiagnosisUnitResult)
+
+
+def execute_diagnosis_plan(
+    plan: DiagnosisPlan,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    telemetry: Optional[CampaignTelemetry] = None,
+) -> TrajectoryDictionary:
+    """Execute a planned build and assemble the dictionary.
+
+    The pipeline mirrors :func:`repro.campaign.engine.execute_plan`:
+    cache lookup, executor fan-out with write-back, telemetry
+    observation, fail-fast on any failed unit, and plan-order assembly
+    regardless of completion order.  ``n_solves`` /
+    ``n_factorizations`` count only the work *this* run performed —
+    both are 0 on a fully warm cache.
+    """
+    executor = executor or SerialExecutor()
+    telemetry = telemetry or CampaignTelemetry()
+    jobs = getattr(executor, "jobs", 1)
+    telemetry.campaign_start(plan, executor.name, jobs=jobs)
+
+    outcomes: Dict[str, UnitOutcome] = {}
+    pending = []
+    for unit in plan.units:
+        cached = cache.get(unit.key) if cache is not None else None
+        if cached is not None:
+            outcome = UnitOutcome(
+                unit=unit,
+                result=cached,
+                attempts=0,
+                from_cache=True,
+            )
+            outcomes[unit.unit_id] = outcome
+            telemetry.unit_outcome(outcome)
+        else:
+            pending.append(unit)
+
+    def on_outcome(outcome: UnitOutcome) -> None:
+        if cache is not None and outcome.result is not None:
+            cache.put(outcome.unit.key, outcome.result)
+        telemetry.unit_outcome(outcome)
+
+    for outcome in executor.execute(pending, callback=on_outcome):
+        outcomes[outcome.unit.unit_id] = outcome
+
+    telemetry.campaign_end()
+
+    failed = [o for o in outcomes.values() if not o.ok]
+    if failed:
+        first = failed[0]
+        raise CampaignError(
+            f"{len(failed)} of {plan.n_units} diagnosis unit(s) failed "
+            f"(first: {first.unit.unit_id} after {first.attempts} "
+            f"attempt(s): {first.error!r})"
+        ) from first.error
+
+    nominal: Dict[int, FrequencyResponse] = {}
+    responses = {}
+    n_solves = 0
+    n_factorizations = 0
+    for unit in plan.units:
+        outcome = outcomes[unit.unit_id]
+        if outcome.result is None:
+            raise CampaignError(
+                f"diagnosis unit {unit.unit_id} has no result to assemble"
+            )
+        result = outcome.result
+        nominal[result.config_index] = result.nominal
+        for key, response in result.responses.items():
+            responses[(result.config_index,) + key] = response
+        if not outcome.from_cache:
+            n_solves += result.n_solves
+            n_factorizations += getattr(result, "n_factorizations", 0)
+
+    return TrajectoryDictionary(
+        config_labels=plan.config_labels,
+        config_indices=plan.config_indices,
+        components=plan.components,
+        deviations=plan.deviations,
+        grid=plan.grid,
+        nominal=nominal,
+        responses=responses,
+        n_solves=n_solves,
+        n_factorizations=n_factorizations,
+    )
+
+
+def run_diagnosis_campaign(
+    mcc: MultiConfigurationCircuit,
+    grid: FrequencyGrid,
+    components: Optional[Sequence[str]] = None,
+    deviations: Optional[Sequence[float]] = None,
+    configs: Optional[Sequence[Configuration]] = None,
+    output: Optional[str] = None,
+    kernel: str = "loop",
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    telemetry: Optional[CampaignTelemetry] = None,
+) -> TrajectoryDictionary:
+    """One-call dictionary build: plan → execute → assemble."""
+    plan = plan_diagnosis_campaign(
+        mcc,
+        grid,
+        components=components,
+        deviations=deviations,
+        configs=configs,
+        output=output,
+        kernel=kernel,
+    )
+    return execute_diagnosis_plan(
+        plan, executor=executor, cache=cache, telemetry=telemetry
+    )

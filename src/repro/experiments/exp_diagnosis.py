@@ -11,6 +11,19 @@ component is faulty?  The experiment contrasts:
 and reports the resolution gain of quantized (ω-detectability-level)
 signatures — which split even the boolean-ambiguous gain-fault pair
 fR1/fR4 of the published matrix.
+
+Resolution ladder.  Everything here works on *boolean* (or
+level-quantized) Definition 1 signatures: each fault collapses to one
+detected/undetected bit per configuration, so location stops at the
+ambiguity *group* — fR1/fR4 share a signature and stay one suspect
+set, and no signature says how far a component has drifted.  The
+parametric refinement lives in :mod:`repro.diagnosis`: fault-trajectory
+dictionaries re-simulate every component over a deviation grid in
+every configuration, and nearest-trajectory search returns the
+*component*, an *estimated deviation* (exact up to the grid step) and
+a distance-ranked ambiguity set — while still carrying the boolean
+signature, so both views stay consistent on the same observation
+(``python -m repro diagnose``, docs/diagnosis.md).
 """
 
 from __future__ import annotations

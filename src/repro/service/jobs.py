@@ -2,8 +2,9 @@
 
 A *job* is one unit of admission for the long-running server in
 :mod:`repro.service.server` — a fault-simulation campaign, a tolerance
-(ε-calibration) campaign, or a differential-oracle verification sweep,
-described entirely by a JSON-able ``params`` dict.  This module owns
+(ε-calibration) campaign, a trajectory-dictionary diagnosis build, or a
+differential-oracle verification sweep, described entirely by a
+JSON-able ``params`` dict.  This module owns
 
 * the **param specs** (:data:`PARAM_SPECS`): names, types and defaults
   of every job kind's parameters.  The CLI imports these same defaults
@@ -97,6 +98,23 @@ TOLERANCE_PARAMS: Dict[str, Tuple[type, Any]] = {
     "timeout_s": (float, None),
 }
 
+DIAGNOSE_PARAMS: Dict[str, Tuple[type, Any]] = {
+    "target": (str, None),       # catalog circuit name
+    "netlist": (str, None),      # inline netlist text (alternative)
+    "component": (str, None),    # seeded injection: faulty component
+    "fault_deviation": (float, None),  # seeded injection: its deviation
+    "epsilon": (float, 0.10),
+    "span": (float, 0.5),        # deviation-grid half-width
+    "steps": (int, 4),           # grid points per side
+    "distance": (str, "relative"),
+    "ambiguity": (float, 0.02),
+    "f0": (float, None),
+    "decades": (float, 2.0),
+    "ppd": (int, 50),
+    "kernel": (str, None),
+    "timeout_s": (float, None),
+}
+
 VERIFY_PARAMS: Dict[str, Tuple[type, Any]] = {
     "circuits": (list, None),
     "random": (int, 0),
@@ -110,6 +128,7 @@ VERIFY_PARAMS: Dict[str, Tuple[type, Any]] = {
 PARAM_SPECS: Dict[str, Dict[str, Tuple[type, Any]]] = {
     "faultsim": FAULTSIM_PARAMS,
     "tolerance": TOLERANCE_PARAMS,
+    "diagnose": DIAGNOSE_PARAMS,
     "verify": VERIFY_PARAMS,
 }
 
@@ -190,6 +209,41 @@ def normalize_params(kind: str, params: Optional[dict]) -> dict:
             raise JobValidationError(
                 f"tolerance: distribution must be 'uniform' or 'normal', "
                 f"got {normalized['distribution']!r}"
+            )
+    if kind == "diagnose":
+        if (normalized["target"] is None) == (normalized["netlist"] is None):
+            raise JobValidationError(
+                "diagnose: exactly one of 'target' (catalog name) or "
+                "'netlist' (inline netlist text) is required"
+            )
+        if normalized["distance"] not in ("relative", "band"):
+            raise JobValidationError(
+                f"diagnose: distance must be 'relative' or 'band', got "
+                f"{normalized['distance']!r}"
+            )
+        if not 0.0 < normalized["span"] < 1.0:
+            raise JobValidationError(
+                f"diagnose: span must be in (0, 1), got "
+                f"{normalized['span']:g}"
+            )
+        if normalized["steps"] < 1:
+            raise JobValidationError("diagnose: steps must be >= 1")
+        if normalized["ambiguity"] < 0:
+            raise JobValidationError("diagnose: ambiguity must be >= 0")
+        if (normalized["component"] is None) != (
+            normalized["fault_deviation"] is None
+        ):
+            raise JobValidationError(
+                "diagnose: 'component' and 'fault_deviation' describe "
+                "one seeded fault and must be given together"
+            )
+        deviation = normalized["fault_deviation"]
+        if deviation is not None and (
+            deviation == 0.0 or deviation <= -1.0
+        ):
+            raise JobValidationError(
+                f"diagnose: fault_deviation must be nonzero and > -1, "
+                f"got {deviation:g}"
             )
     kernel = normalized.get("kernel")
     if kernel is not None and kernel not in ("loop", "stacked"):
@@ -500,6 +554,86 @@ def run_tolerance(job: Job, runtime, telemetry: JobTelemetry) -> dict:
     return report.to_json()
 
 
+def run_diagnose(job: Job, runtime, telemetry: JobTelemetry) -> dict:
+    """Trajectory-dictionary build (+ optional seeded fault location).
+
+    The dictionary is built as cacheable campaign units through the
+    shared runtime; when the job seeds a fault (``component`` +
+    ``fault_deviation``) the observed response is simulated and located
+    against the dictionary, and the matcher's verdict rides along in
+    the result.
+    """
+    from ..analysis import decade_grid
+    from ..dft import apply_multiconfiguration
+    from ..diagnosis import (
+        deviation_grid,
+        execute_diagnosis_plan,
+        locate_fault,
+        plan_diagnosis_campaign,
+    )
+    from ..faults.model import DeviationFault
+
+    params = job.params
+    circuit, f0, label = resolve_circuit(params)
+    telemetry.checkpoint()
+    kernel = params["kernel"] or runtime.default_kernel
+    mcc = apply_multiconfiguration(circuit)
+    grid = decade_grid(
+        f0,
+        decades_below=params["decades"],
+        decades_above=params["decades"],
+        points_per_decade=params["ppd"],
+    )
+    deviations = deviation_grid(span=params["span"], steps=params["steps"])
+    plan = plan_diagnosis_campaign(
+        mcc, grid, deviations=deviations, kernel=kernel
+    )
+    dictionary = execute_diagnosis_plan(
+        plan,
+        executor=runtime.executor,
+        cache=runtime.diagnosis_cache,
+        telemetry=telemetry,
+    )
+    result = {
+        "target": label,
+        "f0_hz": f0,
+        "kernel": kernel,
+        "distance": params["distance"],
+        "n_configs": dictionary.n_configs,
+        "n_components": len(dictionary.components),
+        "n_deviations": len(dictionary.deviations),
+        "n_trajectory_points": dictionary.n_points,
+        "deviation_step": dictionary.deviation_step,
+        "n_solves": dictionary.n_solves,
+        "n_factorizations": dictionary.n_factorizations,
+        "diagnosis": None,
+    }
+    if params["component"] is not None:
+        if params["component"] not in dictionary.components:
+            raise JobValidationError(
+                f"diagnose: component {params['component']!r} is not a "
+                f"passive of {label!r} (have "
+                f"{list(dictionary.components)})"
+            )
+        fault = DeviationFault(
+            params["component"], params["fault_deviation"]
+        )
+        diagnosis = locate_fault(
+            dictionary,
+            mcc,
+            fault,
+            metric=params["distance"],
+            ambiguity_tolerance=params["ambiguity"],
+            epsilon=params["epsilon"],
+        )
+        payload = diagnosis.to_json()
+        payload["injected"] = diagnosis.evaluate(
+            params["component"], params["fault_deviation"]
+        )
+        result["diagnosis"] = payload
+    return result
+
+
 def run_verify(job: Job, runtime, telemetry: JobTelemetry) -> dict:
     """Differential-oracle sweep; checkpoints between cases."""
     from ..verify import run_verification
@@ -527,6 +661,7 @@ def run_verify(job: Job, runtime, telemetry: JobTelemetry) -> dict:
 RUNNERS = {
     "faultsim": run_faultsim,
     "tolerance": run_tolerance,
+    "diagnose": run_diagnose,
     "verify": run_verify,
 }
 

@@ -5,8 +5,8 @@ Two pieces:
 :class:`ServiceRuntime`
     The shared compute substrate every job runs on — **one** executor
     (optionally a persistent process pool that stays warm across jobs),
-    **one** set of result caches (campaign units, tolerance units, and
-    completed job records) and **one** server-wide
+    **one** set of result caches (campaign units, tolerance units,
+    diagnosis units and completed job records) and **one** server-wide
     :class:`~repro.campaign.telemetry.CampaignTelemetry` feeding
     ``/metrics``.  This replaces the per-invocation setup the CLI does:
     a server that has simulated a circuit once answers the next
@@ -74,11 +74,12 @@ class ServiceRuntime:
         with ``persistent=True`` so the process pool outlives
         individual jobs.
     cache_dir:
-        Root directory for the three result caches; ``None`` disables
+        Root directory for the four result caches; ``None`` disables
         persistence (jobs still share the executor and telemetry).
         Layout: ``<dir>/units`` (fault-simulation unit results),
-        ``<dir>/tolerance`` (tolerance unit results), ``<dir>/jobs``
-        (completed job records).
+        ``<dir>/tolerance`` (tolerance unit results),
+        ``<dir>/diagnosis`` (trajectory-dictionary unit results),
+        ``<dir>/jobs`` (completed job records).
     telemetry:
         Server-wide telemetry instance (defaults to a fresh one); give
         it a ``trace_path`` to keep a JSONL event log of every unit the
@@ -109,12 +110,19 @@ class ServiceRuntime:
                 self.cache_dir / "tolerance",
                 payload_type=ToleranceUnitResult,
             )
+            from ..diagnosis import DiagnosisUnitResult
+
+            self.diagnosis_cache: Optional[ResultCache] = ResultCache(
+                self.cache_dir / "diagnosis",
+                payload_type=DiagnosisUnitResult,
+            )
             self.job_cache: Optional[ResultCache] = ResultCache(
                 self.cache_dir / "jobs", payload_type=JobRecord
             )
         else:
             self.unit_cache = None
             self.tolerance_cache = None
+            self.diagnosis_cache = None
             self.job_cache = None
 
     def close(self) -> None:

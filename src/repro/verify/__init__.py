@@ -15,7 +15,8 @@ on randomized circuits, faults, configurations and frequency grids:
 * :mod:`repro.verify.invariants` — metamorphic properties (C_0 ≡
   functional, transparency, ε-monotonicity, impedance-scaling and
   grid-refinement invariance, matrix/table consistency, cover-strategy
-  ordering).
+  ordering, stacked ≡ loop kernel bit-identity, and the
+  trajectory-dictionary ≡ fault-simulator oracle).
 
 ``python -m repro verify`` drives the whole thing from the shell and is
 the standing correctness gate for every optimization PR.
@@ -39,6 +40,7 @@ from .invariants import (
     check_matrix_table_consistency,
     check_stacked_kernel,
     check_tolerance_kernel,
+    check_trajectory_oracle,
     check_transparent_configuration,
     run_invariants,
 )
@@ -66,6 +68,7 @@ __all__ = [
     "check_matrix_table_consistency",
     "check_stacked_kernel",
     "check_tolerance_kernel",
+    "check_trajectory_oracle",
     "check_transparent_configuration",
     "perturbed_circuit",
     "random_cases",

@@ -37,6 +37,11 @@ definitions and from physics:
   (:func:`~repro.analysis.montecarlo.monte_carlo_tolerance`) and corner
   envelopes (:func:`~repro.analysis.corners.corner_analysis`) are
   bit-identical under both kernels for the same seed.
+* **trajectory ≡ fault simulator** — a trajectory-dictionary point at a
+  fault-universe deviation (:mod:`repro.diagnosis`) is exactly the
+  response the fault simulator computes for that
+  :class:`~repro.faults.model.DeviationFault`, and the stacked
+  dictionary build reproduces the loop build bit-for-bit.
 """
 
 from __future__ import annotations
@@ -51,7 +56,7 @@ from ..core.baselines import exact_minimum_strategy, greedy_strategy
 from ..core.covering import verify_cover
 from ..core.detectability import detection_intervals, evaluate_detectability
 from ..dft.configuration import Configuration
-from ..faults.model import Fault, OpenFault, ShortFault
+from ..faults.model import DeviationFault, Fault, OpenFault, ShortFault
 from ..faults.simulator import DetectabilityDataset, simulate_faults
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -659,6 +664,118 @@ def check_tolerance_kernel(
     return mismatches
 
 
+def check_trajectory_oracle(
+    case: "VerifyCase", tol: Optional["Tolerances"] = None
+) -> List:
+    """Trajectory dictionaries reproduce the fault simulator bit-for-bit.
+
+    A dictionary built over the deviations of the case's parametric
+    faults must hold, at every (configuration, component, deviation)
+    point, exactly the response the fault simulator computes for that
+    :class:`~repro.faults.model.DeviationFault` — the loop build by
+    construction (it replays the per-fault ``ac_analysis`` path), the
+    stacked build by the kernel-stacking contract.  Zero tolerance.
+    """
+    from ..diagnosis import build_trajectory_dictionary
+
+    parametric = [
+        f for f in case.faults if isinstance(f, DeviationFault)
+    ]
+    if not parametric:
+        return []
+    mcc = case.mcc()
+    configs = mcc.configurations(
+        include_functional=True, include_transparent=False
+    )[:2]
+    components: List[str] = []
+    for fault in parametric:
+        if fault.target not in components:
+            components.append(fault.target)
+    components = components[:3]
+    deviations = sorted({f.deviation for f in parametric})
+    grid = case.setup.grid
+    dictionaries = {
+        kernel: build_trajectory_dictionary(
+            mcc,
+            grid,
+            components=components,
+            deviations=deviations,
+            configs=configs,
+            output=case.setup.output,
+            kernel=kernel,
+        )
+        for kernel in ("loop", "stacked")
+    }
+    loop, stacked = dictionaries["loop"], dictionaries["stacked"]
+    mismatches: List = []
+
+    # 1. loop dictionary vs the fault simulator's own sweeps
+    for config in configs:
+        emulated = mcc.emulate(config)
+        probe = case.setup.output or emulated.output or mcc.base.output
+        for component in components:
+            for deviation in deviations:
+                fault = DeviationFault(component, deviation)
+                reference = ac_analysis(
+                    fault.apply(emulated), grid, output=probe
+                )
+                stored = loop.response(
+                    config.index, component, deviation
+                )
+                delta = np.abs(stored.values - reference.values)
+                if np.any(delta != 0.0):
+                    worst = int(np.argmax(delta))
+                    mismatches.append(
+                        _mismatch(
+                            check="invariant-trajectory-oracle",
+                            circuit=case.name,
+                            config=config.label,
+                            fault=fault.name,
+                            frequency_hz=float(
+                                grid.frequencies_hz[worst]
+                            ),
+                            error=float(delta[worst]),
+                            tolerance=0.0,
+                            seed=case.seed,
+                            detail=(
+                                "trajectory point deviates from the "
+                                "fault simulator's response"
+                            ),
+                        )
+                    )
+
+    # 2. stacked dictionary vs loop dictionary, bitwise
+    pairs = [
+        (f"nominal {index}", loop.nominal[index], stacked.nominal[index])
+        for index in loop.nominal
+    ] + [
+        (f"{key[1]}{key[2]:+.0%} in {key[0]}", response,
+         stacked.responses[key])
+        for key, response in loop.responses.items()
+    ]
+    for what, ref, cand in pairs:
+        delta = np.abs(ref.values - cand.values)
+        if np.any(delta != 0.0):
+            mismatches.append(
+                _mismatch(
+                    check="invariant-trajectory-oracle",
+                    circuit=case.name,
+                    config="stacked",
+                    fault=what,
+                    frequency_hz=None,
+                    error=float(np.max(delta)),
+                    tolerance=0.0,
+                    seed=case.seed,
+                    detail=(
+                        "stacked dictionary build deviates from the "
+                        f"loop build: {what}"
+                    ),
+                )
+            )
+            break
+    return mismatches
+
+
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
@@ -688,6 +805,7 @@ def run_invariants(
     mismatches += check_cover_strategies(case, dataset, tol)
     mismatches += check_stacked_kernel(case, dataset, tol)
     mismatches += check_tolerance_kernel(case, tol)
+    mismatches += check_trajectory_oracle(case, tol)
     n_checks = (
         2  # functional + transparent
         + 3  # epsilon ladder
@@ -697,5 +815,6 @@ def run_invariants(
         + 2  # cover strategies
         + 2  # stacked == loop, standard + fast engines
         + 2  # tolerance stacked == loop, Monte Carlo + corners
+        + 2  # trajectory == fault simulator, loop + stacked builds
     )
     return mismatches, n_checks

@@ -1,0 +1,26 @@
+"""Shared fixtures for the trajectory-diagnosis suite."""
+
+import pytest
+
+from repro.analysis import decade_grid
+from repro.circuits import build
+from repro.dft import apply_multiconfiguration
+
+
+def make_mcc(name):
+    bench = build(name)
+    mcc = apply_multiconfiguration(
+        bench.circuit, chain=bench.chain, input_node=bench.input_node
+    )
+    return bench, mcc
+
+
+@pytest.fixture(scope="session")
+def sallen_key():
+    return make_mcc("sallen_key")
+
+
+@pytest.fixture(scope="session")
+def small_grid(sallen_key):
+    bench, _ = sallen_key
+    return decade_grid(bench.f0_hz, 1, 1, points_per_decade=6)

@@ -71,6 +71,68 @@ class TestNormalizeParams:
                 "verify", {"circuits": [], "timeout_s": 0}
             )
 
+    def test_diagnose_requires_exactly_one_target(self):
+        with pytest.raises(JobValidationError, match="exactly one"):
+            normalize_params("diagnose", {})
+        with pytest.raises(JobValidationError, match="exactly one"):
+            normalize_params(
+                "diagnose", {"target": "biquad", "netlist": "* x\n.end"}
+            )
+
+    def test_diagnose_domain_checks(self):
+        good = normalize_params("diagnose", {"target": "sallen_key"})
+        assert good["span"] == 0.5
+        assert good["steps"] == 4
+        assert good["distance"] == "relative"
+        with pytest.raises(JobValidationError, match="distance"):
+            normalize_params(
+                "diagnose", {"target": "biquad", "distance": "hamming"}
+            )
+        with pytest.raises(JobValidationError, match="span"):
+            normalize_params(
+                "diagnose", {"target": "biquad", "span": 1.0}
+            )
+        with pytest.raises(JobValidationError, match="steps"):
+            normalize_params(
+                "diagnose", {"target": "biquad", "steps": 0}
+            )
+        with pytest.raises(JobValidationError, match="ambiguity"):
+            normalize_params(
+                "diagnose", {"target": "biquad", "ambiguity": -0.1}
+            )
+        with pytest.raises(JobValidationError, match="kernel"):
+            normalize_params(
+                "diagnose", {"target": "biquad", "kernel": "quantum"}
+            )
+
+    def test_diagnose_seeded_fault_is_all_or_nothing(self):
+        both = normalize_params(
+            "diagnose",
+            {"target": "biquad", "component": "R2",
+             "fault_deviation": 0.33},
+        )
+        assert both["component"] == "R2"
+        with pytest.raises(JobValidationError, match="together"):
+            normalize_params(
+                "diagnose", {"target": "biquad", "component": "R2"}
+            )
+        with pytest.raises(JobValidationError, match="together"):
+            normalize_params(
+                "diagnose", {"target": "biquad", "fault_deviation": 0.33}
+            )
+        with pytest.raises(JobValidationError, match="deviation"):
+            normalize_params(
+                "diagnose",
+                {"target": "biquad", "component": "R2",
+                 "fault_deviation": 0.0},
+            )
+        with pytest.raises(JobValidationError, match="deviation"):
+            normalize_params(
+                "diagnose",
+                {"target": "biquad", "component": "R2",
+                 "fault_deviation": -1.0},
+            )
+
     def test_circuits_accepts_list_and_csv(self):
         as_list = normalize_params(
             "tolerance", {"circuits": ["biquad", "leapfrog"]}

@@ -35,6 +35,14 @@ TOLERANCE = {
     "ppd": 4,
     "corners": False,
 }
+DIAGNOSE = {
+    "target": "sallen_key",
+    "ppd": 6,
+    "steps": 2,
+    "span": 0.4,
+    "component": "R1a",
+    "fault_deviation": 0.3,
+}
 
 
 @pytest.fixture
@@ -103,6 +111,33 @@ class TestJobsOverHttp:
 
         listed = {job["id"] for job in client.jobs()}
         assert {faultsim["id"], tolerance["id"]} <= listed
+
+    def test_diagnose_job_locates_seeded_fault(self, client):
+        job = client.submit("diagnose", DIAGNOSE)
+        done = client.wait(job["id"], timeout=120.0)
+        assert done["state"] == DONE
+        result = done["result"]
+        assert result["target"] == "sallen_key"
+        assert result["n_configs"] == 3
+        assert result["n_solves"] > 0
+        diagnosis = result["diagnosis"]
+        assert diagnosis["injected"]["component"] == "R1a"
+        assert diagnosis["injected"]["hit"] is True
+        assert (
+            diagnosis["injected"]["deviation_error"]
+            <= result["deviation_step"]
+        )
+        assert "R1a" in diagnosis["ambiguity"]
+        assert not diagnosis["fault_free"]
+
+    def test_diagnose_rejects_unknown_component(self, client):
+        job = client.submit(
+            "diagnose",
+            {**DIAGNOSE, "component": "R99"},
+        )
+        done = client.wait(job["id"], timeout=120.0)
+        assert done["state"] == "failed"
+        assert "R99" in done["error"]
 
     def test_cancel_queued_job(self, service, client):
         service.scheduler.pause()
@@ -178,6 +213,43 @@ class TestWarmRestart:
             result = client.result(again["id"])["result"]
             assert result == first["result"]
             # the restarted server simulated nothing
+            metrics = client.metrics()
+            assert metrics.get("repro_campaign_solves", 0.0) == 0.0
+        finally:
+            warm.stop(drain=True, timeout=30.0)
+
+
+    def test_restarted_server_answers_diagnose_from_cache(self, tmp_path):
+        """The acceptance scenario: resubmitting a diagnose job to a
+        restarted server answers from cache without a single solve."""
+        cache_dir = tmp_path / "cache"
+
+        cold = ReproService(
+            port=0, runtime=ServiceRuntime(cache_dir=cache_dir)
+        ).start()
+        try:
+            client = ServiceClient(cold.url, timeout=10.0)
+            first = client.wait(
+                client.submit("diagnose", DIAGNOSE)["id"], timeout=120.0
+            )
+            assert first["state"] == DONE
+            assert not first["from_cache"]
+            assert first["result"]["n_solves"] > 0
+            assert client.metrics()["repro_campaign_solves"] > 0
+        finally:
+            cold.stop(drain=True, timeout=30.0)
+
+        warm = ReproService(
+            port=0, runtime=ServiceRuntime(cache_dir=cache_dir)
+        ).start()
+        try:
+            client = ServiceClient(warm.url, timeout=10.0)
+            again = client.submit("diagnose", DIAGNOSE)
+            assert again["state"] == DONE
+            assert again["from_cache"]
+            assert (
+                client.result(again["id"])["result"] == first["result"]
+            )
             metrics = client.metrics()
             assert metrics.get("repro_campaign_solves", 0.0) == 0.0
         finally:

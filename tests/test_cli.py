@@ -342,6 +342,19 @@ class TestEscape:
         )
         assert "seed: fresh" in capsys.readouterr().out
 
+    def test_kernel_flag_changes_nothing(self, netlist_file, capsys):
+        """--kernel stacked batches the sweeps but, for the same seed,
+        prints the exact same report as the loop engine."""
+        base = [
+            "escape", netlist_file, "--ppd", "10",
+            "--samples", "3", "--seed", "7",
+        ]
+        assert main(base + ["--kernel", "loop"]) == 0
+        loop = capsys.readouterr().out
+        assert main(base + ["--kernel", "stacked"]) == 0
+        stacked = capsys.readouterr().out
+        assert loop == stacked
+
 
 class TestMontecarlo:
     def test_suggests_epsilon(self, netlist_file, capsys):
@@ -372,10 +385,113 @@ class TestMontecarlo:
         )
         assert "suggested epsilon" in capsys.readouterr().out
 
+    def test_kernel_flag_changes_nothing(self, netlist_file, capsys):
+        base = [
+            "montecarlo", netlist_file, "--ppd", "10",
+            "--samples", "8", "--seed", "7",
+        ]
+        assert main(base + ["--kernel", "loop"]) == 0
+        loop = capsys.readouterr().out
+        assert main(base + ["--kernel", "stacked"]) == 0
+        stacked = capsys.readouterr().out
+        assert loop == stacked
+
+
+class TestDiagnose:
+    def test_seeded_injection_on_catalog_circuit(self, capsys):
+        assert (
+            main(
+                [
+                    "diagnose", "sallen_key", "--ppd", "6",
+                    "--steps", "2", "--component", "R1a",
+                    "--fault-deviation", "0.3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trajectory dictionary" in out
+        assert "injected R1a +30.0%" in out
+        assert "ambiguity set" in out
+
+    def test_netlist_target_with_json(self, netlist_file, tmp_path, capsys):
+        report = tmp_path / "diagnosis.json"
+        assert (
+            main(
+                [
+                    "diagnose", netlist_file, "--ppd", "6",
+                    "--steps", "1", "--component", "R2",
+                    "--fault-deviation", "0.4", "--json", str(report),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(report.read_text())
+        assert payload["n_solves"] > 0
+        assert payload["diagnosis"]["injected"]["component"] == "R2"
+        assert "matches" in payload["diagnosis"]
+
+    def test_kernel_flag_changes_nothing(self, capsys):
+        base = ["diagnose", "sallen_key", "--ppd", "6", "--steps", "1"]
+        assert main(base + ["--kernel", "loop"]) == 0
+        loop = capsys.readouterr().out
+        assert main(base + ["--kernel", "stacked"]) == 0
+        stacked = capsys.readouterr().out
+        # factorization accounting differs by design; trajectories don't
+        strip = lambda text: [
+            line
+            for line in text.splitlines()
+            if "factorization" not in line and "kernel" not in line
+        ]
+        assert strip(loop) == strip(stacked)
+
+    def test_cache_resume_answers_without_solves(self, tmp_path, capsys):
+        base = [
+            "diagnose", "sallen_key", "--ppd", "6", "--steps", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(base) == 0
+        cold = capsys.readouterr().out
+        assert "misses=3" in cold
+        assert main(base) == 0
+        warm = capsys.readouterr().out
+        assert "0 AC solve(s)" in warm
+        assert "hits=3" in warm
+
+    def test_unknown_target(self, capsys):
+        assert main(["diagnose", "warp_core"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "warp_core" in err
+        assert "Traceback" not in err
+
+    def test_component_without_deviation(self, capsys):
+        assert (
+            main(["diagnose", "sallen_key", "--component", "R1a"]) == 1
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--fault-deviation" in err
+
+    def test_unknown_component(self, capsys):
+        assert (
+            main(
+                [
+                    "diagnose", "sallen_key", "--ppd", "6",
+                    "--steps", "1", "--component", "R99",
+                    "--fault-deviation", "0.3",
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "R99" in err
+
 
 NETLIST_SUBCOMMANDS = [
     "analyze", "faultsim", "campaign", "optimize", "noise",
-    "escape", "montecarlo",
+    "escape", "montecarlo", "diagnose",
 ]
 
 

@@ -20,10 +20,14 @@ Engine/kernel matrix covered:
   kernel; the full optimized pipeline and the source of the headline
   speedup (the acceptance floor is 3x over ``serial``).
 
-The parallel speedup assertion is gated on the host actually having
-more than one core — a single-core runner can only demonstrate
-correctness (bit-identical matrices), not speedup.  The cache-hit
-speedup holds everywhere: a warm re-run performs zero AC solves.
+The parallel executor is adaptive: it fans out in worker-process
+batches where cores exist and runs in-process on a single effective
+core, so it must never lose to the serial path anywhere.  The guard
+measures interleaved serial/parallel pairs (immune to machine drift)
+and holds the best pair's ratio to >= 1.0 in full mode; where real
+fan-out is possible (>= 2 effective jobs) the floor rises to 1.5x.
+The cache-hit speedup holds everywhere: a warm re-run performs zero
+AC solves.
 
 ``BENCH_SMOKE=1`` shrinks the grid and the rounds so CI can afford the
 run; speedup *assertions* that need a meaty workload to be stable are
@@ -35,6 +39,7 @@ import json
 import os
 import platform
 import subprocess
+import time
 
 import numpy as np
 import pytest
@@ -60,6 +65,9 @@ SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 
 POINTS_PER_DECADE = 10 if SMOKE else 30
 ROUNDS = 1 if SMOKE else 3
+#: untimed warm-up rounds ahead of the serial/parallel pair — their
+#: ratio is asserted on, so cold-start drift must not bias either side
+WARMUP = 0 if SMOKE else 1
 
 RECORD = {}
 
@@ -101,6 +109,7 @@ def test_bench_campaign_serial(benchmark, flf_plan):
         kwargs={"executor": SerialExecutor()},
         rounds=ROUNDS,
         iterations=1,
+        warmup_rounds=WARMUP,
     )
     RECORD["serial_s"] = benchmark.stats.stats.min
     RECORD["tables"] = _tables(dataset)
@@ -118,23 +127,51 @@ def test_bench_campaign_parallel(benchmark, flf_plan):
         kwargs={"executor": executor},
         rounds=ROUNDS,
         iterations=1,
+        warmup_rounds=WARMUP,
     )
     RECORD["parallel_s"] = benchmark.stats.stats.min
     benchmark.extra_info["jobs"] = executor.jobs
+    benchmark.extra_info["effective_jobs"] = executor.effective_jobs()
     benchmark.extra_info["cpus"] = os.cpu_count()
 
     # Correctness everywhere: bit-identical to the serial path.
     assert _identical(_tables(dataset), RECORD["tables"])
 
-    # Speedup only where the hardware can deliver it and the workload
-    # is large enough to amortise worker startup.
-    if not SMOKE and (os.cpu_count() or 1) >= 2:
-        speedup = RECORD["serial_s"] / RECORD["parallel_s"]
+    # Regression guard: the adaptive executor sizes itself to the host
+    # — batched fan-out where cores exist, in-process (no pool, no IPC)
+    # on a single core — so ``ParallelExecutor`` must never lose to
+    # ``SerialExecutor``.  The guard measures *interleaved pairs*
+    # (serial, parallel, serial, parallel ...) and takes the best
+    # pair's ratio: machine drift between two separately-timed benches
+    # can exceed 10% on a busy host, while a genuine executor
+    # regression (the pre-adaptive pool path measured 0.85x on one
+    # core) loses *every* pair.  Smoke mode skips the floor: its
+    # workload is too small for a stable ratio.
+    if not SMOKE:
+        pair_ratios = []
+        for _ in range(4):
+            t0 = time.perf_counter()
+            execute_plan(flf_plan, executor=SerialExecutor())
+            serial_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            execute_plan(flf_plan, executor=executor)
+            pair_ratios.append(serial_s / (time.perf_counter() - t0))
+        speedup = max(pair_ratios)
+        RECORD["parallel_speedup"] = speedup
         benchmark.extra_info["speedup"] = round(speedup, 2)
-        assert speedup > 1.5, (
-            f"parallel speedup {speedup:.2f}x at jobs=4 "
-            f"on {os.cpu_count()} cores"
+        assert speedup >= 1.0, (
+            f"parallel speedup {speedup:.2f}x at jobs=4 on "
+            f"{os.cpu_count()} cores - the adaptive executor must "
+            f"never lose to the serial path (pairs: "
+            f"{[round(r, 3) for r in pair_ratios]})"
         )
+        # Where the hardware can deliver real fan-out, demand it.
+        if executor.effective_jobs() >= 2:
+            assert speedup > 1.5, (
+                f"parallel speedup {speedup:.2f}x at "
+                f"{executor.effective_jobs()} effective jobs "
+                f"on {os.cpu_count()} cores"
+            )
 
 
 def test_bench_campaign_warm_cache(benchmark, flf_plan, tmp_path):
@@ -255,7 +292,14 @@ def test_bench_campaign_record(flf_plan):
         "warm_cache_s": round(RECORD["warm_s"], 4),
         "stacked_s": round(RECORD["stacked_s"], 4),
         "fast_stacked_s": round(RECORD["fast_stacked_s"], 4),
-        "parallel_speedup": round(serial / RECORD["parallel_s"], 2),
+        # full mode records the drift-immune interleaved-pair ratio;
+        # smoke falls back to the raw (noisier) cross-bench ratio
+        "parallel_speedup": round(
+            RECORD.get(
+                "parallel_speedup", serial / RECORD["parallel_s"]
+            ),
+            2,
+        ),
         "cache_speedup": round(serial / RECORD["warm_s"], 1),
         "stacked_speedup": round(serial / RECORD["stacked_s"], 2),
         "fast_stacked_speedup": round(

@@ -173,17 +173,26 @@ def make_executor(
     timeout: Optional[float] = None,
     retries: int = 1,
     persistent: bool = False,
+    batch_size: Optional[int] = None,
+    adaptive: bool = True,
 ) -> Executor:
     """Executor factory used by the CLI: serial for 1 job, else parallel.
 
     ``persistent=True`` keeps the process pool warm across
     ``execute()`` calls — the job server's mode; call
-    ``executor.close()`` to release the workers.
+    ``executor.close()`` to release the workers.  ``batch_size`` and
+    ``adaptive`` tune the parallel executor's dispatch granularity
+    (see :class:`~repro.campaign.executor.ParallelExecutor`).
     """
     if jobs is not None and jobs < 1:
         raise CampaignError(f"jobs must be >= 1, got {jobs}")
     if jobs is None or jobs == 1:
         return SerialExecutor()
     return ParallelExecutor(
-        jobs=jobs, timeout=timeout, retries=retries, persistent=persistent
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        persistent=persistent,
+        batch_size=batch_size,
+        adaptive=adaptive,
     )

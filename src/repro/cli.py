@@ -605,6 +605,17 @@ def cmd_serve(args) -> int:
     # the serve runtime is built from the exact same campaign flags the
     # batch subcommands use, via the same helper — no drift possible
     executor, _, _ = _campaign_parts(args, persistent=True)
+    if args.pool_per_worker and args.workers > 1 and executor is not None:
+        from .campaign import make_executor
+
+        executor = [executor] + [
+            make_executor(
+                jobs=args.jobs,
+                timeout=getattr(args, "timeout", None),
+                persistent=True,
+            )
+            for _ in range(args.workers - 1)
+        ]
     telemetry = CampaignTelemetry(trace_path=args.trace)
     runtime = ServiceRuntime(
         executor=executor,
@@ -619,18 +630,72 @@ def cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         job_timeout=args.job_timeout,
         retry_after_s=args.retry_after,
+        workers=args.workers,
         access_log=args.access_log,
     )
-    jobs = getattr(executor, "jobs", 1) if executor is not None else 1
+    pools = len(runtime.executors)
     print(
         f"repro service listening on {service.url} "
-        f"({jobs} worker(s), queue limit {args.queue_limit}, "
+        f"({args.workers} worker(s), {pools} executor pool(s), "
+        f"queue limit {args.queue_limit}, "
         f"cache {_resolve_cache_dir(args) or 'disabled'})"
     )
     print("endpoints: /healthz /metrics /catalog /jobs (see docs/service.md)")
     service.serve_forever()
     print("service stopped")
     return 0
+
+
+def cmd_loadtest(args) -> int:
+    """Replay a deterministic job mix against a running server."""
+    import json
+    import time as time_module
+
+    from .service.loadtest import loadtest_document, run_loadtest
+
+    steps = (
+        [int(part) for part in args.ramp.split(",") if part.strip()]
+        if args.ramp
+        else [args.concurrency]
+    )
+    if not steps or any(step < 1 for step in steps):
+        from .errors import ServiceError
+
+        raise ServiceError(
+            f"--ramp must list concurrency steps >= 1, got {args.ramp!r}"
+        )
+    started_at = time_module.time()
+    runs = []
+    for step in steps:
+        report = run_loadtest(
+            args.url,
+            mix=args.mix,
+            n_jobs=args.count,
+            concurrency=step,
+            rps=args.rps,
+            seed=args.seed,
+            job_timeout=args.job_timeout,
+            request_timeout=args.request_timeout,
+        )
+        runs.append(report)
+        latency = report.latency_ms
+        print(
+            f"concurrency {step}: {report.jobs_per_s:.3f} jobs/s, "
+            f"p50 {latency['p50']:.0f}ms p95 {latency['p95']:.0f}ms "
+            f"p99 {latency['p99']:.0f}ms, "
+            f"{report.rejected_429} rejections, "
+            f"states {report.states}"
+        )
+    document = loadtest_document(args.url, runs, started_at)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"loadtest report written to {args.out}")
+    print(
+        f"saturation: {document['saturation_jobs_per_s']:.3f} jobs/s; "
+        f"unit cache hit ratio: {document['unit_cache_hit_ratio']}"
+    )
+    return 0 if all(run.ok for run in runs) else 1
 
 
 def cmd_catalog(args) -> int:
@@ -999,11 +1064,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="Retry-After hint on 429 responses in seconds (default 1)",
     )
     p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="scheduler worker threads executing jobs concurrently "
+        "(default 1)",
+    )
+    p_serve.add_argument(
+        "--pool-per-worker", action="store_true",
+        help="give every worker its own persistent process pool of "
+        "--jobs workers (default: one shared pool, leased to one "
+        "job at a time)",
+    )
+    p_serve.add_argument(
         "--access-log", default=None,
         help="append structured JSON access logs to this file",
     )
     campaign_flags(p_serve)
     p_serve.set_defaults(handler=cmd_serve)
+
+    p_loadtest = sub.add_parser(
+        "loadtest",
+        help="replay a job mix against a running server and measure "
+        "tail latency / throughput (see docs/performance.md)",
+    )
+    p_loadtest.add_argument(
+        "url", help="base URL of a running server (http://host:port)"
+    )
+    p_loadtest.add_argument(
+        "--mix", default="smoke", choices=("smoke", "standard"),
+        help="job mix to replay (default smoke)",
+    )
+    p_loadtest.add_argument(
+        "--count", type=int, default=10,
+        help="total jobs per concurrency step (default 10)",
+    )
+    p_loadtest.add_argument(
+        "--concurrency", type=int, default=2,
+        help="closed-loop clients keeping one job in flight (default 2)",
+    )
+    p_loadtest.add_argument(
+        "--ramp", default=None,
+        help="comma-separated concurrency steps (e.g. 1,2,4); "
+        "overrides --concurrency, saturation is the best step",
+    )
+    p_loadtest.add_argument(
+        "--rps", type=float, default=None,
+        help="cap global submission rate (default: unpaced closed loop)",
+    )
+    p_loadtest.add_argument(
+        "--seed", type=int, default=0,
+        help="mix shuffle seed (default 0; same seed = same job list)",
+    )
+    p_loadtest.add_argument(
+        "--job-timeout", type=float, default=300.0,
+        help="per-job wait budget in seconds (default 300)",
+    )
+    p_loadtest.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="HTTP socket timeout in seconds (default 30)",
+    )
+    p_loadtest.add_argument(
+        "--out", default=None,
+        help="write the BENCH_service.json report here",
+    )
+    p_loadtest.set_defaults(handler=cmd_loadtest)
 
     p_catalog = sub.add_parser("catalog", help="list library circuits")
     p_catalog.set_defaults(handler=cmd_catalog)

@@ -11,10 +11,12 @@ This package adds the serving tier, stdlib-only:
   persisted through :class:`~repro.campaign.cache.ResultCache` (a
   restarted server answers repeat jobs from disk), and per-job
   telemetry with cooperative cancellation and deadlines;
-* :mod:`~repro.service.scheduler` — :class:`ServiceRuntime` (one warm
-  executor + caches + telemetry shared by all jobs) and
-  :class:`JobScheduler` (bounded queue, 429 admission control,
-  graceful draining shutdown);
+* :mod:`~repro.service.scheduler` — :class:`ServiceRuntime` (warm
+  executor(s) + caches + telemetry shared by all jobs, brokered to
+  concurrent jobs through :class:`ExecutorLeasePool`) and
+  :class:`JobScheduler` (N worker threads over a bounded queue, 429
+  admission control, submission-anchored deadlines, graceful draining
+  shutdown);
 * :mod:`~repro.service.metrics` — Prometheus text exposition: campaign
   counters, queue depth, job states, per-route latency histograms;
 * :mod:`~repro.service.server` — the ``http.server`` API surface with
@@ -37,15 +39,18 @@ from .jobs import (
     job_key,
     normalize_params,
 )
+from .loadtest import LoadTestReport, run_loadtest
 from .metrics import ServiceMetrics, parse_metrics
-from .scheduler import JobScheduler, ServiceRuntime
+from .scheduler import ExecutorLeasePool, JobScheduler, ServiceRuntime
 from .server import ReproService
 
 __all__ = [
+    "ExecutorLeasePool",
     "JOB_KINDS",
     "Job",
     "JobRecord",
     "JobScheduler",
+    "LoadTestReport",
     "JobTelemetry",
     "PARAM_SPECS",
     "ReproService",
@@ -55,4 +60,5 @@ __all__ = [
     "job_key",
     "normalize_params",
     "parse_metrics",
+    "run_loadtest",
 ]

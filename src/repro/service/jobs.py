@@ -296,6 +296,24 @@ def is_cacheable(kind: str, params: dict) -> bool:
 # ----------------------------------------------------------------------
 # records and jobs
 
+#: sentinel distinguishing "no scheduler assigned a lease" from "the
+#: scheduler assigned an empty lease (run serially)"
+_UNLEASED = object()
+
+
+def job_executor(job: "Job", runtime):
+    """The executor a runner should fan units out on.
+
+    A job executed by the :class:`~repro.service.scheduler.JobScheduler`
+    carries the executor lease its worker acquired (possibly ``None`` —
+    run serially rather than contend on a pool another job holds).  A
+    job executed directly (tests, embedding) falls back to the
+    runtime's shared executor.
+    """
+    if job.executor is _UNLEASED:
+        return runtime.executor
+    return job.executor
+
 
 @dataclass
 class JobRecord:
@@ -336,6 +354,12 @@ class Job:
         self.from_cache = False
         self.cancel_event = threading.Event()
         self.telemetry: Optional["JobTelemetry"] = None
+        #: monotonic deadline set at submission (None = unlimited)
+        self.deadline: Optional[float] = None
+        #: the scheduler-granted executor lease; ``_UNLEASED`` marks a
+        #: job executed outside a scheduler (direct ``execute_job``),
+        #: ``None`` a scheduled job that must run its units serially
+        self.executor: Any = _UNLEASED
 
     @property
     def done(self) -> bool:
@@ -504,7 +528,7 @@ def run_faultsim(job: Job, runtime, telemetry: JobTelemetry) -> dict:
     )
     dataset = execute_plan(
         plan,
-        executor=runtime.executor,
+        executor=job_executor(job, runtime),
         cache=runtime.unit_cache,
         telemetry=telemetry,
     )
@@ -547,7 +571,7 @@ def run_tolerance(job: Job, runtime, telemetry: JobTelemetry) -> dict:
     telemetry.checkpoint()
     report = execute_tolerance_plan(
         plan,
-        executor=runtime.executor,
+        executor=job_executor(job, runtime),
         cache=runtime.tolerance_cache,
         telemetry=telemetry,
     )
@@ -590,7 +614,7 @@ def run_diagnose(job: Job, runtime, telemetry: JobTelemetry) -> dict:
     )
     dictionary = execute_diagnosis_plan(
         plan,
-        executor=runtime.executor,
+        executor=job_executor(job, runtime),
         cache=runtime.diagnosis_cache,
         telemetry=telemetry,
     )

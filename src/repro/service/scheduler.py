@@ -1,32 +1,47 @@
 """Admission control and execution for service jobs.
 
-Two pieces:
+Three pieces:
 
 :class:`ServiceRuntime`
-    The shared compute substrate every job runs on — **one** executor
-    (optionally a persistent process pool that stays warm across jobs),
-    **one** set of result caches (campaign units, tolerance units,
-    diagnosis units and completed job records) and **one** server-wide
+    The shared compute substrate every job runs on — the campaign
+    executor(s) (optionally persistent process pools that stay warm
+    across jobs), **one** set of result caches (campaign units,
+    tolerance units, diagnosis units and completed job records) and
+    **one** server-wide
     :class:`~repro.campaign.telemetry.CampaignTelemetry` feeding
     ``/metrics``.  This replaces the per-invocation setup the CLI does:
     a server that has simulated a circuit once answers the next
     overlapping request from cache, whoever asks.
 
+:class:`ExecutorLeasePool`
+    A non-blocking lease broker over the runtime's executors.  With
+    one shared executor and N scheduler workers, exactly one job at a
+    time fans out over the process pool while the others run their
+    units serially in their own worker thread — the pool stays
+    contention-free without idling the extra workers.  Construct the
+    runtime with a *list* of executors (pool-per-worker mode) to give
+    every worker its own process pool instead.
+
 :class:`JobScheduler`
-    A bounded FIFO queue in front of a worker thread.  Submissions
-    beyond ``queue_limit`` are rejected with
+    A bounded FIFO queue in front of ``workers`` worker threads.
+    Submissions beyond ``queue_limit`` are rejected with
     :class:`~repro.errors.QueueFullError` (HTTP 429 + ``Retry-After``);
     identical re-submissions of completed deterministic jobs are
     answered instantly from the job-record cache.  Running jobs are
     cancelled cooperatively (the flag is observed between work units)
-    and budgeted by a per-job deadline.  :meth:`JobScheduler.shutdown`
-    stops admission and, when draining, lets every accepted job finish
-    before the worker exits — the graceful-shutdown path SIGTERM takes.
+    and budgeted by a per-job deadline that starts at **submission** —
+    time spent queued counts against the budget, and a job whose
+    deadline passes while still queued fails immediately without
+    running.  :meth:`JobScheduler.shutdown` stops admission and, when
+    draining, lets every accepted job finish before the workers exit —
+    the graceful-shutdown path SIGTERM takes.
 
-Jobs execute strictly one at a time — parallelism lives *inside* a job
-(the runtime's executor fans units out over worker processes), which
-keeps the process pool contention-free and makes job wall-times
-predictable under load.
+Concurrency model: up to ``workers`` jobs execute at once, each on the
+executor lease it could grab (or serially in its worker thread).  All
+of them share the unit caches — safe by the
+:class:`~repro.campaign.cache.ResultCache` consistency contract — so
+concurrent jobs over the same circuit de-duplicate work through the
+cache even while racing.
 """
 
 from __future__ import annotations
@@ -35,7 +50,7 @@ import collections
 import threading
 import time
 from pathlib import Path
-from typing import Deque, Dict, List, Optional, Union
+from typing import Deque, Dict, List, Optional, Sequence, Union
 
 from ..campaign.cache import ResultCache
 from ..campaign.executor import Executor
@@ -62,24 +77,75 @@ from .jobs import (
 )
 
 
+class ExecutorLeasePool:
+    """Non-blocking lease broker over zero or more campaign executors.
+
+    :meth:`acquire` hands out a free executor or ``None`` — it never
+    blocks, because a scheduler worker that cannot get a lease is
+    perfectly able to run its job's units serially in its own thread.
+    :meth:`release` returns a lease to the pool (``None`` is a no-op,
+    so callers can release whatever :meth:`acquire` gave them).
+    """
+
+    def __init__(self, executors: Sequence[Executor] = ()):
+        self._executors: List[Executor] = [
+            executor for executor in executors if executor is not None
+        ]
+        self._free: List[Executor] = list(self._executors)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._executors)
+
+    def free_count(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+    def acquire(self) -> Optional[Executor]:
+        """A free executor, or ``None`` (run serially); never blocks."""
+        with self._lock:
+            if self._free:
+                return self._free.pop()
+        return None
+
+    def release(self, executor: Optional[Executor]) -> None:
+        if executor is None:
+            return
+        with self._lock:
+            if executor in self._free:
+                raise ServiceError("executor lease released twice")
+            self._free.append(executor)
+
+    def close(self) -> None:
+        """Release every executor's worker processes."""
+        for executor in self._executors:
+            close = getattr(executor, "close", None)
+            if close is not None:
+                close()
+
+
 class ServiceRuntime:
-    """Shared executor, caches and telemetry for every job.
+    """Shared executors, caches and telemetry for every job.
 
     Parameters
     ----------
     executor:
-        Campaign executor shared by all jobs (``None`` runs serially
-        in the scheduler's worker thread).  Pass a
-        :class:`~repro.campaign.executor.ParallelExecutor` constructed
-        with ``persistent=True`` so the process pool outlives
-        individual jobs.
+        Campaign executor(s) shared by all jobs.  A single
+        :class:`~repro.campaign.executor.Executor` (construct a
+        :class:`~repro.campaign.executor.ParallelExecutor` with
+        ``persistent=True`` so its process pool outlives individual
+        jobs) is brokered to at most one concurrent job at a time via
+        :class:`ExecutorLeasePool`; a **list** of executors gives the
+        scheduler pool-per-worker parallelism; ``None`` runs every job
+        serially in its scheduler worker thread.
     cache_dir:
         Root directory for the four result caches; ``None`` disables
-        persistence (jobs still share the executor and telemetry).
+        persistence (jobs still share the executors and telemetry).
         Layout: ``<dir>/units`` (fault-simulation unit results),
         ``<dir>/tolerance`` (tolerance unit results),
         ``<dir>/diagnosis`` (trajectory-dictionary unit results),
-        ``<dir>/jobs`` (completed job records).
+        ``<dir>/jobs`` (completed job records).  Stale ``.tmp`` residue
+        of crashed writers is swept at startup.
     telemetry:
         Server-wide telemetry instance (defaults to a fresh one); give
         it a ``trace_path`` to keep a JSONL event log of every unit the
@@ -91,12 +157,18 @@ class ServiceRuntime:
 
     def __init__(
         self,
-        executor: Optional[Executor] = None,
+        executor: Union[Executor, Sequence[Executor], None] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         telemetry: Optional[CampaignTelemetry] = None,
         default_kernel: str = "loop",
     ):
-        self.executor = executor
+        if executor is None:
+            self.executors: List[Executor] = []
+        elif isinstance(executor, (list, tuple)):
+            self.executors = [e for e in executor if e is not None]
+        else:
+            self.executors = [executor]
+        self.lease_pool = ExecutorLeasePool(self.executors)
         self.telemetry = telemetry or CampaignTelemetry()
         self.default_kernel = default_kernel
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -119,22 +191,37 @@ class ServiceRuntime:
             self.job_cache: Optional[ResultCache] = ResultCache(
                 self.cache_dir / "jobs", payload_type=JobRecord
             )
+            for cache in (
+                self.unit_cache,
+                self.tolerance_cache,
+                self.diagnosis_cache,
+                self.job_cache,
+            ):
+                cache.sweep_stale()
         else:
             self.unit_cache = None
             self.tolerance_cache = None
             self.diagnosis_cache = None
             self.job_cache = None
 
+    @property
+    def executor(self) -> Optional[Executor]:
+        """The first executor (legacy direct-execution path), or ``None``.
+
+        Jobs running under a :class:`JobScheduler` do **not** use this
+        — they use the per-job lease the scheduler acquired for them
+        (see :func:`repro.service.jobs.job_executor`).
+        """
+        return self.executors[0] if self.executors else None
+
     def close(self) -> None:
-        """Release the executor's workers and close the telemetry."""
-        close = getattr(self.executor, "close", None)
-        if close is not None:
-            close()
+        """Release every executor's workers and close the telemetry."""
+        self.lease_pool.close()
         self.telemetry.close()
 
 
 class JobScheduler:
-    """Bounded FIFO job queue with one worker thread.
+    """Bounded FIFO job queue in front of a pool of worker threads.
 
     Parameters
     ----------
@@ -146,14 +233,21 @@ class JobScheduler:
         :class:`~repro.errors.QueueFullError`.
     job_timeout:
         Default per-job time budget in seconds (``None`` = unlimited);
-        a job's ``timeout_s`` param takes precedence.  Enforced
-        cooperatively between work units.
+        a job's ``timeout_s`` param takes precedence.  The budget
+        starts at submission — queueing time counts — and is enforced
+        cooperatively between work units once running (a job that
+        expires while still queued fails without running at all).
     retry_after_s:
         Backoff hint carried by queue-full rejections.
     keep_jobs:
         Completed jobs retained for ``GET /jobs`` before the oldest
         terminal records are pruned from memory (their cached results
         survive on disk).
+    workers:
+        Worker threads executing jobs concurrently.  Each running job
+        holds at most one lease on the runtime's executor pool; a job
+        that could not get a lease runs its units serially in its
+        worker thread.
     """
 
     def __init__(
@@ -163,14 +257,18 @@ class JobScheduler:
         job_timeout: Optional[float] = None,
         retry_after_s: float = 1.0,
         keep_jobs: int = 256,
+        workers: int = 1,
     ):
         if queue_limit < 1:
             raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
         self.runtime = runtime
         self.queue_limit = queue_limit
         self.job_timeout = job_timeout
         self.retry_after_s = retry_after_s
         self.keep_jobs = keep_jobs
+        self.workers = workers
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
@@ -178,15 +276,19 @@ class JobScheduler:
         self._jobs: "collections.OrderedDict[str, Job]" = (
             collections.OrderedDict()
         )
-        self._running: Optional[Job] = None
+        self._running: Dict[str, Job] = {}
         self._accepting = True
         self._draining = False
         self._stopped = False
         self._paused = False
-        self._worker = threading.Thread(
-            target=self._run, name="repro-scheduler", daemon=True
-        )
-        self._worker.start()
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"repro-worker-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
 
     # ------------------------------------------------------------------
     # submission / lookup
@@ -217,6 +319,13 @@ class JobScheduler:
                 self._remember(job)
             return job
 
+        timeout_s = job.params.get("timeout_s")
+        if timeout_s is None:
+            timeout_s = self.job_timeout
+        if timeout_s is not None:
+            # the budget starts now: queueing time counts against it
+            job.deadline = time.monotonic() + timeout_s
+
         with self._lock:
             if not self._accepting:
                 raise ServiceError(
@@ -230,7 +339,7 @@ class JobScheduler:
                 )
             self._remember(job)
             self._queue.append(job)
-            self._wake.notify_all()
+            self._wake.notify()
         return job
 
     def _remember(self, job: Job) -> None:
@@ -258,6 +367,11 @@ class JobScheduler:
     def queue_depth(self) -> int:
         with self._lock:
             return len(self._queue)
+
+    def busy_count(self) -> int:
+        """Workers currently executing a job (for /healthz and metrics)."""
+        with self._lock:
+            return len(self._running)
 
     def counts_by_state(self) -> Dict[str, int]:
         """``state -> count`` over every remembered job (for metrics)."""
@@ -294,7 +408,7 @@ class JobScheduler:
         return job
 
     def pause(self) -> None:
-        """Hold the worker before its next job (testing / maintenance)."""
+        """Hold every worker before its next job (testing / maintenance)."""
         with self._lock:
             self._paused = True
 
@@ -304,12 +418,13 @@ class JobScheduler:
             self._wake.notify_all()
 
     def shutdown(self, drain: bool = True, timeout: Optional[float] = None):
-        """Stop admission and bring the worker to rest.
+        """Stop admission and bring every worker to rest.
 
-        ``drain=True`` (the SIGTERM path) lets the running job *and*
+        ``drain=True`` (the SIGTERM path) lets all running jobs *and*
         everything already queued finish; ``drain=False`` cancels the
-        queue and cooperatively cancels the running job.  Returns once
-        the worker thread has exited (or ``timeout`` elapsed).
+        queue and cooperatively cancels every running job.  Returns
+        once the worker threads have exited (or ``timeout`` elapsed,
+        shared across the joins).
         """
         with self._lock:
             self._accepting = False
@@ -320,21 +435,40 @@ class JobScheduler:
                     job.state = CANCELLED
                     job.finished_at = time.time()
                     job.error = "cancelled by shutdown"
-                running = self._running
+                running = list(self._running.values())
             else:
-                running = None
+                running = []
             self._paused = False
             self._stopped = True
             self._wake.notify_all()
-        if not drain and running is not None:
-            running.cancel_event.set()
-        self._worker.join(timeout=timeout)
+        for job in running:
+            job.cancel_event.set()
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        for thread in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            thread.join(timeout=remaining)
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every worker thread to exit; True when all did."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        for thread in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            thread.join(timeout=remaining)
+        return not any(thread.is_alive() for thread in self._threads)
 
     def wait_idle(self, timeout: Optional[float] = None) -> bool:
         """Block until no job is queued or running (for tests)."""
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
-            while self._queue or self._running is not None:
+            while self._queue or self._running:
                 remaining = None
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
@@ -344,19 +478,34 @@ class JobScheduler:
         return True
 
     # ------------------------------------------------------------------
-    # the worker
+    # the workers
 
     def _next_job(self) -> Optional[Job]:
-        """Block for the next runnable job; ``None`` means exit."""
+        """Block for the next runnable job; ``None`` means exit.
+
+        Jobs whose submission-time deadline already passed while they
+        sat in the queue are failed here, without ever running — their
+        budget is spent, so starting them would only waste a worker.
+        """
         with self._lock:
             while True:
                 if self._stopped and (not self._draining or not self._queue):
                     return None
                 if self._queue and not self._paused:
                     job = self._queue.popleft()
+                    now = time.monotonic()
+                    if job.deadline is not None and now > job.deadline:
+                        job.state = FAILED
+                        job.error = (
+                            "timeout: job expired while queued "
+                            "(budget starts at submission)"
+                        )
+                        job.started_at = job.finished_at = time.time()
+                        self._idle.notify_all()
+                        continue
                     job.state = RUNNING
                     job.started_at = time.time()
-                    self._running = job
+                    self._running[job.id] = job
                     return job
                 self._wake.wait(timeout=0.1)
 
@@ -367,20 +516,16 @@ class JobScheduler:
                 return
             self._execute(job)
             with self._lock:
-                self._running = None
+                self._running.pop(job.id, None)
                 self._idle.notify_all()
 
     def _execute(self, job: Job) -> None:
-        timeout_s = job.params.get("timeout_s")
-        if timeout_s is None:
-            timeout_s = self.job_timeout
-        deadline = (
-            time.monotonic() + timeout_s if timeout_s is not None else None
-        )
         telemetry = JobTelemetry(
-            job, shared=self.runtime.telemetry, deadline=deadline
+            job, shared=self.runtime.telemetry, deadline=job.deadline
         )
         job.telemetry = telemetry
+        lease = self.runtime.lease_pool.acquire()
+        job.executor = lease  # None -> units run serially in this thread
         try:
             telemetry.checkpoint()
             result = execute_job(job, self.runtime, telemetry)
@@ -415,4 +560,5 @@ class JobScheduler:
                     pass  # a full/read-only disk must not fail the job
         finally:
             job.finished_at = time.time()
+            self.runtime.lease_pool.release(lease)
             telemetry.close()

@@ -114,6 +114,13 @@ class _Handler(BaseHTTPRequestHandler):
             body = json.dumps(payload, indent=2).encode("utf-8")
         else:
             body = str(payload).encode("utf-8")
+        # Account the request *before* the body reaches the client: a
+        # client that reacts to this response by scraping /metrics must
+        # see this request already counted.
+        duration_s = time.perf_counter() - self._t0
+        self.service.metrics.observe_request(
+            self.command, route, status, duration_s
+        )
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -124,10 +131,6 @@ class _Handler(BaseHTTPRequestHandler):
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):
             pass
-        duration_s = time.perf_counter() - self._t0
-        self.service.metrics.observe_request(
-            self.command, route, status, duration_s
-        )
         self.service.access_log.write(
             method=self.command,
             path=self.path,
@@ -174,6 +177,8 @@ class _Handler(BaseHTTPRequestHandler):
                     "status": "ok",
                     "accepting": scheduler._accepting,
                     "queue_depth": scheduler.queue_depth(),
+                    "workers": scheduler.workers,
+                    "workers_busy": scheduler.busy_count(),
                     "uptime_s": round(time.time() - service.started_at, 3),
                 },
                 "/healthz",
@@ -184,6 +189,10 @@ class _Handler(BaseHTTPRequestHandler):
                 telemetry_counters=service.runtime.telemetry.snapshot(),
                 queue_depth=scheduler.queue_depth(),
                 jobs_by_state=scheduler.counts_by_state(),
+                extra_gauges={
+                    "repro_workers": float(scheduler.workers),
+                    "repro_workers_busy": float(scheduler.busy_count()),
+                },
             )
             return self._reply(
                 200, text, "/metrics",
@@ -273,7 +282,7 @@ class ReproService:
     runtime:
         A pre-built :class:`ServiceRuntime`; default constructs one
         with no executor (serial) and no caches.
-    queue_limit, job_timeout, retry_after_s:
+    queue_limit, job_timeout, retry_after_s, workers:
         Forwarded to :class:`JobScheduler`.
     access_log:
         Path or stream for the JSONL access log (``None`` disables).
@@ -287,6 +296,7 @@ class ReproService:
         queue_limit: int = 16,
         job_timeout: Optional[float] = None,
         retry_after_s: float = 1.0,
+        workers: int = 1,
         access_log: Optional[Union[str, Path, IO[str]]] = None,
     ):
         self.runtime = runtime or ServiceRuntime()
@@ -295,6 +305,7 @@ class ReproService:
             queue_limit=queue_limit,
             job_timeout=job_timeout,
             retry_after_s=retry_after_s,
+            workers=workers,
         )
         self.metrics = ServiceMetrics()
         self.access_log = AccessLog(access_log)

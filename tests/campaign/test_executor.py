@@ -141,7 +141,9 @@ class TestParallelExecutor:
         monkeypatch.setattr(
             concurrent.futures, "ProcessPoolExecutor", refuse
         )
-        outcomes = ParallelExecutor(jobs=2).execute(plan.units[:3])
+        outcomes = ParallelExecutor(jobs=2, adaptive=False).execute(
+            plan.units[:3]
+        )
         assert all(o.ok for o in outcomes)
         assert all(o.degraded for o in outcomes)
 
@@ -162,7 +164,9 @@ class TestParallelExecutor:
                     return super()._harvest(unit, poisoned)
                 return super()._harvest(unit, future)
 
-        outcomes = Poisoned(jobs=2, retries=1).execute(plan.units[:3])
+        outcomes = Poisoned(jobs=2, retries=1, adaptive=False).execute(
+            plan.units[:3]
+        )
         assert all(o.ok for o in outcomes)
         degraded = {o.unit.unit_id: o.degraded for o in outcomes}
         assert degraded["C0#0"] is True
@@ -175,7 +179,9 @@ class TestParallelExecutor:
                 poisoned.set_exception(RuntimeError("worker died"))
                 return super()._harvest(unit, poisoned)
 
-        outcomes = Poisoned(jobs=2, retries=0).execute(plan.units[:1])
+        outcomes = Poisoned(jobs=2, retries=0, adaptive=False).execute(
+            plan.units[:1]
+        )
         assert not outcomes[0].ok
         assert isinstance(outcomes[0].error, RuntimeError)
 
@@ -191,7 +197,9 @@ class TestParallelExecutor:
                 )
                 return super()._harvest(unit, broken)
 
-        outcomes = Broken(jobs=2, retries=1).execute(plan.units[:3])
+        outcomes = Broken(jobs=2, retries=1, adaptive=False).execute(
+            plan.units[:3]
+        )
         assert all(o.ok for o in outcomes)
         assert all(o.degraded for o in outcomes)
 
@@ -228,3 +236,108 @@ class TestParallelExecutor:
         assert [o.unit.unit_id for o in seen] == [
             u.unit_id for u in plan.units[:3]
         ]
+
+
+class TestAdaptiveInProcess:
+    def test_single_effective_worker_skips_the_pool(self, plan, monkeypatch):
+        """jobs=1 (or one core) with no timeout runs in-process: no pool
+        is ever created, and outcomes are NOT marked degraded — serial
+        is the optimal strategy there, not a fallback."""
+
+        def explode(*args, **kwargs):
+            raise AssertionError("pool must not be created")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", explode
+        )
+        outcomes = ParallelExecutor(jobs=1).execute(plan.units[:3])
+        assert all(o.ok for o in outcomes)
+        assert all(not o.degraded for o in outcomes)
+
+    def test_timeout_disables_the_adaptive_path(self, plan, monkeypatch):
+        """A per-unit isolation timeout requires worker processes, so
+        adaptivity must never bypass the pool when one is set."""
+        created = []
+        real = concurrent.futures.ProcessPoolExecutor
+
+        def record(*args, **kwargs):
+            created.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", record
+        )
+        outcomes = ParallelExecutor(jobs=1, timeout=60.0).execute(
+            plan.units[:1]
+        )
+        assert all(o.ok for o in outcomes)
+        assert created, "timeout must force the pooled path"
+
+    def test_matches_serial_results(self, plan):
+        serial = SerialExecutor().execute(plan.units[:3])
+        adaptive = ParallelExecutor(jobs=1).execute(plan.units[:3])
+        assert [o.unit.key for o in serial] == [
+            o.unit.key for o in adaptive
+        ]
+        for left, right in zip(serial, adaptive):
+            assert left.result.n_solves == right.result.n_solves
+            assert left.result.results.keys() == right.result.results.keys()
+
+
+class TestBatchedDispatch:
+    def test_explicit_batch_size_preserves_order_and_results(self, plan):
+        """batch_size=2 ships units in pairs; outcomes still arrive in
+        plan order with per-unit results intact."""
+        executor = ParallelExecutor(
+            jobs=2, batch_size=2, adaptive=False
+        )
+        seen = []
+        outcomes = executor.execute(plan.units[:3], callback=seen.append)
+        assert [o.unit.unit_id for o in outcomes] == [
+            u.unit_id for u in plan.units[:3]
+        ]
+        assert [o.unit.unit_id for o in seen] == [
+            u.unit_id for u in plan.units[:3]
+        ]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+        serial = SerialExecutor().execute(plan.units[:3])
+        for left, right in zip(serial, outcomes):
+            assert left.result.n_solves == right.result.n_solves
+
+    def test_failed_unit_does_not_poison_its_batch(self, plan, monkeypatch):
+        """One raising unit inside a batch is retried in the parent;
+        its batch siblings keep their worker results."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork to share the monkeypatched worker")
+
+        poison_id = plan.units[1].unit_id
+
+        class PoisonOne:
+            def __call__(self, unit):
+                if unit.unit_id == poison_id:
+                    raise RuntimeError("poisoned unit")
+                return FlakyWorker._real(unit)
+
+        monkeypatch.setattr(executor_module, "execute_unit", PoisonOne())
+        executor = ParallelExecutor(
+            jobs=2, batch_size=3, retries=0, adaptive=False,
+            start_method="fork",
+        )
+        outcomes = executor.execute(plan.units[:3])
+        by_id = {o.unit.unit_id: o for o in outcomes}
+        assert not by_id[poison_id].ok
+        assert isinstance(by_id[poison_id].error, RuntimeError)
+        others = [o for uid, o in by_id.items() if uid != poison_id]
+        assert all(not o.degraded for o in others)
+
+    def test_auto_batching_covers_every_unit(self, plan):
+        """Auto batch sizing must partition the unit list exactly."""
+        executor = ParallelExecutor(jobs=2, adaptive=False)
+        for n in (1, 2, 3, 5):
+            bounds = executor._batch_bounds(n)
+            flat = [i for bound in bounds for i in bound]
+            assert flat == list(range(n))
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=2, batch_size=0)

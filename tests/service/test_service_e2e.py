@@ -277,7 +277,7 @@ class TestGracefulShutdown:
             if time.monotonic() > deadline:
                 pytest.fail("shutdown did not complete in time")
             time.sleep(0.05)
-        service.scheduler._worker.join(timeout=30.0)
+        assert service.scheduler.join(timeout=30.0)
 
         for submitted in jobs:
             job = service.scheduler.get(submitted["id"])
@@ -317,7 +317,9 @@ class TestPersistentExecutor:
     def test_parallel_pool_is_released_on_stop(self, tmp_path):
         from repro.campaign import make_executor
 
-        executor = make_executor(jobs=2, persistent=True)
+        # adaptive=False forces the pooled path even on a 1-core host —
+        # this test is about warm-pool lifecycle, not scheduling policy
+        executor = make_executor(jobs=2, persistent=True, adaptive=False)
         service = ReproService(
             port=0,
             runtime=ServiceRuntime(

@@ -59,6 +59,8 @@ class CampaignTelemetry:
             "factorizations": 0,
             "retries": 0,
             "failures": 0,
+            "ndetect_covers": 0,
+            "ndetect_fragile_entries": 0,
         }
         self._lock = threading.Lock()
         self._trace: Optional[IO[str]] = None
@@ -168,6 +170,28 @@ class CampaignTelemetry:
             summary = self.summary()
             self._emit_locked("campaign_end", summary)
             self._finish_progress_locked()
+
+    def ndetect_cover(
+        self, n_detect: int, cover_size: int, n_fragile_entries: int
+    ) -> None:
+        """Record one n-detection cover solve (post-campaign analysis).
+
+        ``ndetect_covers`` counts solved covers; ``ndetect_fragile_entries``
+        accumulates the selected d_ij = 1 entries whose robustness margin
+        is non-positive (see :mod:`repro.core.ndetect`).  Both surface in
+        the service's ``/metrics`` snapshot.
+        """
+        with self._lock:
+            self.counters["ndetect_covers"] += 1
+            self.counters["ndetect_fragile_entries"] += n_fragile_entries
+            self._emit_locked(
+                "ndetect_cover",
+                {
+                    "n_detect": n_detect,
+                    "cover_size": cover_size,
+                    "fragile_entries": n_fragile_entries,
+                },
+            )
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

@@ -220,7 +220,30 @@ def cmd_faultsim(args) -> int:
             "faults detectable in no configuration: "
             + ", ".join(undetectable)
         )
+    _print_ndetect_cover(dataset, matrix, args)
     return 0
+
+
+def _print_ndetect_cover(dataset, matrix, args) -> None:
+    """Append the n-detection cover summary when ``--n-detect`` > 1.
+
+    The default (n=1) output stays byte-identical to the historical
+    single-detection report.
+    """
+    n_detect = getattr(args, "n_detect", 1)
+    if n_detect <= 1:
+        return
+    from .core.ndetect import evaluate_cover, ndetect_cover
+
+    cover = ndetect_cover(
+        matrix,
+        n_detect=n_detect,
+        solver="greedy",
+        saturate=getattr(args, "saturate", False),
+    )
+    report = evaluate_cover(dataset, sorted(cover), n_detect=n_detect)
+    print()
+    print(report.render())
 
 
 def _resolve_target(target: str, f0_override: Optional[float]):
@@ -294,6 +317,7 @@ def cmd_campaign(args) -> int:
     if args.matrix:
         print()
         print(render_detectability_matrix(matrix))
+    _print_ndetect_cover(dataset, matrix, args)
     return 0
 
 
@@ -302,7 +326,12 @@ def cmd_optimize(args) -> int:
     mcc, dataset = _campaign(circuit, args)
     matrix = dataset.detectability_matrix()
     table = dataset.omega_table()
-    optimizer = DftOptimizer(matrix, table)
+    optimizer = DftOptimizer(
+        matrix,
+        table,
+        n_detect=getattr(args, "n_detect", 1),
+        saturate=getattr(args, "saturate", False),
+    )
     result = optimizer.optimize(
         [ConfigurationCount(), AverageOmegaDetectability(table=table)]
     )
@@ -320,6 +349,78 @@ def cmd_optimize(args) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(program.to_json())
         print(f"\ntest program written to {args.json}")
+    return 0
+
+
+def cmd_ndetect(args) -> int:
+    """n-Detection sweep: covers, robustness margins, Pareto front."""
+    from .core.ndetect import (
+        calibrate_noise_floor,
+        evaluate_cover,
+        max_feasible_n,
+        ndetect_sweep,
+        render_sweep,
+    )
+
+    circuit, f0 = _resolve_target(args.target, args.f0)
+    mcc = apply_multiconfiguration(circuit)
+    faults = deviation_faults(circuit, deviation=args.deviation)
+    grid = decade_grid(
+        f0,
+        decades_below=args.decades,
+        decades_above=args.decades,
+        points_per_decade=args.ppd,
+    )
+    setup = SimulationSetup(grid=grid, epsilon=args.epsilon)
+    dataset = simulate_faults(mcc, faults, setup, kernel=args.kernel)
+    matrix = dataset.detectability_matrix()
+
+    floor = 0.0
+    if args.calibrate != "none":
+        floor = calibrate_noise_floor(
+            circuit,
+            grid,
+            tolerance=args.tolerance,
+            method=args.calibrate,
+            criterion=setup.criterion,
+            kernel=args.kernel,
+        )
+        print(
+            f"noise floor ({args.calibrate}, "
+            f"{100 * args.tolerance:g}% tolerance): {floor:.6g}"
+        )
+
+    top = max_feasible_n(matrix)
+    print(f"max feasible n_detect: {top}")
+    if args.max_n is not None:
+        n_values = list(range(1, args.max_n + 1))
+    else:
+        n_values = list(range(1, top + 1))
+    points = ndetect_sweep(
+        dataset,
+        n_values=n_values,
+        solver=args.solver,
+        saturate=args.saturate,
+        noise_floor=floor,
+    )
+    print()
+    print(render_sweep(points))
+    if args.report:
+        for point in points:
+            report = evaluate_cover(
+                dataset,
+                point.configs,
+                n_detect=point.n_detect,
+                noise_floor=floor,
+            )
+            print()
+            print(report.render())
+    if args.json:
+        from .reporting.export import pareto_to_json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(pareto_to_json(points))
+        print(f"\nsweep written to {args.json}")
     return 0
 
 
@@ -771,11 +872,42 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_analyze)
     p_analyze.set_defaults(handler=cmd_analyze)
 
+    def seed_flag(p):
+        p.add_argument(
+            "--seed", type=int, default=None,
+            help="PRNG seed for exact reproducibility (default: fresh "
+            "entropy)",
+        )
+
+    def kernel_flag(p):
+        # the same knob campaign_flags carries, for the Monte Carlo
+        # subcommands that take no campaign flags
+        p.add_argument(
+            "--kernel", choices=["loop", "stacked"], default="loop",
+            help="solve dispatch: per-frequency loop or stacked batched "
+            "LAPACK calls (identical results; default loop)",
+        )
+
+    def ndetect_flags(p):
+        p.add_argument(
+            "--n-detect", dest="n_detect", type=int,
+            default=job_default("n_detect"), metavar="N",
+            help="require every fault to be detected by >= N retained "
+            f"configurations (default {job_default('n_detect')}; see "
+            "docs/ndetection.md)",
+        )
+        p.add_argument(
+            "--saturate", action="store_true",
+            help="best-effort n-detection: clamp a fault's requirement "
+            "to its detecting-configuration count instead of failing",
+        )
+
     p_faultsim = sub.add_parser(
         "faultsim", help="fault x configuration campaign"
     )
     common(p_faultsim)
     campaign_flags(p_faultsim)
+    ndetect_flags(p_faultsim)
     p_faultsim.set_defaults(handler=cmd_faultsim)
 
     p_campaign = sub.add_parser(
@@ -799,23 +931,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--matrix", action="store_true",
         help="also print the detectability matrix",
     )
+    ndetect_flags(p_campaign)
     p_campaign.set_defaults(handler=cmd_campaign)
 
-    def seed_flag(p):
-        p.add_argument(
-            "--seed", type=int, default=None,
-            help="PRNG seed for exact reproducibility (default: fresh "
-            "entropy)",
-        )
-
-    def kernel_flag(p):
-        # the same knob campaign_flags carries, for the Monte Carlo
-        # subcommands that take no campaign flags
-        p.add_argument(
-            "--kernel", choices=["loop", "stacked"], default="loop",
-            help="solve dispatch: per-frequency loop or stacked batched "
-            "LAPACK calls (identical results; default loop)",
-        )
+    p_ndetect = sub.add_parser(
+        "ndetect",
+        help="n-detection sweep: covers, robustness margins, Pareto "
+        "front (docs/ndetection.md)",
+    )
+    p_ndetect.add_argument(
+        "target", help="netlist file or catalog circuit name"
+    )
+    common(p_ndetect, netlist=False)
+    p_ndetect.add_argument(
+        "--max-n", dest="max_n", type=int, default=None, metavar="N",
+        help="sweep n_detect = 1..N (default: up to the largest "
+        "feasible n)",
+    )
+    p_ndetect.add_argument(
+        "--solver", choices=["exact", "greedy"], default="exact",
+        help="cover solver per swept n (default exact)",
+    )
+    p_ndetect.add_argument(
+        "--saturate", action="store_true",
+        help="best-effort n-detection: clamp a fault's requirement to "
+        "its detecting-configuration count instead of failing",
+    )
+    p_ndetect.add_argument(
+        "--calibrate", choices=["none", "corners", "montecarlo"],
+        default="none",
+        help="derive the robustness noise floor from the tolerance "
+        "engine (default none: floor 0)",
+    )
+    p_ndetect.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="component tolerance for --calibrate (default 0.05)",
+    )
+    p_ndetect.add_argument(
+        "--report", action="store_true",
+        help="also print the per-fault robustness report of each cover",
+    )
+    p_ndetect.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the sweep (ndetect-sweep-v1) to PATH as JSON",
+    )
+    kernel_flag(p_ndetect)
+    p_ndetect.set_defaults(handler=cmd_ndetect)
 
     p_verify = sub.add_parser(
         "verify",

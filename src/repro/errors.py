@@ -114,3 +114,33 @@ class InfeasibleCoverError(OptimizationError):
     Raised when a fault is detectable in no configuration at all yet the
     caller required it to be covered.
     """
+
+
+class InsufficientDetectionsError(InfeasibleCoverError):
+    """A fault cannot reach the requested n-detection multiplicity.
+
+    Raised by the n-detect covering solvers when some fault is detected
+    by fewer than ``n_detect`` configurations — a partial cover would be
+    silently weaker than what the caller asked for, so the failure is
+    typed and names the offending fault.
+
+    Parameters
+    ----------
+    fault:
+        Name of the first fault that cannot be detected ``required``
+        times.
+    required:
+        The requested detection multiplicity ``n_detect``.
+    available:
+        How many configurations actually detect the fault.
+    """
+
+    def __init__(self, fault: str, required: int, available: int):
+        self.fault = fault
+        self.required = required
+        self.available = available
+        super().__init__(
+            f"fault {fault!r} is detectable by {available} "
+            f"configuration(s) but n_detect={required} requires "
+            f"{required}; drop n_detect or widen the configuration set"
+        )

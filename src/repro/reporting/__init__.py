@@ -12,10 +12,12 @@ from .export import (
     matrix_to_json,
     omega_table_to_csv,
     omega_table_to_json,
+    pareto_to_json,
     parse_matrix_csv,
     parse_matrix_json,
     parse_omega_table_csv,
     parse_omega_table_json,
+    parse_pareto_json,
 )
 from .report import ExperimentReport, print_report, render_reports
 from .tables import (
@@ -34,10 +36,12 @@ __all__ = [
     "matrix_to_json",
     "omega_table_to_csv",
     "omega_table_to_json",
+    "pareto_to_json",
     "parse_matrix_csv",
     "parse_matrix_json",
     "parse_omega_table_csv",
     "parse_omega_table_json",
+    "parse_pareto_json",
     "print_report",
     "render_bar",
     "render_bar_graph",

@@ -14,6 +14,10 @@ import json
 from typing import Optional, Sequence
 
 from ..core.matrix import FaultDetectabilityMatrix, OmegaDetectabilityTable
+from ..core.ndetect import NDetectPoint
+
+#: format tag stamped into n-detection sweep exports
+PARETO_FORMAT = "ndetect-sweep-v1"
 
 
 def matrix_to_csv(
@@ -118,6 +122,60 @@ def dataset_to_json(dataset) -> str:
         "n_solves": dataset.n_solves,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def pareto_to_json(points: Sequence[NDetectPoint]) -> str:
+    """An n-detection sweep (``repro.core.ndetect``) as JSON.
+
+    One record per swept ``n`` carrying the cover, its cost and the
+    robustness figures; ``dominated: false`` records form the
+    coverage-vs-cost Pareto front.  Inverse: :func:`parse_pareto_json`.
+    """
+    payload = {
+        "format": PARETO_FORMAT,
+        "points": [
+            {
+                "n_detect": point.n_detect,
+                "configs": list(point.configs),
+                "labels": list(point.labels()),
+                "n_configurations": point.n_configurations,
+                "fault_coverage": float(point.fault_coverage),
+                "worst_case_margin": float(point.worst_case_margin),
+                "average_margin": float(point.average_margin),
+                "worst_case_omega": float(point.worst_case_omega),
+                "average_omega": float(point.average_omega),
+                "n_fragile_entries": point.n_fragile_entries,
+                "dominated": bool(point.dominated),
+            }
+            for point in points
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def parse_pareto_json(text: str) -> list:
+    """Inverse of :func:`pareto_to_json`."""
+    payload = json.loads(text)
+    if payload.get("format") != PARETO_FORMAT:
+        raise ValueError(
+            f"not an n-detection sweep export: format="
+            f"{payload.get('format')!r} (expected {PARETO_FORMAT!r})"
+        )
+    return [
+        NDetectPoint(
+            n_detect=int(record["n_detect"]),
+            configs=tuple(int(i) for i in record["configs"]),
+            n_configurations=int(record["n_configurations"]),
+            fault_coverage=float(record["fault_coverage"]),
+            worst_case_margin=float(record["worst_case_margin"]),
+            average_margin=float(record["average_margin"]),
+            worst_case_omega=float(record["worst_case_omega"]),
+            average_omega=float(record["average_omega"]),
+            n_fragile_entries=int(record["n_fragile_entries"]),
+            dominated=bool(record["dominated"]),
+        )
+        for record in payload["points"]
+    ]
 
 
 def parse_matrix_csv(text: str) -> FaultDetectabilityMatrix:

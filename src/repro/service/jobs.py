@@ -48,7 +48,7 @@ from ..errors import (
 )
 
 #: bumped whenever the job param recipe or record layout changes
-SERVICE_FORMAT = "service-v1"
+SERVICE_FORMAT = "service-v2"
 
 # ----------------------------------------------------------------------
 # states
@@ -80,6 +80,8 @@ FAULTSIM_PARAMS: Dict[str, Tuple[type, Any]] = {
     "engine": (str, "standard"),
     "chunk": (int, None),
     "kernel": (str, None),       # None -> the server's default kernel
+    "n_detect": (int, 1),        # detection multiplicity of the cover
+    "saturate": (bool, False),   # best-effort n-detect (clamp, don't raise)
     "timeout_s": (float, None),  # None -> the server's default budget
 }
 
@@ -203,6 +205,11 @@ def normalize_params(kind: str, params: Optional[dict]) -> dict:
             raise JobValidationError(
                 f"faultsim: engine must be 'standard' or 'fast', got "
                 f"{normalized['engine']!r}"
+            )
+        if normalized["n_detect"] < 1:
+            raise JobValidationError(
+                f"faultsim: n_detect must be >= 1, got "
+                f"{normalized['n_detect']}"
             )
     if kind == "tolerance":
         if normalized["distribution"] not in ("uniform", "normal"):
@@ -441,6 +448,15 @@ class JobTelemetry(CampaignTelemetry):
         if self.shared is not None:
             self.shared.campaign_end()
 
+    def ndetect_cover(
+        self, n_detect: int, cover_size: int, n_fragile_entries: int
+    ) -> None:
+        super().ndetect_cover(n_detect, cover_size, n_fragile_entries)
+        if self.shared is not None:
+            self.shared.ndetect_cover(
+                n_detect, cover_size, n_fragile_entries
+            )
+
 
 # ----------------------------------------------------------------------
 # runners — heavy imports stay local so the module imports in ~nothing
@@ -533,6 +549,21 @@ def run_faultsim(job: Job, runtime, telemetry: JobTelemetry) -> dict:
         telemetry=telemetry,
     )
     matrix = dataset.detectability_matrix()
+    n_detect = params["n_detect"]
+    from ..core.ndetect import evaluate_cover, ndetect_cover
+
+    cover = ndetect_cover(
+        matrix,
+        n_detect=n_detect,
+        solver="greedy",
+        saturate=params["saturate"],
+    )
+    robustness = evaluate_cover(
+        dataset, sorted(cover), n_detect=n_detect
+    )
+    telemetry.ndetect_cover(
+        n_detect, len(cover), robustness.n_fragile_entries
+    )
     return {
         "target": label,
         "f0_hz": f0,
@@ -545,6 +576,14 @@ def run_faultsim(job: Job, runtime, telemetry: JobTelemetry) -> dict:
         "n_factorizations": dataset.n_factorizations,
         "fault_coverage": matrix.fault_coverage(),
         "undetectable_faults": list(matrix.undetectable_faults()),
+        "n_detect": n_detect,
+        "saturate": params["saturate"],
+        "cover": [
+            matrix.config_labels[matrix.row_of(i)] for i in sorted(cover)
+        ],
+        "cover_size": len(cover),
+        "worst_case_margin": robustness.worst_case_margin,
+        "fragile_faults": list(robustness.fragile_faults),
         "dataset": json.loads(dataset_to_json(dataset)),
     }
 

@@ -134,6 +134,9 @@ class ServiceMetrics:
                 "factorizations": "LU factorizations by the stacked kernel.",
                 "retries": "Work-unit retry attempts.",
                 "failures": "Work units that failed terminally.",
+                "ndetect_covers": "n-Detection covers computed by jobs.",
+                "ndetect_fragile_entries":
+                    "Fragile detections (margin <= 0) across covers.",
             }
             for counter, value in sorted(telemetry_counters.items()):
                 emit(

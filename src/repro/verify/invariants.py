@@ -478,6 +478,143 @@ def check_cover_strategies(
     return mismatches
 
 
+def check_ndetect_reduction(
+    case: "VerifyCase",
+    dataset: DetectabilityDataset,
+    tol: Optional["Tolerances"] = None,
+) -> List:
+    """The generalized n-detect machinery at n=1 ≡ the legacy covering.
+
+    ``solve_covering(matrix)`` keeps the historical single-detection
+    code path; forcing the generalized multiplicity path with an
+    equivalent requirement (``n_detect=1, saturate=True`` — every
+    non-empty clause needs exactly one hit either way) must reproduce
+    the same essentials and the same irredundant covers, term for term.
+    The exact and greedy solvers must likewise agree between paths.
+    """
+    from ..core.covering import (
+        branch_and_bound_cover,
+        build_coverage_problem,
+        greedy_cover,
+        solve_covering,
+    )
+
+    matrix = dataset.detectability_matrix()
+    mismatches: List = []
+    legacy = solve_covering(matrix)
+    general = solve_covering(matrix, n_detect=1, saturate=True)
+    flags = {
+        "essentials equal": legacy.essentials == general.essentials,
+        "covers equal": legacy.covers == general.covers,
+        "set-aside faults equal": (
+            legacy.problem.undetectable == general.problem.undetectable
+        ),
+    }
+    legacy_problem = build_coverage_problem(matrix)
+    general_problem = build_coverage_problem(
+        matrix, n_detect=1, saturate=True
+    )
+    flags["exact covers equal"] = branch_and_bound_cover(
+        legacy_problem
+    ) == branch_and_bound_cover(general_problem)
+    flags["greedy covers equal"] = greedy_cover(
+        legacy_problem
+    ) == greedy_cover(general_problem)
+    failed = [name for name, ok in flags.items() if not ok]
+    if failed:
+        mismatches.append(
+            _mismatch(
+                check="invariant-ndetect-reduction",
+                circuit=case.name,
+                config=None,
+                fault=None,
+                frequency_hz=None,
+                error=float(len(failed)),
+                tolerance=0.0,
+                seed=case.seed,
+                detail=(
+                    "n_detect=1 does not reduce to the legacy "
+                    "covering: " + "; ".join(failed)
+                ),
+            )
+        )
+    return mismatches
+
+
+def check_ndetect_supersets(
+    case: "VerifyCase",
+    dataset: DetectabilityDataset,
+    tol: Optional["Tolerances"] = None,
+) -> List:
+    """n-detect covers are supersets of (n−1)-detect covers.
+
+    Any set detecting every fault at least ``n`` times trivially detects
+    it ``n−1`` times, so each minimum n-cover must verify at ``n−1``,
+    and every irredundant n-term of the covering expression must
+    contain some irredundant (n−1)-term.  Checked for each feasible
+    ``n`` up to 3 (catalog matrices stay small enough for Petrick).
+    """
+    from ..core.covering import (
+        build_coverage_problem,
+        branch_and_bound_cover,
+        solve_covering,
+        verify_cover,
+    )
+    from ..core.ndetect import max_feasible_n
+
+    matrix = dataset.detectability_matrix()
+    mismatches: List = []
+    top = min(3, max_feasible_n(matrix))
+    for n in range(2, top + 1):
+        cover = branch_and_bound_cover(
+            build_coverage_problem(matrix, n_detect=n)
+        )
+        if not verify_cover(matrix, sorted(cover), n_detect=n - 1):
+            mismatches.append(
+                _mismatch(
+                    check="invariant-ndetect-superset",
+                    circuit=case.name,
+                    config=f"n={n}",
+                    fault=None,
+                    frequency_hz=None,
+                    error=float(len(cover)),
+                    tolerance=0.0,
+                    seed=case.seed,
+                    detail=(
+                        f"minimum {n}-detect cover {sorted(cover)} is "
+                        f"not a valid {n - 1}-detect cover"
+                    ),
+                )
+            )
+        finer = solve_covering(matrix, n_detect=n)
+        coarser = solve_covering(matrix, n_detect=n - 1)
+        coarse_sets = [
+            frozenset(term.literals) for term in coarser.covers
+        ]
+        for term in finer.covers:
+            literals = frozenset(term.literals)
+            if not any(base <= literals for base in coarse_sets):
+                mismatches.append(
+                    _mismatch(
+                        check="invariant-ndetect-superset",
+                        circuit=case.name,
+                        config=f"n={n}",
+                        fault=None,
+                        frequency_hz=None,
+                        error=float(len(literals)),
+                        tolerance=0.0,
+                        seed=case.seed,
+                        detail=(
+                            f"irredundant {n}-detect cover "
+                            f"{sorted(literals)} contains no "
+                            f"irredundant {n - 1}-detect cover"
+                        ),
+                    )
+                )
+                break
+    return mismatches
+
+
 def _dataset_delta(reference, candidate) -> Optional[Tuple[str, float]]:
     """First exact-equality violation between two datasets, if any.
 
@@ -803,6 +940,8 @@ def run_invariants(
     mismatches += check_grid_refinement(case, tol=tol)
     mismatches += check_matrix_table_consistency(case, dataset, tol)
     mismatches += check_cover_strategies(case, dataset, tol)
+    mismatches += check_ndetect_reduction(case, dataset, tol)
+    mismatches += check_ndetect_supersets(case, dataset, tol)
     mismatches += check_stacked_kernel(case, dataset, tol)
     mismatches += check_tolerance_kernel(case, tol)
     mismatches += check_trajectory_oracle(case, tol)
@@ -813,6 +952,7 @@ def run_invariants(
         + 2  # grid refinement
         + len(dataset.configs) * len(dataset.fault_labels)  # consistency
         + 2  # cover strategies
+        + 2  # n-detect: n=1 reduction + superset ladder
         + 2  # stacked == loop, standard + fast engines
         + 2  # tolerance stacked == loop, Monte Carlo + corners
         + 2  # trajectory == fault simulator, loop + stacked builds

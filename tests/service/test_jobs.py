@@ -43,6 +43,17 @@ class TestNormalizeParams:
         with pytest.raises(JobValidationError, match="expects int"):
             normalize_params("faultsim", {"target": "biquad", "ppd": "many"})
 
+    def test_faultsim_ndetect_params(self):
+        params = normalize_params(
+            "faultsim",
+            {"target": "biquad", "n_detect": 2, "saturate": True},
+        )
+        assert params["n_detect"] == 2
+        assert params["saturate"] is True
+        defaults = normalize_params("faultsim", {"target": "biquad"})
+        assert defaults["n_detect"] == 1
+        assert defaults["saturate"] is False
+
     def test_faultsim_requires_exactly_one_target(self):
         with pytest.raises(JobValidationError, match="exactly one"):
             normalize_params("faultsim", {})
@@ -63,6 +74,10 @@ class TestNormalizeParams:
         with pytest.raises(JobValidationError, match="epsilon must be > 0"):
             normalize_params(
                 "faultsim", {"target": "biquad", "epsilon": -1}
+            )
+        with pytest.raises(JobValidationError, match="n_detect"):
+            normalize_params(
+                "faultsim", {"target": "biquad", "n_detect": 0}
             )
         with pytest.raises(JobValidationError, match="distribution"):
             normalize_params("tolerance", {"distribution": "cauchy"})

@@ -112,6 +112,20 @@ class TestJobsOverHttp:
         listed = {job["id"] for job in client.jobs()}
         assert {faultsim["id"], tolerance["id"]} <= listed
 
+    def test_faultsim_ndetect_cover_uses_labels(self, client):
+        params = dict(FAULTSIM, n_detect=2, saturate=True)
+        done = client.wait(
+            client.submit("faultsim", params)["id"], timeout=120.0
+        )
+        assert done["state"] == DONE
+        result = done["result"]
+        assert result["n_detect"] == 2
+        assert result["cover_size"] == len(result["cover"]) > 0
+        labels = set(result["dataset"]["configurations"])
+        assert set(result["cover"]) <= labels
+        assert isinstance(result["worst_case_margin"], float)
+        assert isinstance(result["fragile_faults"], list)
+
     def test_diagnose_job_locates_seeded_fault(self, client):
         job = client.submit("diagnose", DIAGNOSE)
         done = client.wait(job["id"], timeout=120.0)

@@ -55,6 +55,58 @@ class TestFaultsim:
         assert "w-detectability table" in out
         assert "fR1" in out
 
+    def test_n_detect_appends_cover_report(self, netlist_file, capsys):
+        assert main([
+            "faultsim", netlist_file, "--ppd", "12",
+            "--n-detect", "2", "--saturate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "n_detect=2" in out
+        assert "worst-case margin" in out
+
+    def test_default_output_has_no_cover_report(
+        self, netlist_file, capsys
+    ):
+        assert main(["faultsim", netlist_file, "--ppd", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "n_detect" not in out
+
+    def test_strict_n_detect_fails_typed(self, netlist_file, capsys):
+        # fR2 is detected by only two configurations on this grid
+        assert main([
+            "faultsim", netlist_file, "--ppd", "12", "--n-detect", "3",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "InsufficientDetectionsError" in err
+        assert "fR2" in err
+
+
+class TestNdetect:
+    def test_sweep_with_json(self, tmp_path, capsys):
+        out_path = tmp_path / "sweep.json"
+        assert main([
+            "ndetect", "bandpass_mfb", "--ppd", "8",
+            "--solver", "greedy", "--json", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "max feasible n_detect" in out
+        assert "worst-margin" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["format"] == "ndetect-sweep-v1"
+        assert payload["points"]
+
+    def test_report_flag(self, capsys):
+        assert main([
+            "ndetect", "bandpass_mfb", "--ppd", "8", "--max-n", "1",
+            "--report",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "worst-case margin" in out
+
+    def test_unknown_target(self, capsys):
+        assert main(["ndetect", "no_such_circuit"]) == 1
+        assert "neither" in capsys.readouterr().err
+
 
 class TestOptimize:
     def test_full_flow_with_json(self, netlist_file, tmp_path, capsys):

@@ -228,3 +228,56 @@ class TestRoundTrips:
         via_json = parse_omega_table_json(omega_table_to_json(table))
         assert np.allclose(via_csv.data, table.data, atol=1e-6)
         assert np.allclose(via_json.data, table.data, atol=1e-12)
+
+
+class TestParetoExport:
+    """The n-detection sweep exporter and its inverse parser."""
+
+    @pytest.fixture
+    def points(self):
+        from repro.core.ndetect import NDetectPoint, mark_dominated
+
+        raw = [
+            NDetectPoint(
+                n_detect=1, configs=(2, 5), n_configurations=2,
+                fault_coverage=1.0, worst_case_margin=0.012,
+                average_margin=0.08, worst_case_omega=0.02,
+                average_omega=0.11, n_fragile_entries=1,
+            ),
+            NDetectPoint(
+                n_detect=2, configs=(1, 2, 4, 5), n_configurations=4,
+                fault_coverage=1.0, worst_case_margin=0.064,
+                average_margin=0.12, worst_case_omega=0.02,
+                average_omega=0.15, n_fragile_entries=0,
+            ),
+        ]
+        return mark_dominated(raw)
+
+    def test_json_roundtrip(self, points):
+        from repro.reporting import pareto_to_json, parse_pareto_json
+
+        recovered = parse_pareto_json(pareto_to_json(points))
+        assert recovered == points
+
+    def test_format_tag_enforced(self, points):
+        from repro.reporting import parse_pareto_json
+
+        with pytest.raises(ValueError, match="ndetect-sweep-v1"):
+            parse_pareto_json(json.dumps({"format": "bogus", "points": []}))
+
+    def test_export_is_deterministic_and_labelled(self, points):
+        from repro.reporting import pareto_to_json
+
+        text = pareto_to_json(points)
+        assert text == pareto_to_json(points)
+        payload = json.loads(text)
+        assert payload["format"] == "ndetect-sweep-v1"
+        assert payload["points"][0]["labels"] == ["C2", "C5"]
+
+    def test_sweep_roundtrip_from_simulation(self, mini_dataset):
+        from repro.core.ndetect import ndetect_sweep
+        from repro.reporting import pareto_to_json, parse_pareto_json
+
+        points = ndetect_sweep(mini_dataset, solver="greedy", saturate=True)
+        assert points
+        assert parse_pareto_json(pareto_to_json(points)) == points

@@ -110,3 +110,27 @@ class TestInvariantsFire:
             small_case, corrupt
         )
         assert mismatches
+
+
+class TestNdetectInvariants:
+    def test_reduction_holds(self, small_case, small_dataset):
+        from repro.verify.invariants import check_ndetect_reduction
+
+        assert check_ndetect_reduction(small_case, small_dataset) == []
+
+    def test_supersets_hold(self, small_case, small_dataset):
+        from repro.verify.invariants import check_ndetect_supersets
+
+        assert check_ndetect_supersets(small_case, small_dataset) == []
+
+    def test_counted_in_run_invariants(self, small_case, small_dataset):
+        """The two n-detect invariants participate in the check count."""
+        from repro.verify.invariants import run_invariants
+
+        _, n_checks = run_invariants(small_case, small_dataset)
+        base = (
+            2 + 3 + 2 + 2 + 2 + 2 + 2 + 2
+            + 2 * len(small_dataset.configs)
+            * len(small_dataset.fault_labels)
+        )
+        assert n_checks == base

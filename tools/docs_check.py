@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Documentation checks: link integrity and a runnable tutorial.
+
+Two independent checks, both exercised by the ``docs`` CI job:
+
+``--links``
+    Every intra-repository markdown link must resolve. All ``*.md``
+    files under the repo root (and ``docs/``, ``examples/`` ...) are
+    scanned for inline ``[text](target)`` and reference-style
+    ``[label]: target`` links; relative targets must name an existing
+    file or directory, and a ``#fragment`` pointing into a markdown
+    file must match one of its heading anchors (GitHub slug rules).
+    External schemes (http/https/mailto) are not fetched.
+
+``--tutorial``
+    The ``docs/tutorial.md`` code blocks must actually run. Every
+    ``python`` fenced block is executed, in order, in one shared
+    namespace inside a scratch directory, with a small set of *smoke*
+    substitutions (documented in ``SUBSTITUTIONS``) that shrink grids
+    and supply the external inputs a reader would have — a netlist
+    file, the centre frequency, an observed signature. A tutorial
+    edit that breaks the flow fails the check.
+
+Exit status: 0 = all checks pass, 1 = failures (listed on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Directories never scanned for markdown (caches, VCS, build residue).
+SKIP_DIRS = {
+    ".git", ".github", "__pycache__", ".pytest_cache", ".hypothesis",
+    "node_modules", ".repro-campaign-cache",
+}
+
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_LINK = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$", re.MULTILINE)
+FENCE = re.compile(r"^(```+|~~~+)(.*)$")
+
+
+def markdown_files(root: Path) -> List[Path]:
+    found: List[Path] = []
+    for path in sorted(root.rglob("*.md")):
+        parts = set(path.relative_to(root).parts[:-1])
+        if parts & SKIP_DIRS:
+            continue
+        found.append(path)
+    return found
+
+
+def strip_code(text: str) -> str:
+    """Blank out fenced code blocks so example links are not checked."""
+    out: List[str] = []
+    fence = None
+    for line in text.splitlines():
+        match = FENCE.match(line.strip())
+        if match:
+            marker = match.group(1)[0] * 3
+            if fence is None:
+                fence = marker
+            elif line.strip().startswith(fence):
+                fence = None
+            out.append("")
+            continue
+        out.append("" if fence else line)
+    return "\n".join(out)
+
+
+def github_slug(heading: str, seen: Dict[str, int]) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    slug = "".join(
+        ch for ch in text.lower() if ch.isalnum() or ch in " -_"
+    ).strip().replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def heading_anchors(path: Path) -> List[str]:
+    seen: Dict[str, int] = {}
+    text = strip_code(path.read_text(encoding="utf-8"))
+    return [github_slug(m.group(2), seen) for m in HEADING.finditer(text)]
+
+
+def iter_links(text: str) -> Iterator[str]:
+    prose = strip_code(text)
+    for match in INLINE_LINK.finditer(prose):
+        yield match.group(1)
+    for match in REFERENCE_LINK.finditer(prose):
+        yield match.group(1)
+
+
+def check_links(root: Path) -> List[str]:
+    errors: List[str] = []
+    anchor_cache: Dict[Path, List[str]] = {}
+    for md in markdown_files(root):
+        rel = md.relative_to(root)
+        for target in iter_links(md.read_text(encoding="utf-8")):
+            if target.startswith(EXTERNAL_SCHEMES):
+                continue
+            raw, _, fragment = target.partition("#")
+            if raw:
+                dest = (md.parent / raw).resolve()
+                if not dest.exists():
+                    errors.append(f"{rel}: broken link -> {target}")
+                    continue
+            else:
+                dest = md  # pure-fragment link into the same file
+            if fragment and dest.suffix == ".md" and dest.is_file():
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = heading_anchors(dest)
+                if fragment not in anchor_cache[dest]:
+                    errors.append(
+                        f"{rel}: missing anchor -> {target} "
+                        f"(known: {', '.join(anchor_cache[dest][:6])}...)"
+                    )
+    return errors
+
+
+# --- tutorial smoke ---------------------------------------------------
+
+# Source rewrites applied to tutorial blocks before execution. Each is
+# (literal needle, replacement, reason); a needle that stops matching
+# any block fails the check so the list cannot rot silently.
+SUBSTITUTIONS: Sequence[Tuple[str, str, str]] = (
+    (
+        "points_per_decade=50",
+        "points_per_decade=8",
+        "smoke: coarse grid keeps the campaign under a second",
+    ),
+    (
+        "verdict = diagnose(observed_signature, report)",
+        "observed_signature = next(iter(report.signatures.values()))\n"
+        "verdict = diagnose(observed_signature, report)",
+        "smoke: stand in for the tester's observed signature",
+    ),
+)
+
+PREAMBLE = """\
+from repro.circuit import write_netlist
+from repro.circuits import build
+
+_bench = build("sallen_key")
+f_center = _bench.f0_hz
+with open("filter.sp", "w") as _fh:
+    _fh.write(write_netlist(_bench.circuit))
+"""
+
+
+def python_blocks(path: Path) -> List[Tuple[int, str]]:
+    """(first line number, source) for each ```python fence, in order."""
+    blocks: List[Tuple[int, str]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    collecting = False
+    start = 0
+    chunk: List[str] = []
+    for lineno, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not collecting and stripped.startswith("```python"):
+            collecting, start, chunk = True, lineno + 1, []
+        elif collecting and stripped.startswith("```"):
+            collecting = False
+            blocks.append((start, "\n".join(chunk)))
+        elif collecting:
+            chunk.append(line)
+    return blocks
+
+
+def run_tutorial(root: Path) -> List[str]:
+    tutorial = root / "docs" / "tutorial.md"
+    blocks = python_blocks(tutorial)
+    if not blocks:
+        return [f"{tutorial}: no python code blocks found"]
+
+    unused = {needle for needle, _, _ in SUBSTITUTIONS}
+    namespace: Dict[str, object] = {"__name__": "__docs_tutorial__"}
+    errors: List[str] = []
+    original_cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+        os.chdir(scratch)
+        try:
+            exec(compile(PREAMBLE, "<preamble>", "exec"), namespace)
+            for lineno, source in blocks:
+                for needle, replacement, _ in SUBSTITUTIONS:
+                    if needle in source:
+                        unused.discard(needle)
+                        source = source.replace(needle, replacement)
+                label = f"docs/tutorial.md:{lineno}"
+                try:
+                    exec(compile(source, label, "exec"), namespace)
+                except Exception as exc:
+                    errors.append(
+                        f"{label}: block raised "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    break  # later blocks depend on earlier state
+        finally:
+            os.chdir(original_cwd)
+    for needle in sorted(unused):
+        errors.append(
+            "tools/docs_check.py: stale substitution — no tutorial "
+            f"block contains {needle!r}"
+        )
+    return errors
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links", action="store_true",
+                        help="check intra-repo markdown links")
+    parser.add_argument("--tutorial", action="store_true",
+                        help="execute docs/tutorial.md in smoke mode")
+    args = parser.parse_args(argv)
+    run_all = not (args.links or args.tutorial)
+
+    failures: List[str] = []
+    if args.links or run_all:
+        link_errors = check_links(REPO_ROOT)
+        n_files = len(markdown_files(REPO_ROOT))
+        print(f"links: {n_files} markdown files scanned, "
+              f"{len(link_errors)} broken")
+        failures.extend(link_errors)
+    if args.tutorial or run_all:
+        tutorial_errors = run_tutorial(REPO_ROOT)
+        print(f"tutorial: {'FAIL' if tutorial_errors else 'ok — every '}"
+              f"{'' if tutorial_errors else 'code block executed'}")
+        failures.extend(tutorial_errors)
+
+    for line in failures:
+        print(f"docs-check: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -732,6 +732,8 @@ def cmd_serve(args) -> int:
         job_timeout=args.job_timeout,
         retry_after_s=args.retry_after,
         workers=args.workers,
+        keep_jobs=args.keep_jobs,
+        tombstone_ttl=args.tombstone_ttl,
         access_log=args.access_log,
     )
     pools = len(runtime.executors)
@@ -747,12 +749,116 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_route(args) -> int:
+    """Run the consistent-hashing balancer in front of replicas."""
+    from .service.router import RouterService
+
+    router = RouterService(
+        args.replica,
+        host=args.host,
+        port=args.port,
+        probe_interval=args.probe_interval,
+        probe_timeout=args.probe_timeout,
+        proxy_timeout=args.proxy_timeout,
+        vnodes=args.vnodes,
+        access_log=args.access_log,
+    )
+    alive = router.registry.probe_all()
+    print(
+        f"repro router listening on {router.url} "
+        f"({alive}/{len(router.registry.urls)} replica(s) alive, "
+        f"{args.vnodes} vnodes/replica)"
+    )
+    for url in router.registry.urls:
+        state = "alive" if router.registry.is_alive(url) else "DEAD"
+        print(f"  replica {url}: {state}")
+    print("endpoints: /healthz /metrics /jobs (proxied; see docs/service.md)")
+    router.serve_forever()
+    print("router stopped")
+    return 0
+
+
+def _cmd_loadtest_replicated(args) -> int:
+    """The ``--replicas N`` path: self-hosted servers behind a router."""
+    import json
+    import time as time_module
+
+    from .service.loadtest import loadtest_document, run_replicated_loadtest
+
+    started_at = time_module.time()
+    replicated = run_replicated_loadtest(
+        replicas=args.replicas,
+        mix=args.mix,
+        n_jobs=args.count,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        workers=args.workers,
+        job_timeout=args.job_timeout,
+        request_timeout=args.request_timeout,
+        baseline=not args.no_baseline,
+    )
+    report = replicated.report
+    latency = report.latency_ms
+    print(
+        f"{args.replicas} replica(s) x {args.workers} worker(s): "
+        f"{report.jobs_per_s:.3f} jobs/s, "
+        f"p50 {latency['p50']:.0f}ms p95 {latency['p95']:.0f}ms, "
+        f"states {report.states}"
+    )
+    hit = replicated.routing_hit_ratio
+    print(
+        "routing hit ratio: "
+        + (f"{hit:.3f}" if hit is not None else "n/a")
+    )
+    stats = replicated.router_stats
+    print(
+        f"  {stats.get('jobs_routed', 0):.0f} routed, "
+        f"{stats.get('ring_hits', 0):.0f} ring hits, "
+        f"{stats.get('failovers', 0):.0f} failovers, "
+        f"{stats.get('cross_lookups', 0):.0f} cross-replica lookups"
+    )
+    for url, jps in sorted(replicated.per_replica_jobs_per_s.items()):
+        routed = replicated.routed_by_replica.get(url, 0)
+        print(f"  {url}: {routed} job(s), {jps:.3f} jobs/s")
+    if replicated.scale_out_efficiency is not None:
+        print(
+            f"scale-out: baseline {replicated.baseline_jobs_per_s:.3f} "
+            f"jobs/s x1, efficiency "
+            f"{replicated.scale_out_efficiency:.3f}"
+        )
+    document = loadtest_document("replicated", [report], started_at)
+    document["replication"] = replicated.to_json()
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"loadtest report written to {args.out}")
+    return 0 if report.ok else 1
+
+
 def cmd_loadtest(args) -> int:
     """Replay a deterministic job mix against a running server."""
     import json
     import time as time_module
 
     from .service.loadtest import loadtest_document, run_loadtest
+
+    if args.replicas is not None:
+        if args.url is not None:
+            from .errors import ServiceError
+
+            raise ServiceError(
+                "--replicas spawns its own servers; drop the url "
+                "argument (or drop --replicas to target a running "
+                "server)"
+            )
+        return _cmd_loadtest_replicated(args)
+    if args.url is None:
+        from .errors import ServiceError
+
+        raise ServiceError(
+            "a server url is required (or pass --replicas N for a "
+            "self-hosted replicated run)"
+        )
 
     steps = (
         [int(part) for part in args.ramp.split(",") if part.strip()]
@@ -1236,11 +1342,61 @@ def build_parser() -> argparse.ArgumentParser:
         "job at a time)",
     )
     p_serve.add_argument(
+        "--keep-jobs", type=int, default=256,
+        help="full terminal job records kept in memory before the "
+        "oldest collapse to tombstones (default 256)",
+    )
+    p_serve.add_argument(
+        "--tombstone-ttl", type=float, default=900.0,
+        help="seconds a pruned job's terminal state stays resolvable "
+        "through its tombstone (default 900; 0 disables)",
+    )
+    p_serve.add_argument(
         "--access-log", default=None,
         help="append structured JSON access logs to this file",
     )
     campaign_flags(p_serve)
     p_serve.set_defaults(handler=cmd_serve)
+
+    p_route = sub.add_parser(
+        "route",
+        help="consistent-hashing balancer in front of serve replicas "
+        "(see docs/service.md)",
+    )
+    p_route.add_argument(
+        "--replica", action="append", required=True, metavar="URL",
+        help="base URL of a repro serve replica (repeatable)",
+    )
+    p_route.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p_route.add_argument(
+        "--port", type=int, default=8320,
+        help="TCP port (0 picks an ephemeral port; default 8320)",
+    )
+    p_route.add_argument(
+        "--probe-interval", type=float, default=5.0,
+        help="seconds between background /healthz liveness sweeps "
+        "(default 5; 0 disables)",
+    )
+    p_route.add_argument(
+        "--probe-timeout", type=float, default=2.0,
+        help="per-probe socket timeout in seconds (default 2)",
+    )
+    p_route.add_argument(
+        "--proxy-timeout", type=float, default=30.0,
+        help="proxied-request socket timeout in seconds (default 30)",
+    )
+    p_route.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual ring points per replica (default 64)",
+    )
+    p_route.add_argument(
+        "--access-log", default=None,
+        help="append structured JSON access logs to this file",
+    )
+    p_route.set_defaults(handler=cmd_route)
 
     p_loadtest = sub.add_parser(
         "loadtest",
@@ -1248,7 +1404,24 @@ def build_parser() -> argparse.ArgumentParser:
         "tail latency / throughput (see docs/performance.md)",
     )
     p_loadtest.add_argument(
-        "url", help="base URL of a running server (http://host:port)"
+        "url", nargs="?", default=None,
+        help="base URL of a running server (http://host:port); "
+        "omit with --replicas",
+    )
+    p_loadtest.add_argument(
+        "--replicas", type=int, default=None, metavar="N",
+        help="spawn N in-process servers behind a router and measure "
+        "routing hit ratio + scale-out efficiency (no url needed)",
+    )
+    p_loadtest.add_argument(
+        "--workers", type=int, default=2,
+        help="scheduler workers per spawned replica with --replicas "
+        "(default 2)",
+    )
+    p_loadtest.add_argument(
+        "--no-baseline", action="store_true",
+        help="with --replicas: skip the 1-replica baseline run used "
+        "for scale-out efficiency",
     )
     p_loadtest.add_argument(
         "--mix", default="smoke", choices=("smoke", "standard"),

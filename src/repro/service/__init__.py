@@ -23,10 +23,15 @@ This package adds the serving tier, stdlib-only:
   structured JSON access logs (:class:`ReproService`);
 * :mod:`~repro.service.client` — a urllib :class:`ServiceClient`
   (submit / poll / wait / result / cancel) raising the same typed
-  errors the server does.
+  errors the server does;
+* :mod:`~repro.service.router` — the scale-out tier:
+  :class:`RouterService` balances several replicas behind one URL by
+  consistent-hashing content-addressed job keys, with
+  ``/healthz``-driven failover and fleet-aggregated ``/metrics``.
 
 Start one with ``python -m repro serve --port 8321 --jobs 4
---cache-dir .repro-service`` and see ``docs/service.md`` for the API.
+--cache-dir .repro-service`` and see ``docs/service.md`` for the API;
+put ``python -m repro route --replica ...`` in front of several.
 """
 
 from .client import ServiceClient
@@ -36,29 +41,43 @@ from .jobs import (
     Job,
     JobRecord,
     JobTelemetry,
+    JobTombstone,
     job_key,
     normalize_params,
 )
-from .loadtest import LoadTestReport, run_loadtest
-from .metrics import ServiceMetrics, parse_metrics
+from .loadtest import (
+    LoadTestReport,
+    ReplicatedReport,
+    run_loadtest,
+    run_replicated_loadtest,
+)
+from .metrics import ServiceMetrics, aggregate_metrics, parse_metrics
+from .router import HashRing, ReplicaRegistry, RouterService
 from .scheduler import ExecutorLeasePool, JobScheduler, ServiceRuntime
 from .server import ReproService
 
 __all__ = [
     "ExecutorLeasePool",
+    "HashRing",
     "JOB_KINDS",
     "Job",
     "JobRecord",
     "JobScheduler",
+    "JobTombstone",
     "LoadTestReport",
     "JobTelemetry",
     "PARAM_SPECS",
+    "ReplicaRegistry",
+    "ReplicatedReport",
     "ReproService",
+    "RouterService",
     "ServiceClient",
     "ServiceMetrics",
     "ServiceRuntime",
+    "aggregate_metrics",
     "job_key",
     "normalize_params",
     "parse_metrics",
     "run_loadtest",
+    "run_replicated_loadtest",
 ]

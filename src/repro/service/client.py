@@ -79,13 +79,46 @@ class ServiceClient:
         return json.loads(data.decode("utf-8")) if data else {}
 
     @staticmethod
+    def _parse_retry_after(value, default: float = 1.0) -> float:
+        """Seconds from a ``Retry-After`` header, defensively.
+
+        RFC 7231 allows both delta-seconds and an HTTP-date; proxies
+        and foreign servers send either (or garbage).  A malformed
+        header must degrade to the ``default`` backoff, never raise
+        out of the error handler.
+        """
+        if value is None:
+            return default
+        try:
+            seconds = float(value)
+        except (TypeError, ValueError):
+            pass
+        else:
+            return max(0.0, seconds)
+        try:
+            from email.utils import parsedate_to_datetime
+
+            when = parsedate_to_datetime(str(value))
+        except (TypeError, ValueError):
+            return default
+        if when is None:
+            return default
+        if when.tzinfo is None:
+            from datetime import timezone
+
+            when = when.replace(tzinfo=timezone.utc)
+        return max(0.0, when.timestamp() - time.time())
+
+    @staticmethod
     def _raise_typed(exc: urllib.error.HTTPError) -> None:
         try:
             message = json.loads(exc.read().decode("utf-8"))["error"]
         except Exception:  # noqa: BLE001 — body may be anything
             message = f"HTTP {exc.code}"
         if exc.code == 429:
-            retry_after = float(exc.headers.get("Retry-After") or 1.0)
+            retry_after = ServiceClient._parse_retry_after(
+                exc.headers.get("Retry-After")
+            )
             raise QueueFullError(message, retry_after_s=retry_after) from exc
         if exc.code == 400:
             raise JobValidationError(message) from exc
@@ -122,12 +155,24 @@ class ServiceClient:
         """Poll until the job reaches a terminal state; returns it with
         its result attached.
 
+        A job that the server pruned between two polls (it finished and
+        was rotated out of the job table under load) is resolved
+        through the result/cache path — its tombstone or cached record
+        answers — rather than surfacing the prune as a spurious
+        :class:`~repro.errors.JobNotFoundError`.
+
         Raises :class:`~repro.errors.ServiceError` if ``timeout``
         elapses first.
         """
         deadline = time.monotonic() + timeout
         while True:
-            view = self.job(job_id)
+            try:
+                view = self.job(job_id)
+            except JobNotFoundError:
+                # the job can only vanish mid-poll by finishing and
+                # being pruned; the result endpoint resolves tombstones
+                # (and re-raises if the id truly never existed)
+                return self.result(job_id)
             if view["state"] in TERMINAL_STATES:
                 return self.result(job_id)
             if time.monotonic() > deadline:

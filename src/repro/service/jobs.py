@@ -338,6 +338,57 @@ class JobRecord:
     wall_s: float = 0.0
 
 
+@dataclass
+class JobTombstone:
+    """What remains of a pruned terminal job: identity, not payload.
+
+    The scheduler keeps only ``keep_jobs`` full :class:`Job` objects in
+    memory; older terminal jobs collapse to one of these so a client
+    that polls ``GET /jobs/<id>`` *after* the prune still learns the
+    job's final state instead of a 404 (the pruning race).  The
+    ``key`` lets ``GET /jobs/<id>/result`` re-hydrate a ``done``
+    cacheable job's result from the job-record cache.  Tombstones
+    expire ``tombstone_ttl`` seconds after the prune.
+    """
+
+    id: str
+    kind: str
+    key: str
+    state: str
+    error: Optional[str]
+    submitted_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    from_cache: bool
+    cacheable: bool
+    wall_s: float
+    #: monotonic instant after which the tombstone may be dropped
+    expires_at: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return True  # only terminal jobs are ever tombstoned
+
+    def to_api(self, include_result: bool = False) -> dict:
+        """The JSON view served for a pruned job (``"pruned": true``)."""
+        view = {
+            "id": self.id,
+            "kind": self.kind,
+            "key": self.key,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "from_cache": self.from_cache,
+            "error": self.error,
+            "wall_s": round(self.wall_s, 6),
+            "pruned": True,
+        }
+        if include_result:
+            view["result"] = None
+        return view
+
+
 class Job:
     """One submitted job: payload, lifecycle state, timestamps, result.
 

@@ -289,6 +289,7 @@ def run_loadtest(
             index, kind, params = item
             pace()
             started = time.perf_counter()
+            deadline = time.monotonic() + job_timeout
             outcome = {
                 "index": index,
                 "kind": kind,
@@ -297,6 +298,7 @@ def run_loadtest(
                 "latency_s": 0.0,
             }
             try:
+                view = None
                 while True:
                     try:
                         view = client.submit(kind, params)
@@ -304,15 +306,34 @@ def run_loadtest(
                     except QueueFullError as exc:
                         with lock:
                             rejected["count"] += 1
-                        time.sleep(max(0.01, exc.retry_after_s))
-                if view["state"] not in TERMINAL_STATES:
-                    view = client.wait(
-                        view["id"], timeout=job_timeout, poll_s=poll_s
-                    )
-                outcome["state"] = view["state"]
-                outcome["from_cache"] = bool(view.get("from_cache"))
-                if view.get("error"):
-                    outcome["error"] = view["error"]
+                        # retries share the job's own deadline: against
+                        # a saturated server each client eventually
+                        # gives up and records the rejection instead of
+                        # spinning on 429s forever
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            outcome["state"] = "rejected_429"
+                            outcome["error"] = (
+                                f"gave up after {job_timeout:g}s of "
+                                f"429 backpressure: {exc}"
+                            )
+                            break
+                        time.sleep(
+                            min(max(0.01, exc.retry_after_s), remaining)
+                        )
+                if view is not None:
+                    if view["state"] not in TERMINAL_STATES:
+                        view = client.wait(
+                            view["id"],
+                            timeout=max(
+                                0.0, deadline - time.monotonic()
+                            ),
+                            poll_s=poll_s,
+                        )
+                    outcome["state"] = view["state"]
+                    outcome["from_cache"] = bool(view.get("from_cache"))
+                    if view.get("error"):
+                        outcome["error"] = view["error"]
             except (ReproError, OSError) as exc:
                 outcome["error"] = f"{type(exc).__name__}: {exc}"
             outcome["latency_s"] = time.perf_counter() - started
@@ -375,6 +396,152 @@ def run_loadtest(
         unit_cache_hit_ratio=hit_ratio,
         campaign_deltas=deltas,
         outcomes=outcomes,
+    )
+
+
+@dataclass
+class ReplicatedReport:
+    """One ``--replicas N`` run: the loadtest through a router plus the
+    router's own routing statistics and the 1-replica comparison."""
+
+    replicas: int
+    report: LoadTestReport
+    router_stats: Dict[str, float]
+    routed_by_replica: Dict[str, int]
+    routing_hit_ratio: Optional[float]
+    per_replica_jobs_per_s: Dict[str, float]
+    baseline_jobs_per_s: Optional[float]
+    scale_out_efficiency: Optional[float]
+
+    def to_json(self) -> dict:
+        return {
+            "replicas": self.replicas,
+            "routing_hit_ratio": (
+                round(self.routing_hit_ratio, 6)
+                if self.routing_hit_ratio is not None
+                else None
+            ),
+            "router": {
+                name: value
+                for name, value in sorted(self.router_stats.items())
+            },
+            "routed_by_replica": dict(self.routed_by_replica),
+            "per_replica_jobs_per_s": {
+                url: round(value, 6)
+                for url, value in self.per_replica_jobs_per_s.items()
+            },
+            "baseline_jobs_per_s": (
+                round(self.baseline_jobs_per_s, 6)
+                if self.baseline_jobs_per_s is not None
+                else None
+            ),
+            "scale_out_efficiency": (
+                round(self.scale_out_efficiency, 6)
+                if self.scale_out_efficiency is not None
+                else None
+            ),
+            "run": self.report.to_json(),
+        }
+
+
+def run_replicated_loadtest(
+    replicas: int = 2,
+    mix: str = "smoke",
+    n_jobs: int = 10,
+    concurrency: int = 2,
+    seed: int = 0,
+    workers: int = 2,
+    queue_limit: int = 16,
+    job_timeout: float = 300.0,
+    request_timeout: float = 30.0,
+    baseline: bool = True,
+    vnodes: int = 64,
+) -> ReplicatedReport:
+    """Measure the scale-out story end to end, in one process.
+
+    Boots ``replicas`` private-cache servers plus a
+    :class:`~repro.service.router.RouterService` in front of them,
+    replays the deterministic mix through the *router*, and reads the
+    routing statistics straight off the router object: the **routing
+    hit ratio** (submissions landing on their ring-primary — identical
+    resubmissions keep hitting the same warm replica) and per-replica
+    throughput.  With ``baseline=True`` the same mix then runs against
+    a fresh 1-replica stack so ``scale_out_efficiency`` compares
+    N-replica jobs/s against N× the single-server jobs/s — the PR 7
+    single-server framing, measured through the same router overhead.
+    """
+    if replicas < 1:
+        raise ServiceError(f"replicas must be >= 1, got {replicas}")
+    import os
+    import tempfile
+
+    from .router import RouterService
+    from .server import ReproService, ServiceRuntime
+
+    def measure(n: int) -> Tuple[LoadTestReport, dict]:
+        with tempfile.TemporaryDirectory(prefix="repro-replicas-") as tmp:
+            services: List[ReproService] = []
+            router: Optional[RouterService] = None
+            try:
+                for index in range(n):
+                    runtime = ServiceRuntime(
+                        cache_dir=os.path.join(tmp, f"replica-{index}")
+                    )
+                    services.append(
+                        ReproService(
+                            port=0,
+                            runtime=runtime,
+                            workers=workers,
+                            queue_limit=queue_limit,
+                            retry_after_s=0.25,
+                        ).start()
+                    )
+                router = RouterService(
+                    [service.url for service in services],
+                    probe_interval=0.0,
+                    vnodes=vnodes,
+                ).start()
+                report = run_loadtest(
+                    router.url,
+                    mix=mix,
+                    n_jobs=n_jobs,
+                    concurrency=concurrency,
+                    seed=seed,
+                    job_timeout=job_timeout,
+                    request_timeout=request_timeout,
+                )
+                return report, router.stats_snapshot()
+            finally:
+                if router is not None:
+                    router.stop()
+                for service in services:
+                    service.stop(drain=True, timeout=30.0)
+
+    report, stats = measure(replicas)
+    routed_by_replica = stats.pop("routed_by_replica")
+    routed = stats.get("jobs_routed", 0)
+    hit_ratio = stats["ring_hits"] / routed if routed else None
+    per_replica = {
+        url: count / report.duration_s if report.duration_s > 0 else 0.0
+        for url, count in routed_by_replica.items()
+    }
+
+    baseline_jps = efficiency = None
+    if baseline and replicas > 1:
+        baseline_report, _ = measure(1)
+        baseline_jps = baseline_report.jobs_per_s
+        if baseline_jps > 0:
+            efficiency = report.jobs_per_s / (replicas * baseline_jps)
+
+    return ReplicatedReport(
+        replicas=replicas,
+        report=report,
+        router_stats=stats,
+        routed_by_replica=routed_by_replica,
+        routing_hit_ratio=hit_ratio,
+        per_replica_jobs_per_s=per_replica,
+        baseline_jobs_per_s=baseline_jps,
+        scale_out_efficiency=efficiency,
     )
 
 

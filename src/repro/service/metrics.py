@@ -108,6 +108,7 @@ class ServiceMetrics:
         queue_depth: Optional[int] = None,
         jobs_by_state: Optional[Dict[str, int]] = None,
         extra_gauges: Optional[Dict[str, float]] = None,
+        extra_counters: Optional[Dict[str, float]] = None,
     ) -> str:
         """The full exposition document, one scrape's worth."""
         lines: List[str] = []
@@ -162,8 +163,22 @@ class ServiceMetrics:
                 ],
             )
 
-        for name, value in sorted((extra_gauges or {}).items()):
-            emit(name, "gauge", f"{name}.", [("", value)])
+        # extra samples may arrive pre-labelled (``name{label="x"}``);
+        # group them under their bare metric name so HELP/TYPE
+        # preambles stay one-per-metric
+        def grouped(extra: Optional[Dict[str, float]]):
+            by_metric: Dict[str, List[Tuple[str, float]]] = {}
+            for name, value in sorted((extra or {}).items()):
+                bare, brace, labels = name.partition("{")
+                by_metric.setdefault(bare, []).append(
+                    (brace + labels if brace else "", value)
+                )
+            return sorted(by_metric.items())
+
+        for bare, samples in grouped(extra_gauges):
+            emit(bare, "gauge", f"{bare}.", samples)
+        for bare, samples in grouped(extra_counters):
+            emit(bare, "counter", f"{bare}.", samples)
 
         with self._lock:
             request_rows = [
@@ -209,6 +224,37 @@ class ServiceMetrics:
                 lines.append(f"{name}_count{labels} {count}")
 
         return "\n".join(lines) + "\n"
+
+
+#: sample-name prefixes that are meaningful when summed across replicas
+AGGREGATABLE_PREFIXES = (
+    "repro_campaign_",
+    "repro_queue_depth",
+    "repro_jobs{",
+    "repro_jobs ",
+    "repro_workers",
+    "repro_tombstones",
+)
+
+
+def aggregate_metrics(
+    documents: Iterable[str],
+    prefixes: Tuple[str, ...] = AGGREGATABLE_PREFIXES,
+) -> Dict[str, float]:
+    """Sum the additive samples of several replicas' ``/metrics`` texts.
+
+    Only counter/gauge families whose cross-replica sum is meaningful
+    (campaign counters, queue depth, worker and job-state gauges) are
+    kept — latency histograms and uptime gauges are not additive and
+    are dropped.  Used by the router's aggregated ``/metrics`` view.
+    """
+    totals: Dict[str, float] = {}
+    for text in documents:
+        for name, value in parse_metrics(text).items():
+            sample = name if name.endswith("}") else name + " "
+            if sample.startswith(prefixes):
+                totals[name] = totals.get(name, 0.0) + value
+    return totals
 
 
 def parse_metrics(text: str) -> Dict[str, float]:

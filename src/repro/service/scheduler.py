@@ -72,6 +72,7 @@ from .jobs import (
     Job,
     JobRecord,
     JobTelemetry,
+    JobTombstone,
     execute_job,
     normalize_params,
 )
@@ -242,7 +243,14 @@ class JobScheduler:
     keep_jobs:
         Completed jobs retained for ``GET /jobs`` before the oldest
         terminal records are pruned from memory (their cached results
-        survive on disk).
+        survive on disk).  A pruned job leaves a lightweight
+        :class:`~repro.service.jobs.JobTombstone` behind so a client
+        still polling it sees the terminal state — and can fetch the
+        result through the job-record cache — instead of a 404.
+    tombstone_ttl:
+        Seconds a pruned job's tombstone stays resolvable (default 15
+        minutes; ``0`` disables tombstones and restores the old
+        prune-to-404 behaviour).
     workers:
         Worker threads executing jobs concurrently.  Each running job
         holds at most one lease on the runtime's executor pool; a job
@@ -258,22 +266,31 @@ class JobScheduler:
         retry_after_s: float = 1.0,
         keep_jobs: int = 256,
         workers: int = 1,
+        tombstone_ttl: float = 900.0,
     ):
         if queue_limit < 1:
             raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
+        if tombstone_ttl < 0:
+            raise ServiceError(
+                f"tombstone_ttl must be >= 0, got {tombstone_ttl:g}"
+            )
         self.runtime = runtime
         self.queue_limit = queue_limit
         self.job_timeout = job_timeout
         self.retry_after_s = retry_after_s
         self.keep_jobs = keep_jobs
         self.workers = workers
+        self.tombstone_ttl = tombstone_ttl
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
         self._queue: Deque[Job] = collections.deque()
         self._jobs: "collections.OrderedDict[str, Job]" = (
+            collections.OrderedDict()
+        )
+        self._tombstones: "collections.OrderedDict[str, JobTombstone]" = (
             collections.OrderedDict()
         )
         self._running: Dict[str, Job] = {}
@@ -343,22 +360,103 @@ class JobScheduler:
         return job
 
     def _remember(self, job: Job) -> None:
-        """Register a job, pruning the oldest terminal ones (locked)."""
+        """Register a job, pruning the oldest terminal ones (locked).
+
+        Pruned jobs are demoted to :class:`JobTombstone`s rather than
+        forgotten: a client that saw its job accepted must never get a
+        404 for it just because the server was busy enough to rotate
+        the job table before the next poll (the pruning race).
+        """
         self._jobs[job.id] = job
         while len(self._jobs) > self.keep_jobs:
             for job_id, old in self._jobs.items():
                 if old.done:
                     del self._jobs[job_id]
+                    self._entomb(old)
                     break
             else:
                 break
 
+    def _entomb(self, job: Job) -> None:
+        """Demote one pruned terminal job to a tombstone (locked)."""
+        if self.tombstone_ttl <= 0:
+            return
+        self._prune_tombstones()
+        self._tombstones[job.id] = JobTombstone(
+            id=job.id,
+            kind=job.kind,
+            key=job.key,
+            state=job.state,
+            error=job.error,
+            submitted_at=job.submitted_at,
+            started_at=job.started_at,
+            finished_at=job.finished_at,
+            from_cache=job.from_cache,
+            cacheable=job.cacheable,
+            wall_s=job.wall_s,
+            expires_at=time.monotonic() + self.tombstone_ttl,
+        )
+
+    def _prune_tombstones(self) -> None:
+        """Drop expired tombstones (locked); insertion order = expiry order."""
+        now = time.monotonic()
+        while self._tombstones:
+            oldest = next(iter(self._tombstones.values()))
+            if oldest.expires_at > now:
+                break
+            del self._tombstones[oldest.id]
+
     def get(self, job_id: str) -> Job:
+        """The live :class:`Job`; raises even if only a tombstone remains."""
         with self._lock:
             job = self._jobs.get(job_id)
         if job is None:
             raise JobNotFoundError(f"no such job: {job_id!r}")
         return job
+
+    def lookup(self, job_id: str) -> Union[Job, JobTombstone]:
+        """The live job *or* its tombstone — what the HTTP layer serves."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return job
+            self._prune_tombstones()
+            tombstone = self._tombstones.get(job_id)
+        if tombstone is None:
+            raise JobNotFoundError(f"no such job: {job_id!r}")
+        return tombstone
+
+    def api_view(self, job_id: str, include_result: bool = False) -> dict:
+        """The ``GET /jobs/<id>[/result]`` payload, tombstones resolved.
+
+        A tombstoned ``done`` job's result is re-hydrated from the
+        job-record cache under its content key; if the record is gone
+        too (cache cleared, non-cacheable job), the lookup raises
+        :class:`~repro.errors.JobNotFoundError` naming the cause.
+        """
+        entry = self.lookup(job_id)
+        view = entry.to_api(include_result=include_result)
+        if (
+            include_result
+            and isinstance(entry, JobTombstone)
+            and entry.state == DONE
+        ):
+            record = None
+            if entry.cacheable and self.runtime.job_cache is not None:
+                record = self.runtime.job_cache.get(entry.key)
+            if record is None:
+                raise JobNotFoundError(
+                    f"job {job_id!r} was pruned and its result record "
+                    "is no longer cached"
+                )
+            view["result"] = record.result
+        return view
+
+    def tombstone_count(self) -> int:
+        """Live (unexpired) tombstones, for /metrics."""
+        with self._lock:
+            self._prune_tombstones()
+            return len(self._tombstones)
 
     def jobs(self) -> List[Job]:
         with self._lock:
@@ -385,13 +483,16 @@ class JobScheduler:
     # ------------------------------------------------------------------
     # cancellation / shutdown
 
-    def cancel(self, job_id: str) -> Job:
+    def cancel(self, job_id: str) -> Union[Job, JobTombstone]:
         """Cancel a queued job immediately or a running one cooperatively.
 
-        Terminal jobs are returned unchanged (cancellation is
-        idempotent and never un-finishes work).
+        Terminal jobs — tombstoned ones included — are returned
+        unchanged (cancellation is idempotent and never un-finishes
+        work).
         """
-        job = self.get(job_id)
+        job = self.lookup(job_id)
+        if isinstance(job, JobTombstone):
+            return job
         with self._lock:
             if job.state == QUEUED:
                 try:

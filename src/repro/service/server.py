@@ -192,6 +192,9 @@ class _Handler(BaseHTTPRequestHandler):
                 extra_gauges={
                     "repro_workers": float(scheduler.workers),
                     "repro_workers_busy": float(scheduler.busy_count()),
+                    "repro_tombstones": float(
+                        scheduler.tombstone_count()
+                    ),
                 },
             )
             return self._reply(
@@ -213,7 +216,7 @@ class _Handler(BaseHTTPRequestHandler):
             job_id, tail = match.groups()
             route = "/jobs/{id}" + (tail or "")
             try:
-                job = service.scheduler.get(job_id)
+                job = service.scheduler.lookup(job_id)
             except JobNotFoundError as exc:
                 return self._error(404, str(exc), route)
             if tail == "/result":
@@ -223,8 +226,14 @@ class _Handler(BaseHTTPRequestHandler):
                         f"job {job_id} is {job.state}; result not ready",
                         route,
                     )
-                return self._reply(200, job.to_api(include_result=True),
-                                   route)
+                try:
+                    view = service.scheduler.api_view(
+                        job_id, include_result=True
+                    )
+                except JobNotFoundError as exc:
+                    # pruned AND evicted from the record cache
+                    return self._error(404, str(exc), route)
+                return self._reply(200, view, route)
             return self._reply(200, job.to_api(), route)
         return self._error(404, f"no such endpoint: {path}", "unknown")
 
@@ -282,7 +291,8 @@ class ReproService:
     runtime:
         A pre-built :class:`ServiceRuntime`; default constructs one
         with no executor (serial) and no caches.
-    queue_limit, job_timeout, retry_after_s, workers:
+    queue_limit, job_timeout, retry_after_s, workers, keep_jobs,
+    tombstone_ttl:
         Forwarded to :class:`JobScheduler`.
     access_log:
         Path or stream for the JSONL access log (``None`` disables).
@@ -297,6 +307,8 @@ class ReproService:
         job_timeout: Optional[float] = None,
         retry_after_s: float = 1.0,
         workers: int = 1,
+        keep_jobs: int = 256,
+        tombstone_ttl: float = 900.0,
         access_log: Optional[Union[str, Path, IO[str]]] = None,
     ):
         self.runtime = runtime or ServiceRuntime()
@@ -306,6 +318,8 @@ class ReproService:
             job_timeout=job_timeout,
             retry_after_s=retry_after_s,
             workers=workers,
+            keep_jobs=keep_jobs,
+            tombstone_ttl=tombstone_ttl,
         )
         self.metrics = ServiceMetrics()
         self.access_log = AccessLog(access_log)

@@ -1,0 +1,99 @@
+"""Client-side hardening: defensive ``Retry-After`` parsing and the
+``wait`` path that resolves a job pruned between two polls.
+"""
+
+import time
+from email.utils import formatdate
+
+import pytest
+
+import repro.service.jobs as jobs_module
+from repro.errors import JobNotFoundError
+from repro.service.client import ServiceClient
+from repro.service.scheduler import ServiceRuntime
+from repro.service.server import ReproService
+
+parse = ServiceClient._parse_retry_after
+
+
+class TestParseRetryAfter:
+    """RFC 7231 allows delta-seconds *or* an HTTP-date; proxies send
+    either (or garbage).  The old ``float(header or 1.0)`` raised
+    ``ValueError`` out of the 429 error handler for anything but plain
+    digits — the PR 9 satellite bugfix."""
+
+    def test_delta_seconds(self):
+        assert parse("2.5") == 2.5
+        assert parse("0") == 0.0
+        assert parse(" 10 ") == 10.0
+
+    def test_negative_delta_clamps_to_zero(self):
+        assert parse("-5") == 0.0
+
+    def test_missing_header_uses_default(self):
+        assert parse(None) == 1.0
+        assert parse(None, default=0.25) == 0.25
+
+    def test_http_date_becomes_a_delta(self):
+        header = formatdate(time.time() + 30.0, usegmt=True)
+        delta = parse(header)
+        assert 25.0 < delta <= 30.5
+
+    def test_past_http_date_clamps_to_zero(self):
+        header = formatdate(time.time() - 60.0, usegmt=True)
+        assert parse(header) == 0.0
+
+    def test_garbage_degrades_to_default_instead_of_raising(self):
+        for garbage in ("soon", "", "Thu, 32 Foo 2026", "1.2.3", "NaN s"):
+            assert parse(garbage) == 1.0, garbage
+
+    def test_nan_and_inf_do_not_poison_the_backoff(self):
+        # float("nan")/float("inf") parse; max(0.0, nan) propagates nan
+        # but the sleep call clamps through min(..., remaining), so we
+        # only require a float back, never an exception
+        assert isinstance(parse("inf"), float)
+
+
+class TestWaitResolvesPrunedJobs:
+    def test_wait_survives_mid_poll_pruning(self, tmp_path, monkeypatch):
+        """Submit, finish, prune — then ``wait`` must come back with
+        the result through the tombstone/result path, not 404."""
+        monkeypatch.setitem(
+            jobs_module.RUNNERS,
+            "verify",
+            lambda job, rt, tel: {"seed": job.params.get("seed")},
+        )
+        service = ReproService(
+            port=0,
+            runtime=ServiceRuntime(cache_dir=tmp_path / "cache"),
+            keep_jobs=2,
+        ).start()
+        try:
+            client = ServiceClient(service.url, timeout=10.0)
+            first = client.submit("verify", {"circuits": [], "seed": 1})
+            client.wait(first["id"], timeout=10.0)
+            # two more distinct jobs rotate the first out of the table
+            for seed in (2, 3):
+                done = client.submit(
+                    "verify", {"circuits": [], "seed": seed}
+                )
+                client.wait(done["id"], timeout=10.0)
+            assert service.scheduler.tombstone_count() == 1
+
+            view = client.wait(first["id"], timeout=10.0)
+            assert view["state"] == "done"
+            assert view["pruned"] is True
+            assert view["result"] == {"seed": 1}
+        finally:
+            service.stop(drain=False, timeout=10.0)
+
+    def test_wait_still_404s_for_unknown_ids(self, tmp_path):
+        service = ReproService(
+            port=0, runtime=ServiceRuntime(cache_dir=tmp_path / "cache")
+        ).start()
+        try:
+            client = ServiceClient(service.url, timeout=10.0)
+            with pytest.raises(JobNotFoundError):
+                client.wait("feedfacecafe", timeout=5.0)
+        finally:
+            service.stop(drain=False, timeout=10.0)

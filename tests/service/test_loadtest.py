@@ -2,16 +2,21 @@
 end-to-end closed-loop run against an in-process multi-worker server.
 """
 
+import threading
+
 import pytest
 
+import repro.service.jobs as jobs_module
 from repro.errors import ServiceError
 from repro.service.loadtest import (
     MIXES,
     LoadTestReport,
+    ReplicatedReport,
     build_mix,
     loadtest_document,
     percentile,
     run_loadtest,
+    run_replicated_loadtest,
 )
 from repro.service.scheduler import ServiceRuntime
 from repro.service.server import ReproService
@@ -189,3 +194,71 @@ class TestPacedRun:
             assert paced.duration_s >= 1.4
         finally:
             service.stop(drain=False, timeout=10.0)
+
+
+class TestBounded429Retries:
+    def test_saturated_server_rejections_are_bounded_by_the_deadline(
+        self, monkeypatch
+    ):
+        """The PR 9 satellite bugfix: against a server that never stops
+        answering 429, each client gives up at its job deadline and
+        records ``rejected_429`` — the old loop retried forever."""
+        release = threading.Event()
+
+        def blocker(job, runtime, telemetry):
+            release.wait(30.0)
+            return {}
+
+        for kind in ("faultsim", "tolerance", "diagnose", "verify"):
+            monkeypatch.setitem(jobs_module.RUNNERS, kind, blocker)
+        service = ReproService(
+            port=0, workers=1, queue_limit=1, retry_after_s=0.05
+        ).start()
+        try:
+            # saturate: one running (blocked) + one queued = queue full
+            service.scheduler.submit("verify", {"circuits": [], "seed": 1})
+            service.scheduler.submit("verify", {"circuits": [], "seed": 2})
+
+            report = run_loadtest(
+                service.url,
+                mix="smoke",
+                n_jobs=2,
+                concurrency=2,
+                job_timeout=0.6,
+            )
+            assert report.states == {"rejected_429": 2}
+            assert report.rejected_429 >= 2
+            assert not report.ok
+            assert report.duration_s < 10.0  # gave up, did not spin
+            for outcome in report.outcomes:
+                assert "429 backpressure" in outcome["error"]
+        finally:
+            release.set()
+            service.stop(drain=False, timeout=10.0)
+
+
+class TestReplicatedRun:
+    def test_two_replicas_behind_a_router(self):
+        replicated = run_replicated_loadtest(
+            replicas=2,
+            mix="smoke",
+            n_jobs=4,
+            concurrency=2,
+            workers=1,
+            seed=7,
+            baseline=False,
+        )
+        assert isinstance(replicated, ReplicatedReport)
+        assert replicated.report.ok
+        assert replicated.routing_hit_ratio == 1.0
+        assert sum(replicated.routed_by_replica.values()) == 4
+        assert len(replicated.per_replica_jobs_per_s) == 2
+        assert replicated.scale_out_efficiency is None  # no baseline
+        payload = replicated.to_json()
+        assert payload["replicas"] == 2
+        assert payload["routing_hit_ratio"] == 1.0
+        assert payload["run"]["ok"] is True
+
+    def test_rejects_bad_replica_count(self):
+        with pytest.raises(ServiceError):
+            run_replicated_loadtest(replicas=0)

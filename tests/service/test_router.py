@@ -1,0 +1,268 @@
+"""Router tests: ring determinism, registry liveness, and the balancer
+end to end over real HTTP against two in-process replicas.
+
+Job execution is stubbed through ``repro.service.jobs.RUNNERS`` (the
+``verify`` slot) — the replicas are real servers on real sockets, only
+the simulation inside each job is replaced, so these tests measure
+routing behaviour, not circuit solving.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.service.jobs as jobs_module
+from repro.errors import JobNotFoundError, ServiceError
+from repro.service.client import ServiceClient
+from repro.service.jobs import job_key, normalize_params
+from repro.service.metrics import parse_metrics
+from repro.service.router import HashRing, ReplicaRegistry, RouterService
+from repro.service.scheduler import ServiceRuntime
+from repro.service.server import ReproService
+
+NODES = ("http://a:1", "http://b:2", "http://c:3")
+
+
+class TestHashRing:
+    def test_same_key_same_node_every_time(self):
+        ring = HashRing(NODES)
+        keys = [f"key-{index}" for index in range(200)]
+        first = [ring.primary(key) for key in keys]
+        second = [HashRing(NODES).primary(key) for key in keys]
+        assert first == second
+
+    def test_every_node_owns_part_of_the_keyspace(self):
+        ring = HashRing(NODES)
+        owners = {ring.primary(f"key-{index}") for index in range(500)}
+        assert owners == set(NODES)
+
+    def test_preference_lists_every_node_once(self):
+        ring = HashRing(NODES)
+        preference = ring.preference("some-job-key")
+        assert len(preference) == len(NODES)
+        assert set(preference) == set(NODES)
+        assert preference[0] == ring.primary("some-job-key")
+
+    def test_removing_a_node_only_remaps_its_keys(self):
+        """Consistent hashing's point: keys not owned by the removed
+        node keep their placement."""
+        full = HashRing(NODES)
+        reduced = HashRing(NODES[:2])
+        for index in range(300):
+            key = f"key-{index}"
+            owner = full.primary(key)
+            if owner in NODES[:2]:
+                assert reduced.primary(key) == owner
+
+    def test_failover_target_is_the_next_preference_entry(self):
+        ring = HashRing(NODES)
+        preference = ring.preference("failing-key")
+        survivors = [n for n in preference if n != preference[0]]
+        assert survivors[0] == preference[1]
+
+    def test_rejects_empty_and_duplicate_node_lists(self):
+        with pytest.raises(ServiceError):
+            HashRing([])
+        with pytest.raises(ServiceError):
+            HashRing(["http://a:1", "http://a:1"])
+
+
+class TestReplicaRegistry:
+    def test_probe_unreachable_marks_dead(self):
+        registry = ReplicaRegistry(
+            ["http://127.0.0.1:9"], probe_timeout=0.2
+        )
+        assert registry.probe_all() == 0
+        assert registry.alive_urls() == []
+        snapshot = registry.snapshot()
+        assert snapshot[0]["alive"] is False
+        assert snapshot[0]["last_error"]
+
+    def test_mark_dead_and_alive_roundtrip(self):
+        registry = ReplicaRegistry(["http://a:1/", "http://b:2"])
+        assert registry.urls == ["http://a:1", "http://b:2"]
+        registry.mark_dead("http://a:1", "boom")
+        assert registry.alive_urls() == ["http://b:2"]
+        assert not registry.is_alive("http://a:1")
+        registry.mark_alive("http://a:1")
+        assert registry.alive_urls() == ["http://a:1", "http://b:2"]
+
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ServiceError):
+            ReplicaRegistry([])
+        with pytest.raises(ServiceError):
+            ReplicaRegistry(["http://a:1", "http://a:1/"])
+
+
+def runner_ok(job, runtime, telemetry):
+    return {"ok": True, "echo": job.params.get("seed")}
+
+
+@pytest.fixture
+def fleet(tmp_path, monkeypatch):
+    """Two live replicas behind a live router, verify jobs stubbed."""
+    monkeypatch.setitem(jobs_module.RUNNERS, "verify", runner_ok)
+    services = [
+        ReproService(
+            port=0,
+            runtime=ServiceRuntime(cache_dir=tmp_path / f"cache-{index}"),
+            workers=1,
+            queue_limit=8,
+        ).start()
+        for index in range(2)
+    ]
+    router = RouterService(
+        [service.url for service in services], probe_interval=0.0
+    ).start()
+    try:
+        yield router, services
+    finally:
+        router.stop()
+        for service in services:
+            service.stop(drain=False, timeout=10.0)
+
+
+def verify_params(seed):
+    return {"circuits": [], "seed": seed}
+
+
+def primary_for(router, seed):
+    key = job_key("verify", normalize_params("verify", verify_params(seed)))
+    return router.ring.primary(key)
+
+
+class TestRouterEndToEnd:
+    def test_submit_then_retrieve_through_the_router(self, fleet):
+        """The acceptance path: submitted through the router, the job is
+        retrievable through the router — state, result and cancel."""
+        router, _ = fleet
+        client = ServiceClient(router.url, timeout=10.0)
+        job = client.submit("verify", verify_params(1))
+        done = client.wait(job["id"], timeout=30.0)
+        assert done["state"] == "done"
+        assert done["result"]["ok"] is True
+        # idempotent cancel of a terminal job, still through the router
+        assert client.cancel(job["id"])["state"] == "done"
+
+    def test_identical_resubmissions_hit_the_same_replica(self, fleet):
+        router, _ = fleet
+        client = ServiceClient(router.url, timeout=10.0)
+        for _ in range(3):
+            job = client.submit("verify", verify_params(2))
+            client.wait(job["id"], timeout=30.0)
+        stats = router.stats_snapshot()
+        assert stats["jobs_routed"] == 3
+        assert stats["ring_hits"] == 3
+        assert stats["failovers"] == 0
+        expected = primary_for(router, 2)
+        routed = stats["routed_by_replica"]
+        assert routed[expected] == 3
+        others = [v for url, v in routed.items() if url != expected]
+        assert all(count == 0 for count in others)
+
+    def test_cross_replica_lookup_finds_foreign_jobs(self, fleet):
+        """A job submitted behind the router's back (directly to one
+        replica) is still resolvable through the router's fan-out."""
+        router, services = fleet
+        direct = ServiceClient(services[1].url, timeout=10.0)
+        job = direct.submit("verify", verify_params(3))
+        direct.wait(job["id"], timeout=30.0)
+
+        through_router = ServiceClient(router.url, timeout=10.0)
+        view = through_router.result(job["id"])
+        assert view["state"] == "done"
+        assert view["result"]["ok"] is True
+        assert router.stats_snapshot()["cross_lookups"] >= 1
+
+    def test_unknown_job_404s_after_fanning_out(self, fleet):
+        router, _ = fleet
+        client = ServiceClient(router.url, timeout=10.0)
+        with pytest.raises(JobNotFoundError):
+            client.job("feedfacecafe")
+
+    def test_failover_rehashes_to_the_next_ring_node(self, fleet):
+        router, services = fleet
+        seed = next(
+            s for s in range(100)
+            if primary_for(router, s) == services[0].url
+        )
+        services[0].stop(drain=False, timeout=10.0)
+
+        client = ServiceClient(router.url, timeout=10.0)
+        job = client.submit("verify", verify_params(seed))
+        done = client.wait(job["id"], timeout=30.0)
+        assert done["state"] == "done"
+        stats = router.stats_snapshot()
+        assert stats["failovers"] == 1
+        assert stats["routed_by_replica"][services[1].url] == 1
+        assert not router.registry.is_alive(services[0].url)
+
+    def test_malformed_submission_rejected_locally(self, fleet):
+        """Validation happens in the router: a bad payload costs zero
+        replica round-trips and still comes back as a typed 400."""
+        router, _ = fleet
+        from repro.errors import JobValidationError
+
+        client = ServiceClient(router.url, timeout=10.0)
+        before = router.stats_snapshot()["jobs_routed"]
+        with pytest.raises(JobValidationError):
+            client.submit("verify", {"bogus": 1})
+        with pytest.raises(JobValidationError):
+            client.submit("no-such-kind", {})
+        assert router.stats_snapshot()["jobs_routed"] == before
+
+    def test_health_aggregates_the_fleet(self, fleet):
+        router, services = fleet
+        client = ServiceClient(router.url, timeout=10.0)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["role"] == "router"
+        assert health["replicas_alive"] == 2
+        assert {r["url"] for r in health["replicas"]} == {
+            service.url for service in services
+        }
+
+    def test_metrics_aggregate_campaign_counters_and_router_series(
+        self, fleet
+    ):
+        router, services = fleet
+        client = ServiceClient(router.url, timeout=10.0)
+        job = client.submit("verify", verify_params(4))
+        client.wait(job["id"], timeout=30.0)
+
+        samples = parse_metrics(client.metrics_text())
+        assert samples["repro_router_jobs_routed_total"] >= 1
+        assert samples["repro_router_replicas"] == 2.0
+        assert samples["repro_router_replicas_alive"] == 2.0
+        for service in services:
+            up = samples[f'repro_replica_up{{replica="{service.url}"}}']
+            assert up == 1.0
+        # per-replica worker gauges summed across the fleet
+        assert samples["repro_workers"] == 2.0
+
+    def test_jobs_listing_merges_replicas(self, fleet):
+        router, services = fleet
+        ServiceClient(services[0].url, timeout=10.0).submit(
+            "verify", verify_params(5)
+        )
+        ServiceClient(services[1].url, timeout=10.0).submit(
+            "verify", verify_params(6)
+        )
+        client = ServiceClient(router.url, timeout=10.0)
+        listed = client.jobs()
+        assert len(listed) == 2
+        assert {job["replica"] for job in listed} == {
+            service.url for service in services
+        }
+
+    def test_router_404_for_unknown_endpoint(self, fleet):
+        router, _ = fleet
+        request = urllib.request.Request(
+            router.url + "/nope", method="GET"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert excinfo.value.code == 404
+        assert "error" in json.loads(excinfo.value.read().decode())

@@ -250,3 +250,111 @@ class TestStateCounts:
         counts = scheduler.counts_by_state()
         assert counts[DONE] == 1
         assert counts[QUEUED] == 0
+
+
+class TestTombstones:
+    """The pruning race: a client polling a completed job must never
+    get a 404 just because ``keep_jobs`` rotated the job table.
+
+    These are the regression tests for the PR 9 headline bugfix — on
+    the pre-tombstone scheduler (prune = forget), the lookups below
+    raised :class:`~repro.errors.JobNotFoundError`.
+    """
+
+    def fill_past_keep_jobs(self, scheduler, monkeypatch):
+        """3 distinct done jobs into a ``keep_jobs=2`` table; returns
+        the pruned (oldest) one."""
+        monkeypatch.setitem(
+            jobs_module.RUNNERS,
+            "verify",
+            lambda job, rt, tel: {"seed": job.params.get("seed")},
+        )
+        first = scheduler.submit("verify", {"circuits": [], "seed": 1})
+        scheduler.submit("verify", {"circuits": [], "seed": 2})
+        assert scheduler.wait_idle(timeout=10.0)
+        # the slow poller's race window: both jobs are done when the
+        # third submission triggers the prune of the oldest
+        scheduler.submit("verify", {"circuits": [], "seed": 3})
+        assert scheduler.wait_idle(timeout=10.0)
+        return first
+
+    def test_pruned_job_resolves_through_its_tombstone(
+        self, runtime, monkeypatch
+    ):
+        scheduler = JobScheduler(runtime, keep_jobs=2)
+        try:
+            first = self.fill_past_keep_jobs(scheduler, monkeypatch)
+            # pruned from the live table...
+            with pytest.raises(JobNotFoundError):
+                scheduler.get(first.id)
+            assert all(job.id != first.id for job in scheduler.jobs())
+            # ...but the poll a slow client makes still answers
+            view = scheduler.api_view(first.id)
+            assert view["state"] == DONE
+            assert view["pruned"] is True
+            assert scheduler.tombstone_count() == 1
+        finally:
+            scheduler.shutdown(drain=False, timeout=5.0)
+
+    def test_tombstoned_result_rehydrates_from_the_job_cache(
+        self, runtime, monkeypatch
+    ):
+        scheduler = JobScheduler(runtime, keep_jobs=2)
+        try:
+            first = self.fill_past_keep_jobs(scheduler, monkeypatch)
+            view = scheduler.api_view(first.id, include_result=True)
+            assert view["result"] == {"seed": 1}
+        finally:
+            scheduler.shutdown(drain=False, timeout=5.0)
+
+    def test_tombstone_without_cached_record_names_the_cause(
+        self, monkeypatch
+    ):
+        """No job cache to re-hydrate from: the 404 says *pruned*, not
+        'no such job'."""
+        runtime = ServiceRuntime()  # cache-less
+        scheduler = JobScheduler(runtime, keep_jobs=2)
+        try:
+            first = self.fill_past_keep_jobs(scheduler, monkeypatch)
+            assert scheduler.api_view(first.id)["state"] == DONE
+            with pytest.raises(JobNotFoundError, match="pruned"):
+                scheduler.api_view(first.id, include_result=True)
+        finally:
+            scheduler.shutdown(drain=False, timeout=5.0)
+            runtime.close()
+
+    def test_cancel_of_a_tombstoned_job_is_idempotent(
+        self, runtime, monkeypatch
+    ):
+        scheduler = JobScheduler(runtime, keep_jobs=2)
+        try:
+            first = self.fill_past_keep_jobs(scheduler, monkeypatch)
+            tombstone = scheduler.cancel(first.id)
+            assert tombstone.state == DONE  # never un-finishes work
+        finally:
+            scheduler.shutdown(drain=False, timeout=5.0)
+
+    def test_expired_tombstones_are_dropped(self, runtime, monkeypatch):
+        scheduler = JobScheduler(runtime, keep_jobs=2, tombstone_ttl=0.05)
+        try:
+            first = self.fill_past_keep_jobs(scheduler, monkeypatch)
+            time.sleep(0.1)
+            assert scheduler.tombstone_count() == 0
+            with pytest.raises(JobNotFoundError):
+                scheduler.lookup(first.id)
+        finally:
+            scheduler.shutdown(drain=False, timeout=5.0)
+
+    def test_ttl_zero_restores_prune_to_404(self, runtime, monkeypatch):
+        scheduler = JobScheduler(runtime, keep_jobs=2, tombstone_ttl=0.0)
+        try:
+            first = self.fill_past_keep_jobs(scheduler, monkeypatch)
+            assert scheduler.tombstone_count() == 0
+            with pytest.raises(JobNotFoundError):
+                scheduler.lookup(first.id)
+        finally:
+            scheduler.shutdown(drain=False, timeout=5.0)
+
+    def test_negative_ttl_rejected(self, runtime):
+        with pytest.raises(ServiceError):
+            JobScheduler(runtime, tombstone_ttl=-1.0)
